@@ -1,0 +1,92 @@
+// Experiment CLS: the Section 1.4 decidability tooling. Classify a battery
+// of no-input LCLs on cycles with the automata-theoretic classifier and
+// cross-check each verdict against measured behaviour:
+//   - O(1) verdicts come with a round-elimination collapse step;
+//   - Theta(log* n) verdicts are cross-checked by running a log*-round
+//     algorithm (Linial) on cycles;
+//   - Theta(n) verdicts (2-coloring) match the period-2 solvable-lengths
+//     structure;
+//   - unsolvable verdicts mean no closed walk in the automaton.
+// Counters: class code (0 unsolvable, 1 global, 2 log*, 3 constant), the
+// collapse step, and the smallest SCC gcd.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "classify/cycle_classifier.hpp"
+#include "classify/path_classifier.hpp"
+#include "core/problems.hpp"
+
+namespace lcl {
+namespace {
+
+void run_classifier(benchmark::State& state,
+                    const NodeEdgeCheckableLcl& problem) {
+  CycleClassification result;
+  for (auto _ : state) {
+    result = classify_on_cycles(problem, /*max_speedup_steps=*/2);
+    lcl::bench::keep(result.complexity);
+  }
+  state.counters["class"] =
+      static_cast<double>(static_cast<int>(result.complexity));
+  state.counters["collapse_step"] = result.zero_round_collapse_step;
+  state.counters["min_gcd"] =
+      result.scc_gcds.empty() ? -1.0
+                              : static_cast<double>(result.scc_gcds.front());
+  state.SetLabel(to_string(result.complexity));
+}
+
+#define CLASSIFIER_BENCH(name, expr)                   \
+  void BM_Classify_##name(benchmark::State& state) {   \
+    run_classifier(state, expr);                       \
+  }                                                    \
+  BENCHMARK(BM_Classify_##name);
+
+CLASSIFIER_BENCH(Trivial, problems::trivial(2))
+CLASSIFIER_BENCH(AnyOrientation, problems::any_orientation(2))
+CLASSIFIER_BENCH(ThreeColoring, problems::coloring(3, 2))
+CLASSIFIER_BENCH(FourColoring, problems::coloring(4, 2))
+CLASSIFIER_BENCH(TwoColoring, problems::two_coloring(2))
+CLASSIFIER_BENCH(Mis, problems::mis(2))
+CLASSIFIER_BENCH(MaximalMatching, problems::maximal_matching(2))
+CLASSIFIER_BENCH(SinklessOrientation, problems::sinkless_orientation(2))
+CLASSIFIER_BENCH(WeakTwoColoring, problems::weak_coloring(2, 2))
+CLASSIFIER_BENCH(ThreeEdgeColoring, problems::edge_coloring(3, 2))
+CLASSIFIER_BENCH(PerfectMatching, problems::perfect_matching(2))
+
+#undef CLASSIFIER_BENCH
+
+void run_path_classifier(benchmark::State& state,
+                         const NodeEdgeCheckableLcl& problem) {
+  PathClassification result;
+  for (auto _ : state) {
+    result = classify_on_paths(problem, /*max_speedup_steps=*/2);
+    lcl::bench::keep(result.complexity);
+  }
+  state.counters["class"] =
+      static_cast<double>(static_cast<int>(result.complexity));
+  state.counters["collapse_step"] = result.zero_round_collapse_step;
+  state.counters["all_lengths"] = result.solvable_for_all_lengths ? 1 : 0;
+  state.SetLabel(to_string(result.complexity));
+}
+
+#define PATH_BENCH(name, expr)                            \
+  void BM_ClassifyPath_##name(benchmark::State& state) {  \
+    run_path_classifier(state, expr);                     \
+  }                                                       \
+  BENCHMARK(BM_ClassifyPath_##name);
+
+PATH_BENCH(Trivial, problems::trivial(2))
+PATH_BENCH(AnyOrientation, problems::any_orientation(2))
+PATH_BENCH(ThreeColoring, problems::coloring(3, 2))
+PATH_BENCH(TwoColoring, problems::two_coloring(2))
+PATH_BENCH(Mis, problems::mis(2))
+PATH_BENCH(MaximalMatching, problems::maximal_matching(2))
+PATH_BENCH(PerfectMatching, problems::perfect_matching(2))
+
+#undef PATH_BENCH
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "graph/labeling.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lcl::bench {
+
+/// Read-only optimization barrier. The bundled google-benchmark's
+/// *non-const* `DoNotOptimize(T&)` overload uses a `"+r,m"` inline-asm
+/// constraint that GCC 12 mis-handles for doubles at -O2, clobbering the
+/// value that is read afterwards for counters. Taking the argument by
+/// const reference forces the safe, read-only overload.
+template <typename T>
+inline void keep(const T& value) {
+  benchmark::DoNotOptimize(value);
+}
+
+/// Strict upper bound on the identifiers in `ids`.
+inline std::uint64_t id_range_for(const IdAssignment& ids) {
+  std::uint64_t max_id = 0;
+  for (auto id : ids) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+/// Standard reference scales reported alongside measured counters so the
+/// series can be read against the paper's asymptotic classes.
+inline void report_scales(benchmark::State& state, std::size_t n) {
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["log_star_n"] =
+      static_cast<double>(log_star(static_cast<double>(n)));
+  state.counters["log2_n"] =
+      n >= 1 ? static_cast<double>(floor_log2(n)) : 0.0;
+}
+
+}  // namespace lcl::bench

@@ -1,0 +1,46 @@
+// Experiment FAIL-P: the empirical face of Definition 2.4 and the premise
+// of Theorem 3.4. The theorem consumes "a T(n)-round randomized algorithm
+// with local failure probability p" and bounds the failure growth along the
+// round-elimination sequence. This bench produces the (T, p) trade-off
+// curve for the truncated randomized (Delta+1)-coloring: local failure
+// probability vs round cap, measured over many independent runs. Each
+// halving of p costs O(1) extra rounds (p ~ exp(-Theta(T))), matching the
+// O(log n) whp round bound of the uncapped algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "local/failure.hpp"
+
+namespace lcl {
+namespace {
+
+void BM_LocalFailureVsRoundCap(benchmark::State& state) {
+  const int cap = static_cast<int>(state.range(0));
+  const std::size_t n = 256;
+  SplitRng rng(3);
+  Graph g = make_random_tree(n, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const auto problem = problems::coloring(4, 3);
+  const CappedRandomColoring algo(3, cap);
+
+  LocalFailureEstimate estimate;
+  for (auto _ : state) {
+    estimate = estimate_local_failure(algo, problem, g, input, ids,
+                                      /*trials=*/200, /*seed_base=*/1000);
+    lcl::bench::keep(estimate.local_failure);
+  }
+  bench::report_scales(state, n);
+  state.counters["round_cap"] = cap;
+  state.counters["local_failure_p"] = estimate.local_failure;
+  state.counters["global_failure"] = estimate.global_failure;
+}
+BENCHMARK(BM_LocalFailureVsRoundCap)->DenseRange(0, 14, 2);
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

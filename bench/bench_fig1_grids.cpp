@@ -1,0 +1,126 @@
+// Experiment F1-TR: Figure 1, top right - the landscape on oriented
+// d-dimensional grids (Corollary 1.5): O(1), Theta(log* n), Theta(n^{1/d}).
+//   O(1)           -> orientation echo (0 rounds);
+//   Theta(log* n)  -> per-dimension Cole-Vishkin product coloring in the
+//                     PROD-LOCAL model (rounds flat in n);
+//   Theta(n^{1/d}) -> checkerboard 2-coloring via the global BFS wave
+//                     (rounds ~ d * side).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "grid/algorithms.hpp"
+#include "grid/torus.hpp"
+#include "local/global_algorithms.hpp"
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+namespace {
+
+std::vector<std::size_t> extents_for(int d, std::size_t side) {
+  return std::vector<std::size_t>(static_cast<std::size_t>(d), side);
+}
+
+void BM_GridO1_OrientationEcho(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t side = static_cast<std::size_t>(state.range(1));
+  const OrientedTorus torus(extents_for(d, side));
+  const auto input = torus.orientation_input();
+  IdAssignment ids(torus.node_count());
+  for (NodeId v = 0; v < torus.node_count(); ++v) ids[v] = v + 1;
+  SyncResult result;
+  for (auto _ : state) {
+    result = run_synchronous(OrientationEcho{}, torus.graph(), input, ids, 1);
+    lcl::bench::keep(result.rounds);
+  }
+  if (!is_correct_solution(orientation_copy_problem(d), torus.graph(), input,
+                           result.output)) {
+    state.SkipWithError("invalid echo");
+  }
+  bench::report_scales(state, torus.node_count());
+  state.counters["rounds"] = result.rounds;
+  state.counters["d"] = d;
+}
+BENCHMARK(BM_GridO1_OrientationEcho)
+    ->Args({1, 64})
+    ->Args({1, 1024})
+    ->Args({2, 8})
+    ->Args({2, 32})
+    ->Args({2, 64})
+    ->Args({3, 8})
+    ->Args({3, 16});
+
+void BM_GridLogStar_ProductColoring(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t side = static_cast<std::size_t>(state.range(1));
+  const OrientedTorus torus(extents_for(d, side));
+  SplitRng rng(side * 31 + static_cast<std::size_t>(d));
+  const auto prod = random_prod_ids(torus, rng);
+  const auto aux = prod.all_tuples(torus);
+  const auto ids = combined_ids(torus, prod);
+  const auto input = torus.orientation_input();
+  const GridColoring algo(d, prod_id_range(prod));
+  SyncResult result;
+  for (auto _ : state) {
+    result = run_synchronous(algo, torus.graph(), input, ids, 1, 0,
+                             1'000'000, &aux);
+    lcl::bench::keep(result.rounds);
+  }
+  const auto dummy = uniform_labeling(torus.graph(), 0);
+  if (!is_correct_solution(problems::coloring(algo.colors(), 2 * d),
+                           torus.graph(), dummy, result.output)) {
+    state.SkipWithError("invalid grid coloring");
+  }
+  bench::report_scales(state, torus.node_count());
+  state.counters["rounds"] = result.rounds;
+  state.counters["cv_rounds"] = algo.cole_vishkin_rounds();
+  state.counters["d"] = d;
+}
+BENCHMARK(BM_GridLogStar_ProductColoring)
+    ->Args({1, 64})
+    ->Args({1, 1024})
+    ->Args({1, 16384})
+    ->Args({2, 8})
+    ->Args({2, 32})
+    ->Args({2, 64})
+    ->Args({3, 8})
+    ->Args({3, 16});
+
+void BM_GridGlobal_Checkerboard(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t side = static_cast<std::size_t>(state.range(1));
+  const OrientedTorus torus(extents_for(d, side));
+  IdAssignment ids(torus.node_count());
+  for (NodeId v = 0; v < torus.node_count(); ++v) ids[v] = v + 1;
+  const auto dummy = uniform_labeling(torus.graph(), 0);
+  SyncResult result;
+  for (auto _ : state) {
+    result = run_synchronous(BfsTwoColoring{}, torus.graph(), dummy, ids, 1);
+    lcl::bench::keep(result.rounds);
+  }
+  if (!is_correct_solution(problems::two_coloring(2 * d), torus.graph(),
+                           dummy, result.output)) {
+    state.SkipWithError("invalid checkerboard");
+  }
+  bench::report_scales(state, torus.node_count());
+  state.counters["rounds"] = result.rounds;
+  state.counters["side"] = static_cast<double>(side);
+  state.counters["d"] = d;
+}
+BENCHMARK(BM_GridGlobal_Checkerboard)
+    ->Args({1, 64})
+    ->Args({1, 256})
+    ->Args({1, 1024})
+    ->Args({2, 8})
+    ->Args({2, 16})
+    ->Args({2, 32})
+    ->Args({2, 64})
+    ->Args({3, 8})
+    ->Args({3, 12});
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// Experiment F1-TL: Figure 1, top left - the complexity landscape of LCLs
+// on trees. One series per (non-empty) complexity class, reporting measured
+// locality (rounds) against n, plus reference scales:
+//   O(1)              -> orientation by ID comparison (radius 1);
+//   Theta(log* n)     -> Linial (Delta+1)-coloring (measured rounds flat in
+//                        n up to the log* schedule);
+//   Theta(log n) det  -> sinkless orientation via the boundary-distance
+//                        wave, measured on complete Delta-regular trees;
+//   Theta(n^{1/k}), k=1 -> proper 2-coloring via the global BFS wave.
+// The ω(1)-o(log* n) *gap* itself (Theorem 1.1) is exercised by
+// bench_gap_collapse.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "local/global_algorithms.hpp"
+#include "local/linial.hpp"
+#include "local/order_invariant.hpp"
+#include "local/rand_coloring.hpp"
+#include "local/rooted_tree.hpp"
+#include "local/sinkless.hpp"
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+namespace {
+
+void BM_ClassO1_OrientByIds(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SplitRng rng(n);
+  Graph g = make_random_tree(n, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const OrientByIdOrder algo;
+  HalfEdgeLabeling output;
+  for (auto _ : state) {
+    output = run_ball_algorithm(algo, g, input, ids);
+    lcl::bench::keep(output);
+  }
+  if (!is_correct_solution(problems::any_orientation(3), g, input, output)) {
+    state.SkipWithError("invalid orientation");
+  }
+  bench::report_scales(state, n);
+  state.counters["rounds"] = algo.radius(n);
+}
+BENCHMARK(BM_ClassO1_OrientByIds)->RangeMultiplier(4)->Range(64, 1 << 14);
+
+void BM_ClassLogStar_LinialColoring(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SplitRng rng(n + 1);
+  Graph g = make_random_tree(n, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const LinialColoring algo(3, bench::id_range_for(ids));
+  SyncResult result;
+  for (auto _ : state) {
+    result = run_synchronous(algo, g, input, ids, 1);
+    lcl::bench::keep(result.rounds);
+  }
+  if (!is_correct_solution(problems::coloring(4, 3), g, input,
+                           result.output)) {
+    state.SkipWithError("invalid coloring");
+  }
+  bench::report_scales(state, n);
+  state.counters["rounds"] = result.rounds;
+  state.counters["log_star_stage_rounds"] = algo.schedule_rounds();
+}
+BENCHMARK(BM_ClassLogStar_LinialColoring)
+    ->RangeMultiplier(4)
+    ->Range(64, 1 << 14);
+
+void BM_ClassLogStar_RootedThreeColoring(benchmark::State& state) {
+  // With a root orientation, 3 colors suffice for ANY degree bound, still
+  // in Theta(log* n) rounds - the rooted-tree setting of [BBOSST21]
+  // discussed in Section 1.1.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SplitRng rng(n + 5);
+  Graph g = make_random_tree(n, 6, rng);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const auto input = root_tree_input(g, 0);
+  const RootedTreeColoring algo(bench::id_range_for(ids));
+  SyncResult result;
+  for (auto _ : state) {
+    result = run_synchronous(algo, g, input, ids, 1);
+    lcl::bench::keep(result.rounds);
+  }
+  const auto dummy = uniform_labeling(g, 0);
+  if (!is_correct_solution(problems::coloring(3, 6), g, dummy,
+                           result.output)) {
+    state.SkipWithError("invalid rooted coloring");
+  }
+  bench::report_scales(state, n);
+  state.counters["rounds"] = result.rounds;
+}
+BENCHMARK(BM_ClassLogStar_RootedThreeColoring)
+    ->RangeMultiplier(4)
+    ->Range(64, 1 << 14);
+
+void BM_ClassLogDet_SinklessOrientation(benchmark::State& state) {
+  // Complete Delta-regular trees: the wave's travel distance ~ depth ~
+  // log n, showing the Theta(log n) deterministic class.
+  const int depth = static_cast<int>(state.range(0));
+  Graph g = make_regular_tree(3, depth);
+  SplitRng rng(depth);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const SinklessOrientationTree algo(3);
+  SyncResult result;
+  for (auto _ : state) {
+    result = run_synchronous(algo, g, input, ids, 1);
+    lcl::bench::keep(result.rounds);
+  }
+  if (!is_correct_solution(problems::sinkless_orientation(3), g, input,
+                           result.output)) {
+    state.SkipWithError("sink found");
+  }
+  bench::report_scales(state, g.node_count());
+  state.counters["rounds"] = result.rounds;
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_ClassLogDet_SinklessOrientation)->DenseRange(3, 13, 2);
+
+void BM_ClassGlobal_TwoColoring(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = make_path(n);
+  SplitRng rng(n + 2);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = shuffled_sequential_ids(g, rng);
+  const BfsTwoColoring algo;
+  SyncResult result;
+  for (auto _ : state) {
+    result = run_synchronous(algo, g, input, ids, 1);
+    lcl::bench::keep(result.rounds);
+  }
+  if (!is_correct_solution(problems::two_coloring(2), g, input,
+                           result.output)) {
+    state.SkipWithError("invalid 2-coloring");
+  }
+  bench::report_scales(state, n);
+  state.counters["rounds"] = result.rounds;
+}
+BENCHMARK(BM_ClassGlobal_TwoColoring)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_Randomized_GreedyColoring(benchmark::State& state) {
+  // Randomized (Delta+1)-coloring: O(log n) rounds whp - the kind of
+  // randomized algorithm the Theorem 3.4 pipeline consumes.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SplitRng rng(n + 3);
+  Graph g = make_random_tree(n, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const RandomGreedyColoring algo(3);
+  SyncResult result;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    result = run_synchronous(algo, g, input, ids, seed++);
+    lcl::bench::keep(result.rounds);
+  }
+  if (!is_correct_solution(problems::coloring(4, 3), g, input,
+                           result.output)) {
+    state.SkipWithError("invalid coloring");
+  }
+  bench::report_scales(state, n);
+  state.counters["rounds"] = result.rounds;
+}
+BENCHMARK(BM_Randomized_GreedyColoring)->RangeMultiplier(4)->Range(64, 1 << 14);
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Experiment F1-BR: Figure 1, bottom right - the VOLUME model landscape:
+// O(1), Theta(log* n), Theta(n^{1/k}) (k=1 shown), Theta(n); and the
+// Theorem 1.3 gap (nothing between omega(1) and o(log* n)), demonstrated
+// by the Theorem 2.11 freezing pipeline in bench_volume_orderinv.
+// Measured quantity: max probes over all queries.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "local/cole_vishkin.hpp"
+#include "volume/algorithms.hpp"
+
+namespace lcl {
+namespace {
+
+void BM_VolumeO1_Constant(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = make_cycle(n);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = sequential_ids(g);
+  VolumeRunResult result;
+  for (auto _ : state) {
+    result = run_volume_algorithm(VolumeConstant{}, g, input, ids);
+    lcl::bench::keep(result.max_probes);
+  }
+  if (!is_correct_solution(problems::trivial(2), g, input, result.output)) {
+    state.SkipWithError("invalid output");
+  }
+  bench::report_scales(state, n);
+  state.counters["probes"] = static_cast<double>(result.max_probes);
+}
+BENCHMARK(BM_VolumeO1_Constant)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_VolumeO1_Orientation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SplitRng rng(n);
+  Graph g = make_random_tree(n, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  VolumeRunResult result;
+  for (auto _ : state) {
+    result = run_volume_algorithm(VolumeOrientByIds{}, g, input, ids);
+    lcl::bench::keep(result.max_probes);
+  }
+  if (!is_correct_solution(problems::any_orientation(3), g, input,
+                           result.output)) {
+    state.SkipWithError("invalid orientation");
+  }
+  bench::report_scales(state, n);
+  state.counters["probes"] = static_cast<double>(result.max_probes);
+}
+BENCHMARK(BM_VolumeO1_Orientation)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_VolumeLogStar_ColeVishkin(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = make_cycle(n);
+  SplitRng rng(n + 1);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const auto input = chain_orientation_input(g, true);
+  const VolumeColeVishkin algo(bench::id_range_for(ids));
+  VolumeRunResult result;
+  for (auto _ : state) {
+    result = run_volume_algorithm(algo, g, input, ids);
+    lcl::bench::keep(result.max_probes);
+  }
+  const auto dummy = uniform_labeling(g, 0);
+  if (!is_correct_solution(problems::coloring(3, 2), g, dummy,
+                           result.output)) {
+    state.SkipWithError("invalid coloring");
+  }
+  bench::report_scales(state, n);
+  state.counters["probes"] = static_cast<double>(result.max_probes);
+}
+BENCHMARK(BM_VolumeLogStar_ColeVishkin)
+    ->RangeMultiplier(8)
+    ->Range(64, 1 << 15);
+
+void BM_VolumeGlobal_TwoColoring(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = make_path(n);
+  SplitRng rng(n + 2);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const auto input = chain_orientation_input(g, false);
+  VolumeRunResult result;
+  for (auto _ : state) {
+    result = run_volume_algorithm(VolumeTwoColoring{}, g, input, ids);
+    lcl::bench::keep(result.max_probes);
+  }
+  const auto dummy = uniform_labeling(g, 0);
+  if (!is_correct_solution(problems::two_coloring(2), g, dummy,
+                           result.output)) {
+    state.SkipWithError("invalid 2-coloring");
+  }
+  bench::report_scales(state, n);
+  state.counters["probes"] = static_cast<double>(result.max_probes);
+}
+BENCHMARK(BM_VolumeGlobal_TwoColoring)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

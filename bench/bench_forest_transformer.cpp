@@ -1,0 +1,67 @@
+// Experiment L33: Lemma 3.3 - turning a tree algorithm into a forest
+// algorithm costs only a constant-factor radius increase (2T(n^2)+3 here)
+// plus the canonical solving of tiny components. The bench compares the
+// direct tree execution against the transformed forest execution and
+// reports radii and wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "local/forest_transform.hpp"
+#include "local/order_invariant.hpp"
+
+namespace lcl {
+namespace {
+
+void BM_DirectTreeAlgorithm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SplitRng rng(n);
+  Graph tree = make_random_tree(n, 3, rng);
+  const auto input = uniform_labeling(tree, 0);
+  const auto ids = random_distinct_ids(tree, 3, rng);
+  const OrientByIdOrder algo;
+  HalfEdgeLabeling output;
+  for (auto _ : state) {
+    output = run_ball_algorithm(algo, tree, input, ids);
+    lcl::bench::keep(output);
+  }
+  if (!is_correct_solution(problems::any_orientation(3), tree, input,
+                           output)) {
+    state.SkipWithError("invalid orientation");
+  }
+  bench::report_scales(state, n);
+  state.counters["radius"] = algo.radius(n);
+}
+BENCHMARK(BM_DirectTreeAlgorithm)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_TransformedForestAlgorithm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SplitRng rng(n + 1);
+  Graph forest =
+      make_random_forest(n, std::max<std::size_t>(2, n / 24), 3, rng);
+  const auto input = uniform_labeling(forest, 0);
+  const auto ids = random_distinct_ids(forest, 3, rng);
+  const OrientByIdOrder tree_algo;
+  const auto problem = problems::any_orientation(3);
+  const ForestTransformedAlgorithm algo(tree_algo, problem);
+  HalfEdgeLabeling output;
+  for (auto _ : state) {
+    output = run_ball_algorithm(algo, forest, input, ids);
+    lcl::bench::keep(output);
+  }
+  if (!is_correct_solution(problem, forest, input, output)) {
+    state.SkipWithError("invalid forest orientation");
+  }
+  bench::report_scales(state, n);
+  state.counters["radius"] = algo.radius(n);
+  state.counters["tree_radius"] = tree_algo.radius(n * n);
+}
+BENCHMARK(BM_TransformedForestAlgorithm)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Experiment GAP-RE: the Theorem 3.10/3.11 machinery. For each problem,
+// drive the round-elimination sequence pi, f(pi), f^2(pi), ... with
+// f = Rbar o R and test 0-round solvability at every step:
+//   - O(1)-class problems collapse (zero_round_step >= 0), and the
+//     synthesized constant-round algorithm is executed and verified;
+//   - Theta(log* n)-class problems never collapse (the gap theorem says
+//     collapse <=> O(1)); the per-step label counts grow;
+//   - sinkless orientation reaches a round-elimination *fixed point*, the
+//     classic Omega(log n) hardness certificate.
+// Counters: zero_round_step (-1 = none), steps applied, labels of the last
+// derived problem, fixed_point / budget_exhausted flags.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "re/engine.hpp"
+
+namespace lcl {
+namespace {
+
+void run_gap(benchmark::State& state, const NodeEdgeCheckableLcl& problem,
+             int max_steps) {
+  SpeedupEngine::Outcome outcome;
+  for (auto _ : state) {
+    SpeedupEngine engine(problem);
+    SpeedupEngine::Options options;
+    options.max_steps = max_steps;
+    options.limits.max_labels = 1u << 14;
+    options.limits.max_configs = 4'000'000;
+    outcome = engine.run(options);
+    lcl::bench::keep(outcome.zero_round_step);
+
+    if (outcome.zero_round_step >= 0) {
+      // Verify the synthesized constant-round algorithm on a forest.
+      const auto algorithm = engine.synthesize();
+      SplitRng rng(7);
+      Graph forest = make_random_forest(40, 4, problem.max_degree(), rng);
+      const auto input = uniform_labeling(forest, 0);
+      const auto ids = random_distinct_ids(forest, 3, rng);
+      const auto output = run_ball_algorithm(*algorithm, forest, input, ids);
+      if (!is_correct_solution(problem, forest, input, output)) {
+        state.SkipWithError("synthesized algorithm produced a bad solution");
+        return;
+      }
+    }
+  }
+  state.counters["zero_round_step"] = outcome.zero_round_step;
+  state.counters["steps_applied"] =
+      static_cast<double>(outcome.steps.size());
+  state.counters["fixed_point"] = outcome.fixed_point ? 1 : 0;
+  state.counters["budget_exhausted"] = outcome.budget_exhausted ? 1 : 0;
+  if (!outcome.steps.empty()) {
+    state.counters["last_labels"] =
+        static_cast<double>(outcome.steps.back().labels_next);
+  }
+}
+
+void BM_Gap_Trivial(benchmark::State& state) {
+  run_gap(state, problems::trivial(3), 3);
+}
+BENCHMARK(BM_Gap_Trivial);
+
+void BM_Gap_AnyOrientation_D2(benchmark::State& state) {
+  run_gap(state, problems::any_orientation(2), 3);
+}
+BENCHMARK(BM_Gap_AnyOrientation_D2);
+
+void BM_Gap_AnyOrientation_D3(benchmark::State& state) {
+  run_gap(state, problems::any_orientation(3), 3);
+}
+BENCHMARK(BM_Gap_AnyOrientation_D3);
+
+void BM_Gap_ThreeColoring(benchmark::State& state) {
+  run_gap(state, problems::coloring(3, 2), 3);
+}
+BENCHMARK(BM_Gap_ThreeColoring);
+
+void BM_Gap_TwoColoring(benchmark::State& state) {
+  run_gap(state, problems::two_coloring(2), 3);
+}
+BENCHMARK(BM_Gap_TwoColoring);
+
+void BM_Gap_SinklessOrientation(benchmark::State& state) {
+  run_gap(state, problems::sinkless_orientation(3), 6);
+}
+BENCHMARK(BM_Gap_SinklessOrientation);
+
+void BM_Gap_Mis(benchmark::State& state) {
+  run_gap(state, problems::mis(2), 2);
+}
+BENCHMARK(BM_Gap_Mis);
+
+void BM_Gap_WeakColoring(benchmark::State& state) {
+  run_gap(state, problems::weak_coloring(2, 3), 2);
+}
+BENCHMARK(BM_Gap_WeakColoring);
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

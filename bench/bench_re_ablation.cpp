@@ -1,0 +1,75 @@
+// Experiment RE-ABL: ablation of the design choice called out after
+// Definition 3.1 - the paper's operators do NOT remove non-maximal
+// configurations; our `reduce()` (trim + merge + dominated-label drop) is
+// the sound practical counterpart. This bench applies one f = Rbar o R step
+// with and without reduction and reports the label/configuration growth and
+// the wall time, quantifying how quickly the faithful sequence becomes
+// intractable (the doubly-exponential blow-up behind Theorem 3.4's S).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/problems.hpp"
+#include "re/operators.hpp"
+#include "re/reduce.hpp"
+
+namespace lcl {
+namespace {
+
+void run_ablation(benchmark::State& state,
+                  const NodeEdgeCheckableLcl& problem, bool with_reduce) {
+  ReLimits limits;
+  limits.max_labels = 1u << 14;
+  limits.max_configs = 8'000'000;
+  std::size_t labels_psi = 0, labels_next = 0, configs_next = 0;
+  bool blowup = false;
+  for (auto _ : state) {
+    try {
+      ReStep psi = apply_r(problem, limits);
+      if (with_reduce) {
+        auto red = reduce(psi.problem);
+        psi.problem = std::move(red.problem);
+      }
+      ReStep next = apply_rbar(psi.problem, limits);
+      if (with_reduce) {
+        auto red = reduce(next.problem);
+        next.problem = std::move(red.problem);
+      }
+      labels_psi = psi.problem.output_alphabet().size();
+      labels_next = next.problem.output_alphabet().size();
+      configs_next = next.problem.total_node_configs() +
+                     next.problem.edge_configs().size();
+      lcl::bench::keep(labels_next);
+    } catch (const ReBlowupError&) {
+      blowup = true;
+    }
+  }
+  state.counters["labels_psi"] = static_cast<double>(labels_psi);
+  state.counters["labels_next"] = static_cast<double>(labels_next);
+  state.counters["configs_next"] = static_cast<double>(configs_next);
+  state.counters["blowup"] = blowup ? 1 : 0;
+  state.counters["reduce"] = with_reduce ? 1 : 0;
+}
+
+#define ABLATION_BENCH(name, expr)                              \
+  void BM_Ablation_##name##_Reduced(benchmark::State& state) {  \
+    run_ablation(state, expr, true);                            \
+  }                                                             \
+  BENCHMARK(BM_Ablation_##name##_Reduced);                      \
+  void BM_Ablation_##name##_Faithful(benchmark::State& state) { \
+    run_ablation(state, expr, false);                           \
+  }                                                             \
+  BENCHMARK(BM_Ablation_##name##_Faithful);
+
+ABLATION_BENCH(TwoColoring, problems::two_coloring(2))
+ABLATION_BENCH(ThreeColoring, problems::coloring(3, 2))
+ABLATION_BENCH(AnyOrientation, problems::any_orientation(2))
+ABLATION_BENCH(SinklessOrientation, problems::sinkless_orientation(3))
+ABLATION_BENCH(Mis, problems::mis(2))
+
+#undef ABLATION_BENCH
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Experiment SYNTH: the constructive content of Theorem 3.10 - synthesize a
+// constant-round algorithm for an O(1)-class problem (iterate f, find the
+// A_det 0-round witness, lift via Lemma 3.9) and execute it on forests of
+// growing size. The measured radius is constant in n; wall time per node is
+// the per-query cost of the Lemma 3.9 simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "re/engine.hpp"
+
+namespace lcl {
+namespace {
+
+void BM_SynthesizeOrientation(benchmark::State& state) {
+  const auto problem = problems::any_orientation(2);
+  int k = -1;
+  for (auto _ : state) {
+    SpeedupEngine engine(problem);
+    SpeedupEngine::Options options;
+    options.max_steps = 3;
+    const auto outcome = engine.run(options);
+    k = outcome.zero_round_step;
+    lcl::bench::keep(k);
+  }
+  state.counters["zero_round_step"] = k;
+}
+BENCHMARK(BM_SynthesizeOrientation);
+
+void BM_RunSynthesizedOnForest(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto problem = problems::any_orientation(2);
+  SpeedupEngine engine(problem);
+  SpeedupEngine::Options options;
+  options.max_steps = 3;
+  const auto outcome = engine.run(options);
+  if (outcome.zero_round_step < 0) {
+    state.SkipWithError("no collapse");
+    return;
+  }
+  const auto algorithm = engine.synthesize();
+
+  SplitRng rng(n);
+  Graph forest = make_random_forest(n, std::max<std::size_t>(1, n / 16), 2,
+                                    rng);
+  const auto input = uniform_labeling(forest, 0);
+  const auto ids = random_distinct_ids(forest, 3, rng);
+  HalfEdgeLabeling output;
+  for (auto _ : state) {
+    output = run_ball_algorithm(*algorithm, forest, input, ids);
+    lcl::bench::keep(output);
+  }
+  if (!is_correct_solution(problem, forest, input, output)) {
+    state.SkipWithError("invalid synthesized solution");
+  }
+  bench::report_scales(state, n);
+  state.counters["radius"] = algorithm->radius(n);
+}
+BENCHMARK(BM_RunSynthesizedOnForest)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

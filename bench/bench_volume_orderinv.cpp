@@ -1,0 +1,77 @@
+// Experiment VOL-OI: the Theorem 4.1/4.3 machinery. Sub-log* VOLUME
+// algorithms can be made order-invariant, and order-invariant o(n)-probe
+// algorithms freeze to O(1) probes (Theorem 2.11). The bench reports:
+//   - order-invariance verdicts: VolumeOrientByIds passes the Definition
+//     2.10 property test, VolumeColeVishkin (which reads identifier bits)
+//     fails it;
+//   - the freezing pipeline: the wasteful order-invariant orienter's probe
+//     count grows with n, its frozen wrapper's probe count does not, and
+//     both outputs stay correct.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "local/cole_vishkin.hpp"
+#include "volume/algorithms.hpp"
+#include "volume/order_invariance.hpp"
+
+namespace lcl {
+namespace {
+
+void BM_OrderInvarianceVerdicts(benchmark::State& state) {
+  SplitRng rng(5);
+  Graph tree = make_random_tree(48, 3, rng);
+  const auto tree_input = uniform_labeling(tree, 0);
+  const auto tree_ids = random_distinct_ids(tree, 3, rng);
+
+  Graph cycle = make_cycle(48);
+  const auto cycle_ids = random_distinct_ids(cycle, 2, rng);
+  const auto cycle_input = chain_orientation_input(cycle, true);
+  const VolumeColeVishkin cv(std::uint64_t{1} << 62);
+
+  bool orient_oi = false, cv_oi = true;
+  for (auto _ : state) {
+    orient_oi = check_volume_order_invariance(VolumeOrientByIds{}, tree,
+                                              tree_input, tree_ids, 8, rng);
+    cv_oi = check_volume_order_invariance(cv, cycle, cycle_input, cycle_ids,
+                                          20, rng);
+    lcl::bench::keep(orient_oi);
+  }
+  state.counters["orient_is_order_invariant"] = orient_oi ? 1 : 0;
+  state.counters["cole_vishkin_is_order_invariant"] = cv_oi ? 1 : 0;
+}
+BENCHMARK(BM_OrderInvarianceVerdicts);
+
+void BM_FreezingPipeline(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SplitRng rng(n);
+  Graph g = make_random_tree(n, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+
+  const WastefulVolumeOrient wasteful;
+  const FrozenVolumeAlgorithm frozen(wasteful, /*n0=*/64);
+  VolumeRunResult raw, cold;
+  for (auto _ : state) {
+    raw = run_volume_algorithm(wasteful, g, input, ids);
+    cold = run_volume_algorithm(frozen, g, input, ids);
+    lcl::bench::keep(cold.max_probes);
+  }
+  const auto problem = problems::any_orientation(3);
+  if (!is_correct_solution(problem, g, input, raw.output) ||
+      !is_correct_solution(problem, g, input, cold.output)) {
+    state.SkipWithError("freezing changed correctness");
+  }
+  bench::report_scales(state, n);
+  state.counters["probes_unfrozen"] = static_cast<double>(raw.max_probes);
+  state.counters["probes_frozen"] = static_cast<double>(cold.max_probes);
+}
+BENCHMARK(BM_FreezingPipeline)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+}  // namespace
+}  // namespace lcl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// The VOLUME model (Section 4 / Definitions 2.8-2.10): adaptive probes,
+// probe complexity, order invariance, and the Theorem 2.11 freezing that
+// powers the omega(1)-o(log* n) VOLUME gap (Theorem 1.3).
+//
+//   build/examples/volume_probes
+
+#include <iostream>
+
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "local/cole_vishkin.hpp"
+#include "volume/algorithms.hpp"
+#include "volume/order_invariance.hpp"
+
+int main() {
+  using namespace lcl;
+  SplitRng rng(11);
+
+  const std::size_t n = 512;
+  Graph cycle = make_cycle(n);
+  const auto ids = random_distinct_ids(cycle, 3, rng);
+  const auto orientation = chain_orientation_input(cycle, true);
+  const auto dummy = uniform_labeling(cycle, 0);
+  std::uint64_t id_range = 0;
+  for (auto id : ids) id_range = std::max(id_range, id + 1);
+
+  std::cout << "VOLUME model on a " << n << "-cycle\n\n";
+
+  {
+    const auto r = run_volume_algorithm(VolumeConstant{}, cycle, dummy, ids);
+    std::cout << "constant labeling:      max probes = " << r.max_probes
+              << "  (class O(1))\n";
+  }
+  {
+    const auto r =
+        run_volume_algorithm(VolumeOrientByIds{}, cycle, dummy, ids);
+    const bool ok = is_correct_solution(problems::any_orientation(2), cycle,
+                                        dummy, r.output);
+    std::cout << "orientation by ids:     max probes = " << r.max_probes
+              << "  (class O(1), " << (ok ? "correct" : "WRONG") << ")\n";
+  }
+  {
+    const VolumeColeVishkin cv(id_range);
+    const auto r = run_volume_algorithm(cv, cycle, orientation, ids);
+    const bool ok = is_correct_solution(problems::coloring(3, 2), cycle,
+                                        dummy, r.output);
+    std::cout << "Cole-Vishkin 3-coloring: max probes = " << r.max_probes
+              << "  (class Theta(log* n), " << (ok ? "correct" : "WRONG")
+              << ")\n";
+  }
+  {
+    Graph path = make_path(n);
+    const auto path_ids = random_distinct_ids(path, 3, rng);
+    const auto path_orientation = chain_orientation_input(path, false);
+    const auto r = run_volume_algorithm(VolumeTwoColoring{}, path,
+                                        path_orientation, path_ids);
+    std::cout << "2-coloring (path):      max probes = " << r.max_probes
+              << "  (class Theta(n))\n";
+  }
+
+  std::cout << "\nOrder invariance (Definition 2.10):\n";
+  {
+    Graph tree = make_random_tree(64, 3, rng);
+    const auto tree_ids = random_distinct_ids(tree, 3, rng);
+    const auto tree_input = uniform_labeling(tree, 0);
+    const bool oi = check_volume_order_invariance(
+        VolumeOrientByIds{}, tree, tree_input, tree_ids, 10, rng);
+    std::cout << "  orientation by ids:  "
+              << (oi ? "order-invariant" : "NOT order-invariant") << '\n';
+    const VolumeColeVishkin cv(std::uint64_t{1} << 62);
+    const bool cv_oi = check_volume_order_invariance(cv, cycle, orientation,
+                                                     ids, 20, rng);
+    std::cout << "  Cole-Vishkin:        "
+              << (cv_oi ? "order-invariant" : "NOT order-invariant (it reads "
+                                              "identifier bits)")
+              << '\n';
+  }
+
+  std::cout << "\nTheorem 2.11 freezing (the engine of the VOLUME gap):\n";
+  {
+    Graph tree = make_random_tree(20000, 3, rng);
+    const auto tree_ids = random_distinct_ids(tree, 3, rng);
+    const auto tree_input = uniform_labeling(tree, 0);
+    const WastefulVolumeOrient wasteful;
+    const FrozenVolumeAlgorithm frozen(wasteful, /*n0=*/64);
+    const auto raw =
+        run_volume_algorithm(wasteful, tree, tree_input, tree_ids);
+    const auto cold = run_volume_algorithm(frozen, tree, tree_input,
+                                           tree_ids);
+    std::cout << "  wasteful (o(log* n)-ish budget): max probes = "
+              << raw.max_probes << '\n';
+    std::cout << "  frozen at n0 = 64:               max probes = "
+              << cold.max_probes << "  (constant for every n)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "classify/automaton.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/math.hpp"
+
+namespace lcl {
+
+std::vector<int> strongly_connected_components(
+    const std::vector<std::vector<Label>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<std::vector<Label>> rev(n);
+  for (Label u = 0; u < n; ++u) {
+    for (const Label v : adjacency[u]) rev[v].push_back(u);
+  }
+  std::vector<char> seen(n, 0);
+  std::vector<Label> order;
+  order.reserve(n);
+  for (Label s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    std::vector<std::pair<Label, std::size_t>> stack{{s, 0}};
+    seen[s] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adjacency[u].size()) {
+        const Label v = adjacency[u][next++];
+        if (!seen[v]) {
+          seen[v] = 1;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        order.push_back(u);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<int> component(n, -1);
+  int components = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (component[*it] != -1) continue;
+    std::queue<Label> frontier;
+    frontier.push(*it);
+    component[*it] = components;
+    while (!frontier.empty()) {
+      const Label u = frontier.front();
+      frontier.pop();
+      for (const Label v : rev[u]) {
+        if (component[v] == -1) {
+          component[v] = components;
+          frontier.push(v);
+        }
+      }
+    }
+    ++components;
+  }
+  return component;
+}
+
+std::uint64_t scc_cycle_gcd(const std::vector<std::vector<Label>>& adjacency,
+                            const std::vector<int>& component, int target) {
+  Label root = static_cast<Label>(-1);
+  for (Label v = 0; v < adjacency.size(); ++v) {
+    if (component[v] == target) {
+      root = v;
+      break;
+    }
+  }
+  if (root == static_cast<Label>(-1)) return 0;
+  std::vector<std::int64_t> layer(adjacency.size(), -1);
+  std::queue<Label> frontier;
+  layer[root] = 0;
+  frontier.push(root);
+  std::uint64_t g = 0;
+  bool any_edge = false;
+  while (!frontier.empty()) {
+    const Label u = frontier.front();
+    frontier.pop();
+    for (const Label v : adjacency[u]) {
+      if (component[v] != target) continue;
+      any_edge = true;
+      if (layer[v] == -1) {
+        layer[v] = layer[u] + 1;
+        frontier.push(v);
+      } else {
+        const std::int64_t diff = layer[u] + 1 - layer[v];
+        g = gcd_u64(g, static_cast<std::uint64_t>(diff < 0 ? -diff : diff));
+      }
+    }
+  }
+  return any_edge ? g : 0;
+}
+
+std::vector<char> reachable(const std::vector<std::vector<Label>>& adjacency,
+                            const std::vector<char>& sources) {
+  std::vector<char> seen = sources;
+  std::queue<Label> frontier;
+  for (Label v = 0; v < adjacency.size(); ++v) {
+    if (seen[v]) frontier.push(v);
+  }
+  while (!frontier.empty()) {
+    const Label u = frontier.front();
+    frontier.pop();
+    for (const Label v : adjacency[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<char> co_reachable(const std::vector<std::vector<Label>>& adjacency,
+                               const std::vector<char>& targets) {
+  std::vector<std::vector<Label>> rev(adjacency.size());
+  for (Label u = 0; u < adjacency.size(); ++u) {
+    for (const Label v : adjacency[u]) rev[v].push_back(u);
+  }
+  return reachable(rev, targets);
+}
+
+}  // namespace lcl

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lcl {
+
+/// Internal digraph utilities shared by the cycle and path classifiers.
+/// The "walk automaton" of an LCL on chains has one state per output label;
+/// these helpers analyze its strongly connected structure.
+
+/// Strongly connected components (Kosaraju); returns the component index of
+/// every state (components numbered in reverse topological order).
+std::vector<int> strongly_connected_components(
+    const std::vector<std::vector<Label>>& adjacency);
+
+/// Gcd of the cycle lengths within the SCC `target`, or 0 if that SCC
+/// contains no edge (a singleton without a self-loop). Gcd 1 means the SCC
+/// is *flexible*: it contains closed walks of every sufficiently large
+/// length - the automaton-side characterization of Theta(log* n)
+/// solvability on chains.
+std::uint64_t scc_cycle_gcd(const std::vector<std::vector<Label>>& adjacency,
+                            const std::vector<int>& component, int target);
+
+/// States from which some state in `targets` is reachable (including the
+/// targets themselves).
+std::vector<char> co_reachable(const std::vector<std::vector<Label>>& adjacency,
+                               const std::vector<char>& targets);
+
+/// States reachable from some state in `sources` (including the sources).
+std::vector<char> reachable(const std::vector<std::vector<Label>>& adjacency,
+                            const std::vector<char>& sources);
+
+}  // namespace lcl

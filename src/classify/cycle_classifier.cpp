@@ -1,0 +1,156 @@
+#include "classify/cycle_classifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "classify/automaton.hpp"
+#include "core/configuration.hpp"
+#include "re/engine.hpp"
+
+namespace lcl {
+
+std::string to_string(CycleComplexity c) {
+  switch (c) {
+    case CycleComplexity::kUnsolvable:
+      return "unsolvable";
+    case CycleComplexity::kGlobal:
+      return "Theta(n)";
+    case CycleComplexity::kLogStar:
+      return "Theta(log* n)";
+    case CycleComplexity::kConstant:
+      return "O(1)";
+  }
+  return "?";
+}
+
+namespace {
+
+void validate(const NodeEdgeCheckableLcl& problem) {
+  if (problem.input_alphabet().size() != 1) {
+    throw std::invalid_argument(
+        "cycle classifier: only LCLs without inputs are supported (the "
+        "inputful question is PSPACE-hard, Section 1.4)");
+  }
+  if (problem.max_degree() < 2) {
+    throw std::invalid_argument("cycle classifier: max degree must be >= 2");
+  }
+}
+
+/// The walk automaton: adjacency[y] = all y' with a transition y -> y'.
+std::vector<std::vector<Label>> walk_automaton(
+    const NodeEdgeCheckableLcl& problem) {
+  const std::size_t k = problem.output_alphabet().size();
+  std::vector<std::vector<Label>> adjacency(k);
+  for (Label y = 0; y < k; ++y) {
+    for (Label y2 = 0; y2 < k; ++y2) {
+      bool ok = false;
+      for (Label x = 0; x < k && !ok; ++x) {
+        if (problem.edge_allows(y, x) &&
+            problem.node_allows(Configuration({x, y2}))) {
+          ok = true;
+        }
+      }
+      if (ok) adjacency[y].push_back(y2);
+    }
+  }
+  return adjacency;
+}
+
+}  // namespace
+
+CycleClassification classify_on_cycles(const NodeEdgeCheckableLcl& problem,
+                                       int max_speedup_steps) {
+  validate(problem);
+  CycleClassification result;
+
+  const auto adj = walk_automaton(problem);
+  const auto component = strongly_connected_components(adj);
+  int components = 0;
+  for (const int c : component) components = std::max(components, c + 1);
+  for (int c = 0; c < components; ++c) {
+    const std::uint64_t g = scc_cycle_gcd(adj, component, c);
+    if (g != 0) result.scc_gcds.push_back(g);
+  }
+  std::sort(result.scc_gcds.begin(), result.scc_gcds.end());
+
+  if (result.scc_gcds.empty()) {
+    result.complexity = CycleComplexity::kUnsolvable;
+    return result;
+  }
+  const bool flexible =
+      std::find(result.scc_gcds.begin(), result.scc_gcds.end(), 1u) !=
+      result.scc_gcds.end();
+  if (!flexible) {
+    result.complexity = CycleComplexity::kGlobal;
+    return result;
+  }
+
+  // Flexible: O(1) or Theta(log* n). The round-elimination engine
+  // semidecides O(1) (Theorem 3.10 machinery restricted to degree 2).
+  SpeedupEngine engine(problem);
+  SpeedupEngine::Options options;
+  options.max_steps = max_speedup_steps;
+  options.degrees = {2};
+  const auto outcome = engine.run(options);
+  if (outcome.zero_round_step >= 0) {
+    result.complexity = CycleComplexity::kConstant;
+    result.zero_round_collapse_step = outcome.zero_round_step;
+  } else {
+    result.complexity = CycleComplexity::kLogStar;
+  }
+  return result;
+}
+
+bool solvable_on_cycle_length(const NodeEdgeCheckableLcl& problem,
+                              std::uint64_t n) {
+  validate(problem);
+  if (n < 3) {
+    throw std::invalid_argument("solvable_on_cycle_length: n >= 3");
+  }
+  const auto adj = walk_automaton(problem);
+  const std::size_t k = adj.size();
+  if (k > 64 * 64) {
+    throw std::invalid_argument(
+        "solvable_on_cycle_length: alphabet too large for the dense matrix "
+        "power");
+  }
+  // Boolean matrix power A^n via binary exponentiation; rows as bitsets.
+  using Row = std::vector<std::uint64_t>;
+  const std::size_t words = (k + 63) / 64;
+  const auto make = [&]() {
+    return std::vector<Row>(k, Row(words, 0));
+  };
+  auto base = make();
+  for (Label u = 0; u < k; ++u) {
+    for (const Label v : adj[u]) base[u][v / 64] |= std::uint64_t{1} << (v % 64);
+  }
+  const auto multiply = [&](const std::vector<Row>& a,
+                            const std::vector<Row>& b) {
+    auto out = make();
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if ((a[i][j / 64] >> (j % 64)) & 1) {
+          for (std::size_t w = 0; w < words; ++w) out[i][w] |= b[j][w];
+        }
+      }
+    }
+    return out;
+  };
+  auto result = make();
+  for (std::size_t i = 0; i < k; ++i) {
+    result[i][i / 64] |= std::uint64_t{1} << (i % 64);  // identity
+  }
+  auto power = base;
+  std::uint64_t e = n;
+  while (e > 0) {
+    if (e & 1) result = multiply(result, power);
+    power = multiply(power, power);
+    e >>= 1;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if ((result[i][i / 64] >> (i % 64)) & 1) return true;
+  }
+  return false;
+}
+
+}  // namespace lcl

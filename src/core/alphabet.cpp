@@ -1,0 +1,45 @@
+#include "core/alphabet.hpp"
+
+#include <stdexcept>
+
+namespace lcl {
+
+Alphabet::Alphabet(std::vector<std::string> names) {
+  for (auto& n : names) add(std::move(n));
+}
+
+Label Alphabet::add(std::string name) {
+  if (index_.count(name) != 0) {
+    throw std::invalid_argument("Alphabet: duplicate label name '" + name +
+                                "'");
+  }
+  const Label label = static_cast<Label>(names_.size());
+  index_.emplace(name, label);
+  names_.push_back(std::move(name));
+  return label;
+}
+
+const std::string& Alphabet::name(Label label) const {
+  if (label >= names_.size()) {
+    throw std::out_of_range("Alphabet: label " + std::to_string(label) +
+                            " out of range (size " +
+                            std::to_string(names_.size()) + ")");
+  }
+  return names_[label];
+}
+
+std::optional<Label> Alphabet::find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Label Alphabet::at(const std::string& name) const {
+  auto found = find(name);
+  if (!found) {
+    throw std::out_of_range("Alphabet: no label named '" + name + "'");
+  }
+  return *found;
+}
+
+}  // namespace lcl

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lcl {
+
+/// A finite, ordered set of named labels (`Sigma_in` / `Sigma_out` of
+/// Definition 2.2). Label values are dense indices `0 .. size()-1`.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Builds an alphabet from `names`; throws `std::invalid_argument` on
+  /// duplicate names.
+  explicit Alphabet(std::vector<std::string> names);
+
+  /// Appends a new label; throws `std::invalid_argument` if the name already
+  /// exists. Returns the new label's index.
+  Label add(std::string name);
+
+  std::size_t size() const noexcept { return names_.size(); }
+  bool empty() const noexcept { return names_.empty(); }
+
+  /// Name of `label`; throws `std::out_of_range` for invalid labels.
+  const std::string& name(Label label) const;
+
+  /// Index of the label called `name`, or nullopt.
+  std::optional<Label> find(const std::string& name) const;
+
+  /// Index of the label called `name`; throws `std::out_of_range` if absent.
+  Label at(const std::string& name) const;
+
+  bool operator==(const Alphabet& other) const {
+    return names_ == other.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Label> index_;
+};
+
+}  // namespace lcl

@@ -1,0 +1,113 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lcl {
+
+namespace {
+
+/// True iff the sorted multiset `partial` is a sub-multiset of some allowed
+/// node configuration of cardinality `degree`.
+bool extendable_node_config(const NodeEdgeCheckableLcl& problem, int degree,
+                            std::vector<Label> partial) {
+  std::sort(partial.begin(), partial.end());
+  for (const auto& config : problem.node_configs(degree)) {
+    // Multiset inclusion test on two sorted ranges.
+    const auto& full = config.labels();
+    std::size_t i = 0;
+    for (std::size_t j = 0; j < full.size() && i < partial.size(); ++j) {
+      if (full[j] == partial[i]) ++i;
+    }
+    if (i == partial.size()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<HalfEdgeLabeling> brute_force_solve(
+    const NodeEdgeCheckableLcl& problem, const Graph& graph,
+    const HalfEdgeLabeling& input, std::uint64_t max_steps) {
+  if (input.size() != graph.half_edge_count()) {
+    throw std::invalid_argument(
+        "brute_force_solve: input labeling size mismatch");
+  }
+  if (graph.max_degree() > problem.max_degree()) {
+    throw std::invalid_argument(
+        "brute_force_solve: graph degree exceeds problem degree");
+  }
+  const std::size_t h_count = graph.half_edge_count();
+  const std::size_t out_size = problem.output_alphabet().size();
+
+  // Half-edges are decided in id order (2e, 2e+1, ...), so the edge
+  // constraint prunes immediately after both sides of an edge are assigned.
+  HalfEdgeLabeling assignment(h_count, 0);
+  std::vector<char> assigned(h_count, 0);
+
+  std::uint64_t steps = 0;
+
+  // Checks all constraints involving half-edge h against current partials.
+  auto feasible = [&](HalfEdgeId h, Label label) {
+    if (!problem.allowed_outputs(input[h]).contains(label)) return false;
+    const HalfEdgeId t = Graph::twin(h);
+    if (assigned[t] && !problem.edge_allows(label, assignment[t])) {
+      return false;
+    }
+    const NodeId v = graph.node_of(h);
+    const int degree = graph.degree(v);
+    std::vector<Label> partial;
+    partial.reserve(static_cast<std::size_t>(degree));
+    for (int p = 0; p < degree; ++p) {
+      const HalfEdgeId hv = graph.half_edge(v, p);
+      if (hv == h) {
+        partial.push_back(label);
+      } else if (assigned[hv]) {
+        partial.push_back(assignment[hv]);
+      }
+    }
+    return extendable_node_config(problem, degree, std::move(partial));
+  };
+
+  // Iterative backtracking over half-edge ids.
+  std::vector<Label> next_try(h_count, 0);
+  std::size_t pos = 0;
+  while (pos < h_count) {
+    if (++steps > max_steps) {
+      throw std::runtime_error(
+          "brute_force_solve: step budget exhausted (instance too hard)");
+    }
+    const HalfEdgeId h = static_cast<HalfEdgeId>(pos);
+    bool placed = false;
+    for (Label label = next_try[pos]; label < out_size; ++label) {
+      if (feasible(h, label)) {
+        assignment[h] = label;
+        assigned[h] = 1;
+        next_try[pos] = label + 1;
+        placed = true;
+        break;
+      }
+    }
+    if (placed) {
+      ++pos;
+      if (pos < h_count) next_try[pos] = 0;
+      continue;
+    }
+    // Backtrack.
+    if (pos == 0) return std::nullopt;
+    next_try[pos] = 0;
+    --pos;
+    const HalfEdgeId prev = static_cast<HalfEdgeId>(pos);
+    assigned[prev] = 0;
+  }
+  return assignment;
+}
+
+bool brute_force_solvable(const NodeEdgeCheckableLcl& problem,
+                          const Graph& graph, const HalfEdgeLabeling& input,
+                          std::uint64_t max_steps) {
+  return brute_force_solve(problem, graph, input, max_steps).has_value();
+}
+
+}  // namespace lcl

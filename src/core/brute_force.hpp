@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/lcl.hpp"
+#include "graph/graph.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl {
+
+/// Exhaustive backtracking solver: finds a correct solution of `problem` on
+/// `(graph, input)` or proves none exists.
+///
+/// Used wherever the paper's arguments rely on "map the component in some
+/// arbitrary but fixed deterministic fashion to some correct solution"
+/// (Lemma 3.3's small-component case), as the reference oracle in tests, and
+/// by the empirical locality classifier. Deterministic: given the same
+/// arguments it always returns the same solution (half-edges are decided in
+/// increasing `HalfEdgeId` order, labels tried in increasing order).
+///
+/// The search is exponential in the worst case; `max_steps` bounds the
+/// number of backtracking steps (throws `std::runtime_error` when
+/// exhausted, which distinguishes "too hard" from "unsolvable").
+std::optional<HalfEdgeLabeling> brute_force_solve(
+    const NodeEdgeCheckableLcl& problem, const Graph& graph,
+    const HalfEdgeLabeling& input, std::uint64_t max_steps = 50'000'000);
+
+/// True iff a correct solution exists (same search, discarding the witness).
+bool brute_force_solvable(const NodeEdgeCheckableLcl& problem,
+                          const Graph& graph, const HalfEdgeLabeling& input,
+                          std::uint64_t max_steps = 50'000'000);
+
+}  // namespace lcl

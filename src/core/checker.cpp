@@ -1,0 +1,124 @@
+#include "core/checker.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lcl {
+
+std::size_t CheckResult::node_failures() const noexcept {
+  std::size_t count = 0;
+  for (const auto& v : violations) {
+    if (v.kind == Violation::Kind::kNode) ++count;
+  }
+  return count;
+}
+
+std::size_t CheckResult::edge_failures() const noexcept {
+  return violations.size() - node_failures();
+}
+
+std::string CheckResult::to_string() const {
+  std::ostringstream os;
+  for (const auto& v : violations) {
+    os << (v.kind == Violation::Kind::kNode ? "node " : "edge ") << v.id
+       << ": " << v.detail << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+void validate_labeling(const char* what, const Graph& graph,
+                       const HalfEdgeLabeling& labeling,
+                       std::size_t alphabet_size) {
+  if (labeling.size() != graph.half_edge_count()) {
+    throw std::invalid_argument(
+        std::string("check_solution: ") + what + " labeling has " +
+        std::to_string(labeling.size()) + " entries, expected " +
+        std::to_string(graph.half_edge_count()));
+  }
+  for (std::size_t h = 0; h < labeling.size(); ++h) {
+    if (labeling[h] >= alphabet_size) {
+      throw std::invalid_argument(
+          std::string("check_solution: ") + what + " label " +
+          std::to_string(labeling[h]) + " at half-edge " + std::to_string(h) +
+          " outside alphabet of size " + std::to_string(alphabet_size));
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_solution(const NodeEdgeCheckableLcl& problem,
+                           const Graph& graph, const HalfEdgeLabeling& input,
+                           const HalfEdgeLabeling& output) {
+  validate_labeling("input", graph, input, problem.input_alphabet().size());
+  validate_labeling("output", graph, output,
+                    problem.output_alphabet().size());
+  if (graph.max_degree() > problem.max_degree()) {
+    throw std::invalid_argument(
+        "check_solution: graph max degree " +
+        std::to_string(graph.max_degree()) + " exceeds problem max degree " +
+        std::to_string(problem.max_degree()));
+  }
+
+  CheckResult result;
+  const auto& out_alpha = problem.output_alphabet();
+
+  // Node constraint + g on incident half-edges (Definition 2.4, node part).
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const int degree = graph.degree(v);
+    if (degree == 0) continue;  // isolated nodes carry no half-edges
+    std::vector<Label> around;
+    around.reserve(static_cast<std::size_t>(degree));
+    bool g_ok = true;
+    for (int p = 0; p < degree; ++p) {
+      const HalfEdgeId h = graph.half_edge(v, p);
+      around.push_back(output[h]);
+      if (!problem.allowed_outputs(input[h]).contains(output[h])) {
+        g_ok = false;
+      }
+    }
+    const Configuration config(std::move(around));
+    if (!problem.node_allows(config)) {
+      result.violations.push_back(
+          {Violation::Kind::kNode, v,
+           "node configuration " + config.to_string(out_alpha) +
+               " not allowed for degree " + std::to_string(degree)});
+    }
+    if (!g_ok) {
+      result.violations.push_back(
+          {Violation::Kind::kNode, v,
+           "some incident half-edge output is not permitted by g for its "
+           "input label"});
+    }
+  }
+
+  // Edge constraint + g on the edge's half-edges (Definition 2.4, edge part).
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const HalfEdgeId h0 = 2 * e;
+    const HalfEdgeId h1 = 2 * e + 1;
+    if (!problem.edge_allows(output[h0], output[h1])) {
+      result.violations.push_back(
+          {Violation::Kind::kEdge, e,
+           "edge configuration " +
+               Configuration::pair(output[h0], output[h1]).to_string(out_alpha) +
+               " not allowed"});
+    }
+    if (!problem.allowed_outputs(input[h0]).contains(output[h0]) ||
+        !problem.allowed_outputs(input[h1]).contains(output[h1])) {
+      result.violations.push_back(
+          {Violation::Kind::kEdge, e,
+           "half-edge output not permitted by g for its input label"});
+    }
+  }
+  return result;
+}
+
+bool is_correct_solution(const NodeEdgeCheckableLcl& problem,
+                         const Graph& graph, const HalfEdgeLabeling& input,
+                         const HalfEdgeLabeling& output) {
+  return check_solution(problem, graph, input, output).ok();
+}
+
+}  // namespace lcl

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lcl.hpp"
+#include "graph/graph.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl {
+
+/// A single constraint violation, attributed to a node or an edge exactly as
+/// in Definition 2.4 ("incorrect at node v" / "incorrect on edge e").
+struct Violation {
+  enum class Kind { kNode, kEdge };
+  Kind kind;
+  std::uint32_t id;  // NodeId or EdgeId depending on kind
+  std::string detail;
+};
+
+/// Result of checking an output labeling against a problem.
+struct CheckResult {
+  std::vector<Violation> violations;
+
+  bool ok() const noexcept { return violations.empty(); }
+  std::size_t node_failures() const noexcept;
+  std::size_t edge_failures() const noexcept;
+  /// All violations rendered one per line (empty string when ok).
+  std::string to_string() const;
+};
+
+/// Checks whether `output` is a correct solution of `problem` on
+/// `(graph, input)` per Definition 2.3:
+///  1. around every node, the multiset of incident half-edge output labels
+///     is an allowed node configuration for the node's degree;
+///  2. on every edge, the pair of half-edge output labels is an allowed edge
+///     configuration;
+///  3. on every half-edge, the output label is in `g(input label)`.
+///
+/// `input` and `output` must have exactly `graph.half_edge_count()` entries
+/// with labels inside the respective alphabets, and the graph's maximum
+/// degree must not exceed the problem's; otherwise `std::invalid_argument`
+/// is thrown (malformed arguments are API misuse, not a "wrong solution").
+///
+/// Following Definition 2.4, a `g`-violation on half-edge `(v, e)` is
+/// attributed to *both* the node `v` and the edge `e`.
+CheckResult check_solution(const NodeEdgeCheckableLcl& problem,
+                           const Graph& graph, const HalfEdgeLabeling& input,
+                           const HalfEdgeLabeling& output);
+
+/// Convenience: true iff `check_solution(...).ok()`.
+bool is_correct_solution(const NodeEdgeCheckableLcl& problem,
+                         const Graph& graph, const HalfEdgeLabeling& input,
+                         const HalfEdgeLabeling& output);
+
+}  // namespace lcl

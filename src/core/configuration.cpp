@@ -1,0 +1,37 @@
+#include "core/configuration.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lcl {
+
+Configuration::Configuration(std::vector<Label> labels)
+    : labels_(std::move(labels)) {
+  std::sort(labels_.begin(), labels_.end());
+}
+
+Configuration Configuration::pair(Label a, Label b) {
+  return Configuration(std::vector<Label>{a, b});
+}
+
+std::string Configuration::to_string(const Alphabet& alphabet) const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << alphabet.name(labels_[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+std::size_t Configuration::hash() const noexcept {
+  std::size_t h = labels_.size();
+  for (auto l : labels_) {
+    h ^= static_cast<std::size_t>(l) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace lcl

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.hpp"
+
+namespace lcl {
+
+/// A multiset of labels in canonical (sorted) form.
+///
+/// Node configurations `{A_1, .., A_i}` and edge configurations `{B_1, B_2}`
+/// of Definition 2.3 are multisets, so equality and ordering must ignore the
+/// order in which labels were supplied; `Configuration` sorts on
+/// construction and is immutable afterwards.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  /// Builds the canonical form of the multiset `labels`.
+  explicit Configuration(std::vector<Label> labels);
+
+  /// Convenience factory for edge configurations.
+  static Configuration pair(Label a, Label b);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  Label operator[](std::size_t i) const { return labels_[i]; }
+  const std::vector<Label>& labels() const noexcept { return labels_; }
+
+  std::string to_string(const Alphabet& alphabet) const;
+
+  bool operator<(const Configuration& other) const {
+    return labels_ < other.labels_;
+  }
+  bool operator==(const Configuration& other) const {
+    return labels_ == other.labels_;
+  }
+  bool operator!=(const Configuration& other) const {
+    return !(*this == other);
+  }
+
+  std::size_t hash() const noexcept;
+
+ private:
+  std::vector<Label> labels_;
+};
+
+}  // namespace lcl
+
+template <>
+struct std::hash<lcl::Configuration> {
+  std::size_t operator()(const lcl::Configuration& c) const noexcept {
+    return c.hash();
+  }
+};

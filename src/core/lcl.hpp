@@ -1,0 +1,136 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.hpp"
+#include "core/configuration.hpp"
+#include "util/label_set.hpp"
+
+namespace lcl {
+
+/// A node-edge-checkable LCL problem (Definition 2.3):
+/// `Pi = (Sigma_in, Sigma_out, N_Pi, E_Pi, g_Pi)`.
+///
+/// - `Sigma_in`, `Sigma_out`: finite input/output label alphabets;
+/// - `N_Pi` (node constraint): for each degree `i`, the collection of
+///   cardinality-`i` multisets of output labels allowed around a node;
+/// - `E_Pi` (edge constraint): the collection of cardinality-2 multisets of
+///   output labels allowed on the two half-edges of an edge;
+/// - `g_Pi`: maps each input label to the set of output labels allowed on a
+///   half-edge carrying that input.
+///
+/// A correct solution labels every half-edge with an output label such that
+/// all three constraints hold everywhere (Definition 2.3, items 1-3).
+///
+/// Instances are immutable; use `Builder` to construct them.
+class NodeEdgeCheckableLcl {
+ public:
+  class Builder;
+
+  /// Default-constructs an *empty* problem (no alphabets, no constraints).
+  /// Only useful as a placeholder to move a built problem into; every query
+  /// on an empty problem returns "nothing allowed".
+  NodeEdgeCheckableLcl() = default;
+
+  const std::string& name() const noexcept { return name_; }
+  const Alphabet& input_alphabet() const noexcept { return input_; }
+  const Alphabet& output_alphabet() const noexcept { return output_; }
+
+  /// Maximum node degree for which node configurations exist.
+  int max_degree() const noexcept { return max_degree_; }
+
+  /// True iff the multiset `config` is an allowed node configuration for
+  /// degree `config.size()`.
+  bool node_allows(const Configuration& config) const;
+
+  /// True iff `{a, b}` is an allowed edge configuration.
+  bool edge_allows(Label a, Label b) const;
+
+  /// The set of output labels `b` such that `{a, b}` is an allowed edge
+  /// configuration. Useful for constraint propagation.
+  const LabelSet& edge_partners(Label a) const;
+
+  /// `g_Pi(input)`: outputs allowed on a half-edge with this input label.
+  const LabelSet& allowed_outputs(Label input) const;
+
+  /// All node configurations of a given degree (may be empty).
+  const std::set<Configuration>& node_configs(int degree) const;
+
+  /// All edge configurations.
+  const std::set<Configuration>& edge_configs() const noexcept {
+    return edge_;
+  }
+
+  /// Total number of node configurations across all degrees.
+  std::size_t total_node_configs() const noexcept;
+
+  /// Multi-line human-readable rendering of the whole problem definition.
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  Alphabet input_;
+  Alphabet output_;
+  int max_degree_ = 0;
+  std::vector<std::set<Configuration>> node_;  // indexed by degree, 0..max
+  std::set<Configuration> edge_;
+  std::vector<LabelSet> edge_partners_;  // indexed by output label
+  std::vector<LabelSet> g_;              // indexed by input label
+  std::set<Configuration> empty_;        // returned for out-of-range degrees
+};
+
+/// Incremental builder for `NodeEdgeCheckableLcl`. All label arguments are
+/// validated eagerly; `build()` additionally checks structural sanity (every
+/// referenced degree has a constraint table, `g` covers all input labels).
+class NodeEdgeCheckableLcl::Builder {
+ public:
+  /// `max_degree` bounds the degrees for which node configurations may be
+  /// added (the `Delta` of the paper; LCLs are defined on bounded-degree
+  /// graphs only).
+  Builder(std::string name, Alphabet input, Alphabet output, int max_degree);
+
+  /// Allows the node configuration given by `labels` (its degree is
+  /// `labels.size()`).
+  Builder& allow_node(const std::vector<Label>& labels);
+
+  /// Convenience overload taking label names in the output alphabet.
+  Builder& allow_node_named(const std::vector<std::string>& names);
+
+  /// Allows the edge configuration `{a, b}`.
+  Builder& allow_edge(Label a, Label b);
+  Builder& allow_edge_named(const std::string& a, const std::string& b);
+
+  /// Permits output `out` on half-edges whose input label is `in`.
+  Builder& allow_output_for_input(Label in, Label out);
+
+  /// Permits every output label for input `in`.
+  Builder& allow_all_outputs_for_input(Label in);
+
+  /// Permits every output label for every input label (the common case of an
+  /// LCL "without inputs", footnote 2 of the paper).
+  Builder& unrestricted_inputs();
+
+  /// Opts out of the build-time check that every input label permits at
+  /// least one output. A problem violating it is unsolvable on any instance
+  /// where that input occurs - usually a specification bug, but derived
+  /// problems (round elimination after trimming) can hit it legitimately.
+  Builder& allow_unsatisfiable_inputs();
+
+  /// Finalizes. Throws `std::logic_error` if no node or edge configuration
+  /// was added, or if some input label has an empty `g` set while node
+  /// configurations exist (such a problem is trivially unsolvable on any
+  /// graph with an edge; we reject it to surface specification bugs early).
+  NodeEdgeCheckableLcl build();
+
+ private:
+  void check_output_label(Label l) const;
+  void check_input_label(Label l) const;
+
+  NodeEdgeCheckableLcl problem_;
+  bool built_ = false;
+  bool allow_unsatisfiable_inputs_ = false;
+};
+
+}  // namespace lcl

@@ -1,0 +1,258 @@
+#include "core/problems.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lcl {
+namespace problems {
+
+namespace {
+
+Alphabet no_input_alphabet() { return Alphabet({"-"}); }
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+NodeEdgeCheckableLcl trivial(int max_degree) {
+  require(max_degree >= 1, "trivial: max_degree >= 1");
+  NodeEdgeCheckableLcl::Builder b("trivial", no_input_alphabet(),
+                                  Alphabet({"x"}), max_degree);
+  for (int d = 1; d <= max_degree; ++d) {
+    b.allow_node(std::vector<Label>(static_cast<std::size_t>(d), 0));
+  }
+  b.allow_edge(0, 0);
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl coloring(int colors, int max_degree) {
+  require(colors >= 1, "coloring: colors >= 1");
+  require(max_degree >= 1, "coloring: max_degree >= 1");
+  std::vector<std::string> names;
+  for (int c = 0; c < colors; ++c) names.push_back("c" + std::to_string(c));
+  NodeEdgeCheckableLcl::Builder b(
+      std::to_string(colors) + "-coloring", no_input_alphabet(),
+      Alphabet(names), max_degree);
+  for (Label c = 0; c < static_cast<Label>(colors); ++c) {
+    for (int d = 1; d <= max_degree; ++d) {
+      b.allow_node(std::vector<Label>(static_cast<std::size_t>(d), c));
+    }
+  }
+  for (Label c1 = 0; c1 < static_cast<Label>(colors); ++c1) {
+    for (Label c2 = c1 + 1; c2 < static_cast<Label>(colors); ++c2) {
+      b.allow_edge(c1, c2);
+    }
+  }
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl two_coloring(int max_degree) {
+  return coloring(2, max_degree);
+}
+
+NodeEdgeCheckableLcl mis(int max_degree) {
+  require(max_degree >= 1, "mis: max_degree >= 1");
+  NodeEdgeCheckableLcl::Builder b("mis", no_input_alphabet(),
+                                  Alphabet({"I", "P", "O"}), max_degree);
+  const Label kI = 0, kP = 1, kO = 2;
+  for (int d = 1; d <= max_degree; ++d) {
+    b.allow_node(std::vector<Label>(static_cast<std::size_t>(d), kI));
+    std::vector<Label> pointer(static_cast<std::size_t>(d), kO);
+    pointer[0] = kP;
+    b.allow_node(pointer);
+  }
+  b.allow_edge(kP, kI);
+  b.allow_edge(kO, kI);
+  b.allow_edge(kO, kO);
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl maximal_matching(int max_degree) {
+  require(max_degree >= 1, "maximal_matching: max_degree >= 1");
+  NodeEdgeCheckableLcl::Builder b("maximal-matching", no_input_alphabet(),
+                                  Alphabet({"M", "Y", "U"}), max_degree);
+  const Label kM = 0, kY = 1, kU = 2;
+  for (int d = 1; d <= max_degree; ++d) {
+    std::vector<Label> matched(static_cast<std::size_t>(d), kY);
+    matched[0] = kM;
+    b.allow_node(matched);
+    b.allow_node(std::vector<Label>(static_cast<std::size_t>(d), kU));
+  }
+  b.allow_edge(kM, kM);
+  b.allow_edge(kY, kY);
+  b.allow_edge(kY, kU);
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl sinkless_orientation(int max_degree) {
+  require(max_degree >= 2, "sinkless_orientation: max_degree >= 2");
+  NodeEdgeCheckableLcl::Builder b("sinkless-orientation",
+                                  no_input_alphabet(), Alphabet({"O", "I"}),
+                                  max_degree);
+  const Label kOut = 0, kIn = 1;
+  for (int d = 1; d <= max_degree; ++d) {
+    // Any mix of O/I, except that degree-max_degree nodes need >= 1 out.
+    const int min_out = (d == max_degree) ? 1 : 0;
+    for (int outs = min_out; outs <= d; ++outs) {
+      std::vector<Label> config;
+      config.insert(config.end(), static_cast<std::size_t>(outs), kOut);
+      config.insert(config.end(), static_cast<std::size_t>(d - outs), kIn);
+      b.allow_node(config);
+    }
+  }
+  b.allow_edge(kOut, kIn);
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl any_orientation(int max_degree) {
+  require(max_degree >= 1, "any_orientation: max_degree >= 1");
+  NodeEdgeCheckableLcl::Builder b("any-orientation", no_input_alphabet(),
+                                  Alphabet({"O", "I"}), max_degree);
+  for (int d = 1; d <= max_degree; ++d) {
+    for (int outs = 0; outs <= d; ++outs) {
+      std::vector<Label> config;
+      config.insert(config.end(), static_cast<std::size_t>(outs), 0);
+      config.insert(config.end(), static_cast<std::size_t>(d - outs), 1);
+      b.allow_node(config);
+    }
+  }
+  b.allow_edge(0, 1);
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl edge_coloring(int colors, int max_degree) {
+  require(colors >= 1, "edge_coloring: colors >= 1");
+  require(max_degree >= 1, "edge_coloring: max_degree >= 1");
+  require(colors >= max_degree,
+          "edge_coloring: need colors >= max_degree for solvability");
+  std::vector<std::string> names;
+  for (int c = 0; c < colors; ++c) names.push_back("e" + std::to_string(c));
+  NodeEdgeCheckableLcl::Builder b(
+      std::to_string(colors) + "-edge-coloring", no_input_alphabet(),
+      Alphabet(names), max_degree);
+  // Node: pairwise distinct colors. Enumerate strictly increasing tuples.
+  for (int d = 1; d <= max_degree; ++d) {
+    std::vector<Label> combo(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) combo[static_cast<std::size_t>(i)] = i;
+    while (true) {
+      b.allow_node(combo);
+      int pos = d;
+      bool advanced = false;
+      while (pos > 0) {
+        --pos;
+        if (combo[static_cast<std::size_t>(pos)] + 1 <=
+            static_cast<Label>(colors - (d - pos))) {
+          ++combo[static_cast<std::size_t>(pos)];
+          for (int j = pos + 1; j < d; ++j) {
+            combo[static_cast<std::size_t>(j)] =
+                combo[static_cast<std::size_t>(j - 1)] + 1;
+          }
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) break;
+    }
+  }
+  for (Label c = 0; c < static_cast<Label>(colors); ++c) b.allow_edge(c, c);
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl forbidden_color(int colors, int max_degree) {
+  require(colors >= 2, "forbidden_color: colors >= 2");
+  require(max_degree >= 1, "forbidden_color: max_degree >= 1");
+  std::vector<std::string> in_names;
+  for (int c = 0; c < colors; ++c) {
+    in_names.push_back("forbid" + std::to_string(c));
+  }
+  in_names.push_back("free");
+  std::vector<std::string> out_names;
+  for (int c = 0; c < colors; ++c) out_names.push_back("c" + std::to_string(c));
+  NodeEdgeCheckableLcl::Builder b("forbidden-color", Alphabet(in_names),
+                                  Alphabet(out_names), max_degree);
+  for (Label c = 0; c < static_cast<Label>(colors); ++c) {
+    for (int d = 1; d <= max_degree; ++d) {
+      b.allow_node(std::vector<Label>(static_cast<std::size_t>(d), c));
+    }
+  }
+  for (Label c1 = 0; c1 < static_cast<Label>(colors); ++c1) {
+    for (Label c2 = c1 + 1; c2 < static_cast<Label>(colors); ++c2) {
+      b.allow_edge(c1, c2);
+    }
+  }
+  for (Label in = 0; in < static_cast<Label>(colors); ++in) {
+    for (Label out = 0; out < static_cast<Label>(colors); ++out) {
+      if (out != in) b.allow_output_for_input(in, out);
+    }
+  }
+  b.allow_all_outputs_for_input(static_cast<Label>(colors));  // "free"
+  return b.build();
+}
+
+NodeEdgeCheckableLcl perfect_matching(int max_degree) {
+  require(max_degree >= 1, "perfect_matching: max_degree >= 1");
+  NodeEdgeCheckableLcl::Builder b("perfect-matching", no_input_alphabet(),
+                                  Alphabet({"M", "Y"}), max_degree);
+  for (int d = 1; d <= max_degree; ++d) {
+    std::vector<Label> matched(static_cast<std::size_t>(d), 1);
+    matched[0] = 0;
+    b.allow_node(matched);  // exactly one M per node
+  }
+  b.allow_edge(0, 0);
+  b.allow_edge(1, 1);
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl weak_coloring(int colors, int max_degree) {
+  require(colors >= 2, "weak_coloring: colors >= 2");
+  require(max_degree >= 1, "weak_coloring: max_degree >= 1");
+  // Output labels: (color, witness-flag). The flagged half-edge must lead to
+  // a differently-colored neighbor.
+  std::vector<std::string> names;
+  for (int c = 0; c < colors; ++c) {
+    names.push_back("c" + std::to_string(c));
+    names.push_back("c" + std::to_string(c) + "!");
+  }
+  const auto plain = [](int c) { return static_cast<Label>(2 * c); };
+  const auto witness = [](int c) { return static_cast<Label>(2 * c + 1); };
+  NodeEdgeCheckableLcl::Builder b("weak-" + std::to_string(colors) +
+                                      "-coloring",
+                                  no_input_alphabet(), Alphabet(names),
+                                  max_degree);
+  for (int c = 0; c < colors; ++c) {
+    for (int d = 1; d <= max_degree; ++d) {
+      std::vector<Label> config(static_cast<std::size_t>(d), plain(c));
+      config[0] = witness(c);
+      b.allow_node(config);
+    }
+  }
+  for (int c1 = 0; c1 < colors; ++c1) {
+    for (int c2 = 0; c2 < colors; ++c2) {
+      if (c1 > c2) continue;  // configurations are multisets
+      if (c1 != c2) {
+        b.allow_edge(plain(c1), plain(c2));
+        b.allow_edge(plain(c1), witness(c2));
+        b.allow_edge(witness(c1), plain(c2));
+        b.allow_edge(witness(c1), witness(c2));
+      } else {
+        b.allow_edge(plain(c1), plain(c2));  // same color: only unflagged
+      }
+    }
+  }
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+}  // namespace problems
+}  // namespace lcl

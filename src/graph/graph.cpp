@@ -1,0 +1,197 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace lcl {
+
+void Graph::check_node(NodeId v) const {
+  if (v >= incident_.size()) {
+    throw std::out_of_range("Graph: node " + std::to_string(v) +
+                            " out of range (n = " +
+                            std::to_string(incident_.size()) + ")");
+  }
+}
+
+void Graph::check_edge(EdgeId e) const {
+  if (e >= endpoints_.size()) {
+    throw std::out_of_range("Graph: edge " + std::to_string(e) +
+                            " out of range (m = " +
+                            std::to_string(endpoints_.size()) + ")");
+  }
+}
+
+int Graph::degree(NodeId v) const {
+  check_node(v);
+  return static_cast<int>(incident_[v].size());
+}
+
+EdgeId Graph::edge_at(NodeId v, int port) const {
+  check_node(v);
+  if (port < 0 || static_cast<std::size_t>(port) >= incident_[v].size()) {
+    throw std::out_of_range("Graph::edge_at: port " + std::to_string(port) +
+                            " out of range at node " + std::to_string(v));
+  }
+  return incident_[v][static_cast<std::size_t>(port)];
+}
+
+NodeId Graph::neighbor(NodeId v, int port) const {
+  const EdgeId e = edge_at(v, port);
+  const auto [a, b] = endpoints_[e];
+  return a == v ? b : a;
+}
+
+HalfEdgeId Graph::half_edge(NodeId v, int port) const {
+  return half_edge_of(v, edge_at(v, port));
+}
+
+std::pair<NodeId, NodeId> Graph::endpoints(EdgeId e) const {
+  check_edge(e);
+  return endpoints_[e];
+}
+
+HalfEdgeId Graph::half_edge_of(NodeId v, EdgeId e) const {
+  check_edge(e);
+  const auto [a, b] = endpoints_[e];
+  if (v == a) return 2 * e;
+  if (v == b) return 2 * e + 1;
+  throw std::invalid_argument("Graph::half_edge_of: node " +
+                              std::to_string(v) + " not on edge " +
+                              std::to_string(e));
+}
+
+int Graph::port_of(NodeId v, EdgeId e) const {
+  check_node(v);
+  const auto& inc = incident_[v];
+  for (std::size_t p = 0; p < inc.size(); ++p) {
+    if (inc[p] == e) return static_cast<int>(p);
+  }
+  throw std::invalid_argument("Graph::port_of: edge " + std::to_string(e) +
+                              " not incident to node " + std::to_string(v));
+}
+
+NodeId Graph::node_of(HalfEdgeId h) const {
+  const EdgeId e = edge_of(h);
+  check_edge(e);
+  return (h & 1) == 0 ? endpoints_[e].first : endpoints_[e].second;
+}
+
+std::vector<NodeId> Graph::ball(NodeId center, int radius) const {
+  check_node(center);
+  std::vector<NodeId> result;
+  std::vector<int> dist(node_count(), -1);
+  std::queue<NodeId> frontier;
+  dist[center] = 0;
+  frontier.push(center);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    result.push_back(v);
+    if (dist[v] == radius) continue;
+    for (std::size_t p = 0; p < incident_[v].size(); ++p) {
+      const NodeId w = neighbor(v, static_cast<int>(p));
+      if (dist[w] == -1) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> Graph::distances_from(NodeId center) const {
+  check_node(center);
+  std::vector<int> dist(node_count(), -1);
+  std::queue<NodeId> frontier;
+  dist[center] = 0;
+  frontier.push(center);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (std::size_t p = 0; p < incident_[v].size(); ++p) {
+      const NodeId w = neighbor(v, static_cast<int>(p));
+      if (dist[w] == -1) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::is_forest() const {
+  return edge_count() + component_count() == node_count();
+}
+
+bool Graph::is_tree() const {
+  return component_count() == 1 && edge_count() + 1 == node_count();
+}
+
+std::size_t Graph::component_count() const {
+  std::vector<char> seen(node_count(), 0);
+  std::size_t components = 0;
+  for (NodeId start = 0; start < node_count(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    seen[start] = 1;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (std::size_t p = 0; p < incident_[v].size(); ++p) {
+        const NodeId w = neighbor(v, static_cast<int>(p));
+        if (!seen[w]) {
+          seen[w] = 1;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+Graph::Builder::Builder(std::size_t node_count) {
+  graph_.incident_.resize(node_count);
+}
+
+Graph::Builder& Graph::Builder::ensure_node(NodeId v) {
+  if (v >= graph_.incident_.size()) graph_.incident_.resize(v + 1);
+  return *this;
+}
+
+Graph::Builder& Graph::Builder::add_edge(NodeId u, NodeId v) {
+  if (u == v) {
+    throw std::invalid_argument("Graph::Builder: self-loop at node " +
+                                std::to_string(u));
+  }
+  ensure_node(u);
+  ensure_node(v);
+  for (EdgeId e : graph_.incident_[u]) {
+    const auto [a, b] = graph_.endpoints_[e];
+    if ((a == u && b == v) || (a == v && b == u)) {
+      throw std::invalid_argument("Graph::Builder: parallel edge {" +
+                                  std::to_string(u) + "," +
+                                  std::to_string(v) + "}");
+    }
+  }
+  const EdgeId e = static_cast<EdgeId>(graph_.endpoints_.size());
+  graph_.endpoints_.emplace_back(u, v);
+  graph_.incident_[u].push_back(e);
+  graph_.incident_[v].push_back(e);
+  return *this;
+}
+
+Graph Graph::Builder::build() {
+  if (built_) throw std::logic_error("Graph::Builder::build called twice");
+  built_ = true;
+  graph_.max_degree_ = 0;
+  for (const auto& inc : graph_.incident_) {
+    graph_.max_degree_ =
+        std::max(graph_.max_degree_, static_cast<int>(inc.size()));
+  }
+  return std::move(graph_);
+}
+
+}  // namespace lcl

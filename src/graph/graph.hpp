@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lcl {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// Identifier of a half-edge `(v, e)` (Section 2 of the paper). Encoded as
+/// `2*e + side` where `side` is 0 for the first stored endpoint of `e` and 1
+/// for the second, so `HalfEdgeId` values are dense in
+/// `[0, 2*edge_count())` and can index plain vectors.
+using HalfEdgeId = std::uint32_t;
+
+/// An undirected bounded-degree graph with half-edges and per-node ports.
+///
+/// Every node `v` numbers its incident edges with ports `0 .. deg(v)-1`
+/// (the paper uses 1-based ports; we use 0-based indices). The port order is
+/// the order in which edges were added, which the model treats as arbitrary
+/// but fixed - exactly the "port numbering" assumption of Definition 2.1.
+///
+/// The structure is immutable once built (use `Builder`). Node identifiers
+/// (the LOCAL model's IDs), input labels and output labels are *not* stored
+/// here; they are separate dense vectors indexed by `NodeId`/`HalfEdgeId`,
+/// so one structure can be reused across many labelings and ID assignments.
+class Graph {
+ public:
+  class Builder;
+
+  /// Default-constructs an empty graph (0 nodes). Useful as a placeholder
+  /// member to move a built graph into.
+  Graph() = default;
+
+  std::size_t node_count() const noexcept { return incident_.size(); }
+  std::size_t edge_count() const noexcept { return endpoints_.size(); }
+  std::size_t half_edge_count() const noexcept {
+    return 2 * endpoints_.size();
+  }
+
+  int degree(NodeId v) const;
+  int max_degree() const noexcept { return max_degree_; }
+
+  /// Edge connected to port `port` of `v`.
+  EdgeId edge_at(NodeId v, int port) const;
+  /// Neighbor across port `port` of `v`.
+  NodeId neighbor(NodeId v, int port) const;
+  /// Half-edge `(v, edge_at(v, port))`.
+  HalfEdgeId half_edge(NodeId v, int port) const;
+
+  /// The two endpoints of `e` (in storage order).
+  std::pair<NodeId, NodeId> endpoints(EdgeId e) const;
+
+  /// Half-edge `(v, e)`; throws `std::invalid_argument` if `v` is not an
+  /// endpoint of `e`.
+  HalfEdgeId half_edge_of(NodeId v, EdgeId e) const;
+
+  /// Port at which `e` attaches to `v`; throws if not incident.
+  int port_of(NodeId v, EdgeId e) const;
+
+  static EdgeId edge_of(HalfEdgeId h) noexcept { return h / 2; }
+  NodeId node_of(HalfEdgeId h) const;
+  /// The opposite half-edge of the same edge.
+  static HalfEdgeId twin(HalfEdgeId h) noexcept { return h ^ 1; }
+
+  /// Nodes at distance <= radius from `center`, in BFS order (center first).
+  std::vector<NodeId> ball(NodeId center, int radius) const;
+
+  /// Distance from `center` to every node (-1 where unreachable).
+  std::vector<int> distances_from(NodeId center) const;
+
+  /// True iff the graph has no cycle (it may be disconnected).
+  bool is_forest() const;
+  /// True iff connected and acyclic.
+  bool is_tree() const;
+  /// Number of connected components.
+  std::size_t component_count() const;
+
+ private:
+  void check_node(NodeId v) const;
+  void check_edge(EdgeId e) const;
+
+  std::vector<std::vector<EdgeId>> incident_;  // per node, by port
+  std::vector<std::pair<NodeId, NodeId>> endpoints_;
+  int max_degree_ = 0;
+};
+
+/// Builder for `Graph`. Nodes are added implicitly by `add_edge`; isolated
+/// nodes can be forced with `ensure_node`.
+class Graph::Builder {
+ public:
+  Builder() = default;
+  /// Pre-declares nodes `0 .. n-1`.
+  explicit Builder(std::size_t node_count);
+
+  /// Ensures node `v` exists (possibly isolated).
+  Builder& ensure_node(NodeId v);
+
+  /// Adds the undirected edge `{u, v}`. Self-loops and parallel edges are
+  /// rejected (`std::invalid_argument`); LCLs are defined on simple graphs.
+  Builder& add_edge(NodeId u, NodeId v);
+
+  /// Finalizes the structure.
+  Graph build();
+
+ private:
+  Graph graph_;
+  bool built_ = false;
+};
+
+}  // namespace lcl

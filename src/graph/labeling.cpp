@@ -1,0 +1,102 @@
+#include "graph/labeling.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace lcl {
+
+HalfEdgeLabeling uniform_labeling(const Graph& g, Label label) {
+  return HalfEdgeLabeling(g.half_edge_count(), label);
+}
+
+HalfEdgeLabeling random_labeling(const Graph& g, std::size_t alphabet_size,
+                                 SplitRng& rng) {
+  if (alphabet_size == 0) {
+    throw std::invalid_argument("random_labeling: empty alphabet");
+  }
+  HalfEdgeLabeling out(g.half_edge_count());
+  for (auto& l : out) {
+    l = static_cast<Label>(rng.next_below(alphabet_size));
+  }
+  return out;
+}
+
+IdAssignment sequential_ids(const Graph& g) {
+  IdAssignment ids(g.node_count());
+  for (std::size_t v = 0; v < ids.size(); ++v) ids[v] = v + 1;
+  return ids;
+}
+
+IdAssignment random_distinct_ids(const Graph& g, int range_exponent,
+                                 SplitRng& rng) {
+  if (range_exponent < 1) {
+    throw std::invalid_argument(
+        "random_distinct_ids: range_exponent must be >= 1");
+  }
+  const std::size_t n = g.node_count();
+  std::uint64_t range = 1;
+  for (int i = 0; i < range_exponent; ++i) {
+    if (range > (std::uint64_t{1} << 62) / (n + 1)) {
+      range = std::uint64_t{1} << 62;
+      break;
+    }
+    range *= (n + 1);
+  }
+  // Guarantee the range exceeds n so distinct draws exist.
+  range = std::max<std::uint64_t>(range, 2 * n + 1);
+  std::set<std::uint64_t> used;
+  IdAssignment ids(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t id = 1 + rng.next_below(range);
+    while (used.count(id) != 0) id = 1 + rng.next_below(range);
+    used.insert(id);
+    ids[v] = id;
+  }
+  return ids;
+}
+
+IdAssignment shuffled_sequential_ids(const Graph& g, SplitRng& rng) {
+  IdAssignment ids = sequential_ids(g);
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(ids[i - 1], ids[j]);
+  }
+  return ids;
+}
+
+IdAssignment order_preserving_remap(const IdAssignment& ids,
+                                    int range_exponent, SplitRng& rng) {
+  if (ids.empty()) return {};
+  // Sort the distinct old IDs, draw an increasing sequence of new IDs of the
+  // same length, and map position-wise.
+  std::vector<std::uint64_t> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  const std::size_t n = ids.size();
+  std::uint64_t range = 1;
+  for (int i = 0; i < range_exponent; ++i) {
+    if (range > (std::uint64_t{1} << 62) / (n + 1)) {
+      range = std::uint64_t{1} << 62;
+      break;
+    }
+    range *= (n + 1);
+  }
+  range = std::max<std::uint64_t>(range, 2 * sorted.size() + 1);
+
+  std::set<std::uint64_t> draws;
+  while (draws.size() < sorted.size()) {
+    draws.insert(1 + rng.next_below(range));
+  }
+  std::map<std::uint64_t, std::uint64_t> remap;
+  auto it = draws.begin();
+  for (auto old_id : sorted) remap[old_id] = *it++;
+
+  IdAssignment out(n);
+  for (std::size_t v = 0; v < n; ++v) out[v] = remap.at(ids[v]);
+  return out;
+}
+
+}  // namespace lcl

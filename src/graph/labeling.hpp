@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace lcl {
+
+/// A half-edge labeling `f : H(G) -> Sigma` (Section 2), stored densely by
+/// `HalfEdgeId`. Used for both input labelings (`f_in`) and output labelings
+/// (`f_out`).
+using HalfEdgeLabeling = std::vector<Label>;
+
+/// An assignment of globally unique identifiers to nodes (Definition 2.1:
+/// positive integers from a polynomial range), stored densely by `NodeId`.
+using IdAssignment = std::vector<std::uint64_t>;
+
+/// Labels every half-edge with the single label `label`.
+HalfEdgeLabeling uniform_labeling(const Graph& g, Label label);
+
+/// Labels every half-edge with an independent uniform label from
+/// `{0, .., alphabet_size-1}`.
+HalfEdgeLabeling random_labeling(const Graph& g, std::size_t alphabet_size,
+                                 SplitRng& rng);
+
+/// IDs `1, 2, .., n` in node order (the LCA model's ID regime).
+IdAssignment sequential_ids(const Graph& g);
+
+/// Distinct random IDs from `[1, n^range_exponent]` (polynomial range,
+/// Definition 2.1). `range_exponent` must be >= 1; collisions are resolved
+/// by rejection, so the range must comfortably exceed n.
+IdAssignment random_distinct_ids(const Graph& g, int range_exponent,
+                                 SplitRng& rng);
+
+/// A uniformly random permutation of `1 .. n` as the ID assignment.
+IdAssignment shuffled_sequential_ids(const Graph& g, SplitRng& rng);
+
+/// Remaps `ids` through a random strictly-increasing function into a larger
+/// range, preserving relative order. Used by order-invariance property
+/// tests (Definitions 2.7 and 2.10: an order-invariant algorithm must be
+/// blind to such remappings).
+IdAssignment order_preserving_remap(const IdAssignment& ids,
+                                    int range_exponent, SplitRng& rng);
+
+}  // namespace lcl

@@ -1,0 +1,206 @@
+#include "grid/algorithms.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "local/cole_vishkin.hpp"
+
+namespace lcl {
+
+NodeEdgeCheckableLcl orientation_copy_problem(int dimensions) {
+  if (dimensions < 1) {
+    throw std::invalid_argument("orientation_copy_problem: dimensions >= 1");
+  }
+  std::vector<std::string> names;
+  for (int k = 0; k < dimensions; ++k) {
+    names.push_back(std::to_string(k) + "+");
+    names.push_back(std::to_string(k) + "-");
+  }
+  NodeEdgeCheckableLcl::Builder b("orientation-copy", Alphabet(names),
+                                  Alphabet(names), 2 * dimensions);
+  std::vector<Label> full_config;
+  for (int k = 0; k < dimensions; ++k) {
+    full_config.push_back(OrientedTorus::forward_label(k));
+    full_config.push_back(OrientedTorus::backward_label(k));
+    b.allow_edge(OrientedTorus::forward_label(k),
+                 OrientedTorus::backward_label(k));
+  }
+  b.allow_node(full_config);
+  for (Label l = 0; l < static_cast<Label>(2 * dimensions); ++l) {
+    b.allow_output_for_input(l, l);
+  }
+  return b.build();
+}
+
+NodeState OrientationEcho::init(NodeContext& ctx) const {
+  (void)ctx;
+  return {0};
+}
+
+NodeState OrientationEcho::step(NodeContext& ctx, const NodeState& self,
+                                const std::vector<const NodeState*>&,
+                                int) const {
+  (void)ctx;
+  return self;
+}
+
+bool OrientationEcho::halted(const NodeContext&, const NodeState&) const {
+  return true;  // 0 rounds
+}
+
+std::vector<Label> OrientationEcho::finalize(const NodeContext& ctx,
+                                             const NodeState&) const {
+  return ctx.inputs;
+}
+
+namespace {
+
+/// Port of `ctx` whose input label equals `label`; throws if absent or
+/// duplicated (a torus node has exactly one port per orientation label).
+int port_with_input(const NodeContext& ctx, Label label) {
+  int found = -1;
+  for (int p = 0; p < ctx.degree; ++p) {
+    if (ctx.inputs[static_cast<std::size_t>(p)] == label) {
+      if (found != -1) {
+        throw std::invalid_argument(
+            "GridColoring: duplicate orientation label at a node");
+      }
+      found = p;
+    }
+  }
+  if (found == -1) {
+    throw std::invalid_argument(
+        "GridColoring: missing orientation label at a node (is the input "
+        "OrientedTorus::orientation_input()?)");
+  }
+  return found;
+}
+
+}  // namespace
+
+GridColoring::GridColoring(int dimensions, std::uint64_t per_dim_id_range)
+    : dimensions_(dimensions),
+      per_dim_id_range_(per_dim_id_range),
+      shrink_rounds_(ColeVishkin(per_dim_id_range).shrink_rounds()) {
+  if (dimensions < 1) {
+    throw std::invalid_argument("GridColoring: dimensions >= 1");
+  }
+}
+
+int GridColoring::product_palette() const noexcept {
+  int palette = 1;
+  for (int k = 0; k < dimensions_; ++k) palette *= 3;
+  return palette;
+}
+
+int GridColoring::total_rounds() const noexcept {
+  const int greedy = product_palette() - colors();
+  return cole_vishkin_rounds() + (greedy > 0 ? greedy : 0);
+}
+
+NodeState GridColoring::init(NodeContext& ctx) const {
+  const auto d = static_cast<std::size_t>(dimensions_);
+  if (ctx.aux.size() != d) {
+    throw std::invalid_argument(
+        "GridColoring: NodeContext::aux must hold the d PROD-LOCAL "
+        "identifiers (pass ProdLocalIds::all_tuples to run_synchronous)");
+  }
+  NodeState state(d + 2, 0);
+  for (std::size_t k = 0; k < d; ++k) {
+    if (ctx.aux[k] >= per_dim_id_range_) {
+      throw std::invalid_argument(
+          "GridColoring: PROD-LOCAL identifier outside declared range");
+    }
+    state[k] = ctx.aux[k];
+  }
+  return state;
+}
+
+NodeState GridColoring::step(NodeContext& ctx, const NodeState& self,
+                             const std::vector<const NodeState*>& neighbors,
+                             int round) const {
+  const auto d = static_cast<std::size_t>(dimensions_);
+  NodeState next = self;
+  next[d] = static_cast<std::uint64_t>(round);
+
+  if (round <= shrink_rounds_) {
+    // Cole-Vishkin shrink step, independently per dimension (no endpoints
+    // on a torus).
+    for (std::size_t k = 0; k < d; ++k) {
+      const int sp =
+          port_with_input(ctx, OrientedTorus::forward_label(static_cast<int>(k)));
+      const std::uint64_t own = self[k];
+      const std::uint64_t succ =
+          (*neighbors[static_cast<std::size_t>(sp)])[k];
+      if (succ == own) {
+        throw std::logic_error("GridColoring: equal colors along a line");
+      }
+      const std::uint64_t diff = own ^ succ;
+      std::uint64_t i = 0;
+      while (((diff >> i) & 1) == 0) ++i;
+      next[k] = 2 * i + ((own >> i) & 1);
+    }
+    return next;
+  }
+
+  if (round <= cole_vishkin_rounds()) {
+    // 6 -> 3 reduction per dimension; this round removes color `target`.
+    const std::uint64_t target =
+        5 - static_cast<std::uint64_t>(round - shrink_rounds_ - 1);
+    for (std::size_t k = 0; k < d; ++k) {
+      if (self[k] != target) continue;
+      const int fp =
+          port_with_input(ctx, OrientedTorus::forward_label(static_cast<int>(k)));
+      const int bp = port_with_input(
+          ctx, OrientedTorus::backward_label(static_cast<int>(k)));
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        if ((*neighbors[static_cast<std::size_t>(fp)])[k] != c &&
+            (*neighbors[static_cast<std::size_t>(bp)])[k] != c) {
+          next[k] = c;
+          break;
+        }
+      }
+    }
+    if (round == cole_vishkin_rounds()) {
+      // Per-dimension palettes are now {0,1,2}: form the product color.
+      std::uint64_t product = 0;
+      for (std::size_t k = d; k-- > 0;) product = product * 3 + next[k];
+      next[d + 1] = product;
+    }
+    return next;
+  }
+
+  // Greedy reduction of the 3^d product palette down to 2d+1.
+  const int j = round - cole_vishkin_rounds() - 1;  // 0-based greedy round
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(product_palette() - 1 - j);
+  if (self[d + 1] == target) {
+    for (std::uint64_t c = 0; c < static_cast<std::uint64_t>(colors()); ++c) {
+      bool used = false;
+      for (const NodeState* nb : neighbors) {
+        if ((*nb)[d + 1] == c) used = true;
+      }
+      if (!used) {
+        next[d + 1] = c;
+        break;
+      }
+    }
+  }
+  return next;
+}
+
+bool GridColoring::halted(const NodeContext& ctx,
+                          const NodeState& state) const {
+  (void)ctx;
+  return state[static_cast<std::size_t>(dimensions_)] >=
+         static_cast<std::uint64_t>(total_rounds());
+}
+
+std::vector<Label> GridColoring::finalize(const NodeContext& ctx,
+                                          const NodeState& state) const {
+  return std::vector<Label>(
+      static_cast<std::size_t>(ctx.degree),
+      static_cast<Label>(state[static_cast<std::size_t>(dimensions_) + 1]));
+}
+
+}  // namespace lcl

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "core/lcl.hpp"
+#include "grid/torus.hpp"
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+
+/// The "echo the orientation" LCL on oriented d-dimensional grids: every
+/// half-edge must output its own input label. A (deterministic) 0-round
+/// problem - the canonical O(1) entry of the Figure 1 (top right) panel.
+NodeEdgeCheckableLcl orientation_copy_problem(int dimensions);
+
+/// 0-round algorithm solving `orientation_copy_problem`.
+class OrientationEcho final : public SynchronousAlgorithm {
+ public:
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+};
+
+/// Theta(log* n) proper coloring of oriented d-dimensional tori in the
+/// PROD-LOCAL model (Definition 5.2): run Cole-Vishkin independently along
+/// every dimension line - the k-th PROD-LOCAL identifier provides the
+/// distinct colors along a dimension-k line, and the orientation labels
+/// provide the successor direction - yielding a 3-coloring per dimension,
+/// hence a proper 3^d product coloring; a greedy stage then reduces the
+/// palette to 2d+1 = Delta+1.
+///
+/// Expects `OrientedTorus::orientation_input()` as the input labeling and
+/// the PROD-LOCAL id tuples as `NodeContext::aux` (pass
+/// `ProdLocalIds::all_tuples` to `run_synchronous`).
+class GridColoring final : public SynchronousAlgorithm {
+ public:
+  /// `per_dim_id_range`: strict upper bound on every per-dimension
+  /// identifier (use `prod_id_range`).
+  GridColoring(int dimensions, std::uint64_t per_dim_id_range);
+
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+
+  int colors() const noexcept { return 2 * dimensions_ + 1; }
+  int total_rounds() const noexcept;
+  int cole_vishkin_rounds() const noexcept { return shrink_rounds_ + 3; }
+
+ private:
+  int product_palette() const noexcept;
+
+  int dimensions_;
+  std::uint64_t per_dim_id_range_;
+  int shrink_rounds_;
+};
+
+}  // namespace lcl

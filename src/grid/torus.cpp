@@ -1,0 +1,172 @@
+#include "grid/torus.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace lcl {
+
+OrientedTorus::OrientedTorus(std::vector<std::size_t> extents)
+    : extents_(std::move(extents)) {
+  if (extents_.empty()) {
+    throw std::invalid_argument("OrientedTorus: need >= 1 dimension");
+  }
+  std::size_t total = 1;
+  strides_.resize(extents_.size());
+  for (std::size_t k = 0; k < extents_.size(); ++k) {
+    if (extents_[k] < 3) {
+      throw std::invalid_argument(
+          "OrientedTorus: every extent must be >= 3 (smaller tori are not "
+          "simple graphs)");
+    }
+    strides_[k] = total;
+    total *= extents_[k];
+  }
+
+  Graph::Builder builder(total);
+  // Edges are inserted per dimension in node-id order, each as
+  // (tail, forward neighbor). Port numbers at a node consequently depend on
+  // insertion order, NOT on a fixed (2k, 2k+1) scheme; algorithms locate
+  // their dimension-k ports through the orientation input labels - which is
+  // also how the paper's model conveys the orientation.
+  for (std::size_t k = 0; k < extents_.size(); ++k) {
+    for (NodeId v = 0; v < total; ++v) {
+      const auto coords = [&] {
+        std::vector<std::size_t> c(extents_.size());
+        std::size_t rest = v;
+        for (std::size_t j = 0; j < extents_.size(); ++j) {
+          c[j] = rest % extents_[j];
+          rest /= extents_[j];
+        }
+        return c;
+      }();
+      auto forward = coords;
+      forward[k] = (forward[k] + 1) % extents_[k];
+      std::size_t w = 0;
+      for (std::size_t j = 0; j < extents_.size(); ++j) {
+        w += forward[j] * strides_[j];
+      }
+      builder.add_edge(v, static_cast<NodeId>(w));
+    }
+  }
+  graph_ = builder.build();
+}
+
+std::size_t OrientedTorus::extent(int dim) const {
+  if (dim < 0 || dim >= dimensions()) {
+    throw std::out_of_range("OrientedTorus: bad dimension");
+  }
+  return extents_[static_cast<std::size_t>(dim)];
+}
+
+NodeId OrientedTorus::node_at(const std::vector<std::size_t>& coords) const {
+  if (coords.size() != extents_.size()) {
+    throw std::invalid_argument("OrientedTorus::node_at: wrong arity");
+  }
+  std::size_t v = 0;
+  for (std::size_t k = 0; k < extents_.size(); ++k) {
+    if (coords[k] >= extents_[k]) {
+      throw std::out_of_range("OrientedTorus::node_at: coordinate too large");
+    }
+    v += coords[k] * strides_[k];
+  }
+  return static_cast<NodeId>(v);
+}
+
+std::vector<std::size_t> OrientedTorus::coords_of(NodeId v) const {
+  if (v >= graph_.node_count()) {
+    throw std::out_of_range("OrientedTorus::coords_of: bad node");
+  }
+  std::vector<std::size_t> coords(extents_.size());
+  std::size_t rest = v;
+  for (std::size_t k = 0; k < extents_.size(); ++k) {
+    coords[k] = rest % extents_[k];
+    rest /= extents_[k];
+  }
+  return coords;
+}
+
+HalfEdgeLabeling OrientedTorus::orientation_input() const {
+  HalfEdgeLabeling input(graph_.half_edge_count(), 0);
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const auto [tail, head] = graph_.endpoints(e);
+    // Edges were inserted as (v, forward-neighbor), so `tail` is the tail.
+    // Determine the dimension from the coordinate difference.
+    const auto ct = coords_of(tail);
+    const auto ch = coords_of(head);
+    int dim = -1;
+    for (std::size_t k = 0; k < extents_.size(); ++k) {
+      if (ct[k] != ch[k]) {
+        dim = static_cast<int>(k);
+        break;
+      }
+    }
+    input[graph_.half_edge_of(tail, e)] = forward_label(dim);
+    input[graph_.half_edge_of(head, e)] = backward_label(dim);
+  }
+  return input;
+}
+
+std::vector<std::uint64_t> ProdLocalIds::tuple_for(const OrientedTorus& torus,
+                                                   NodeId v) const {
+  const auto coords = torus.coords_of(v);
+  std::vector<std::uint64_t> tuple(coords.size());
+  for (std::size_t k = 0; k < coords.size(); ++k) {
+    tuple[k] = per_coordinate[k][coords[k]];
+  }
+  return tuple;
+}
+
+std::vector<std::vector<std::uint64_t>> ProdLocalIds::all_tuples(
+    const OrientedTorus& torus) const {
+  std::vector<std::vector<std::uint64_t>> tuples(torus.node_count());
+  for (NodeId v = 0; v < torus.node_count(); ++v) {
+    tuples[v] = tuple_for(torus, v);
+  }
+  return tuples;
+}
+
+ProdLocalIds random_prod_ids(const OrientedTorus& torus, SplitRng& rng) {
+  ProdLocalIds prod;
+  prod.per_coordinate.resize(static_cast<std::size_t>(torus.dimensions()));
+  const std::uint64_t range =
+      std::max<std::uint64_t>(torus.node_count() * torus.node_count(), 64);
+  for (int k = 0; k < torus.dimensions(); ++k) {
+    auto& ids = prod.per_coordinate[static_cast<std::size_t>(k)];
+    std::set<std::uint64_t> used;
+    for (std::size_t c = 0; c < torus.extent(k); ++c) {
+      std::uint64_t id = 1 + rng.next_below(range);
+      while (used.count(id) != 0) id = 1 + rng.next_below(range);
+      used.insert(id);
+      ids.push_back(id);
+    }
+  }
+  return prod;
+}
+
+IdAssignment combined_ids(const OrientedTorus& torus,
+                          const ProdLocalIds& prod) {
+  const std::uint64_t range = prod_id_range(prod);
+  IdAssignment ids(torus.node_count());
+  for (NodeId v = 0; v < torus.node_count(); ++v) {
+    const auto tuple = prod.tuple_for(torus, v);
+    std::uint64_t packed = 0;
+    for (std::size_t k = tuple.size(); k-- > 0;) {
+      packed = packed * range + tuple[k];
+    }
+    ids[v] = packed;
+  }
+  return ids;
+}
+
+std::uint64_t prod_id_range(const ProdLocalIds& prod) {
+  std::uint64_t max_id = 0;
+  for (const auto& dim : prod.per_coordinate) {
+    for (const auto id : dim) max_id = std::max(max_id, id);
+  }
+  return std::uint64_t{1} << (floor_log2(std::max<std::uint64_t>(max_id, 1)) +
+                              1);
+}
+
+}  // namespace lcl

@@ -1,0 +1,148 @@
+#include "local/cole_vishkin.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace lcl {
+
+namespace {
+
+constexpr std::size_t kColor = 0;
+constexpr std::size_t kRoundsDone = 1;
+
+/// Successor port of a node, or -1 (path end). Throws if several half-edges
+/// claim to be the successor - that is a malformed orientation.
+int successor_port(const NodeContext& ctx) {
+  int port = -1;
+  for (int p = 0; p < ctx.degree; ++p) {
+    if (ctx.inputs[static_cast<std::size_t>(p)] == kCvSuccessor) {
+      if (port != -1) {
+        throw std::invalid_argument(
+            "ColeVishkin: node has two successor half-edges");
+      }
+      port = p;
+    }
+  }
+  return port;
+}
+
+}  // namespace
+
+HalfEdgeLabeling chain_orientation_input(const Graph& graph, bool is_cycle) {
+  if (graph.max_degree() > 2) {
+    throw std::invalid_argument(
+        "chain_orientation_input: graph is not a path/cycle");
+  }
+  const std::size_t n = graph.node_count();
+  HalfEdgeLabeling input(graph.half_edge_count(), kCvPlain);
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const auto [a, b] = graph.endpoints(e);
+    // Generator convention: consecutive indices (mod n for the wrap edge).
+    NodeId from, to;
+    if ((a + 1) % n == b) {
+      from = a;
+      to = b;
+    } else if ((b + 1) % n == a) {
+      from = b;
+      to = a;
+    } else {
+      throw std::invalid_argument(
+          "chain_orientation_input: edge does not follow the make_path/"
+          "make_cycle index convention");
+    }
+    (void)to;
+    (void)is_cycle;
+    input[graph.half_edge_of(from, e)] = kCvSuccessor;
+  }
+  return input;
+}
+
+ColeVishkin::ColeVishkin(std::uint64_t id_range) : id_range_(id_range) {
+  if (id_range < 1) {
+    throw std::invalid_argument("ColeVishkin: id_range must be positive");
+  }
+  // Palette sizes: m_0 = id_range, m_{k+1} = 2 * ceil(log2(m_k)); stop once
+  // the palette is within {0..5} or no longer shrinks.
+  int rounds = 0;
+  std::uint64_t m = id_range;
+  while (m > 6) {
+    const std::uint64_t next = 2 * static_cast<std::uint64_t>(ceil_log2(m));
+    ++rounds;
+    if (next >= m) break;  // fixed point (only for tiny m; m=6 case below)
+    m = next;
+  }
+  shrink_rounds_ = rounds;
+}
+
+NodeState ColeVishkin::init(NodeContext& ctx) const {
+  if (ctx.degree > 2) {
+    throw std::invalid_argument("ColeVishkin: node degree exceeds 2");
+  }
+  if (ctx.id >= id_range_) {
+    throw std::invalid_argument("ColeVishkin: id outside declared range");
+  }
+  successor_port(ctx);  // validates the orientation
+  return {ctx.id, 0};
+}
+
+NodeState ColeVishkin::step(NodeContext& ctx, const NodeState& self,
+                            const std::vector<const NodeState*>& neighbors,
+                            int round) const {
+  NodeState next = self;
+  next[kRoundsDone] = static_cast<std::uint64_t>(round);
+  const std::uint64_t color = self[kColor];
+
+  if (round <= shrink_rounds_) {
+    const int succ = successor_port(ctx);
+    if (succ == -1) {
+      // Path end: project onto bit 0; the predecessor's choice can never
+      // collide with {0,1} unless bit 0 already differed (see paper notes in
+      // DESIGN.md).
+      next[kColor] = color & 1;
+      return next;
+    }
+    const std::uint64_t succ_color =
+        (*neighbors[static_cast<std::size_t>(succ)])[kColor];
+    if (succ_color == color) {
+      throw std::logic_error("ColeVishkin: adjacent equal colors");
+    }
+    const std::uint64_t diff = color ^ succ_color;
+    std::uint64_t i = 0;
+    while (((diff >> i) & 1) == 0) ++i;
+    next[kColor] = 2 * i + ((color >> i) & 1);
+    return next;
+  }
+
+  // 6 -> 3 reduction: rounds shrink_rounds_+1.. shrink_rounds_+3 remove
+  // colors 5, 4, 3 in that order.
+  const std::uint64_t target =
+      5 - static_cast<std::uint64_t>(round - shrink_rounds_ - 1);
+  if (color == target) {
+    for (std::uint64_t c = 0; c < 3; ++c) {
+      bool used = false;
+      for (const NodeState* nb : neighbors) {
+        if ((*nb)[kColor] == c) used = true;
+      }
+      if (!used) {
+        next[kColor] = c;
+        break;
+      }
+    }
+  }
+  return next;
+}
+
+bool ColeVishkin::halted(const NodeContext& ctx,
+                         const NodeState& state) const {
+  (void)ctx;
+  return state[kRoundsDone] >= static_cast<std::uint64_t>(total_rounds());
+}
+
+std::vector<Label> ColeVishkin::finalize(const NodeContext& ctx,
+                                         const NodeState& state) const {
+  return std::vector<Label>(static_cast<std::size_t>(ctx.degree),
+                            static_cast<Label>(state[kColor]));
+}
+
+}  // namespace lcl

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+
+/// Builds the input labeling that orients a path or cycle produced by
+/// `make_path` / `make_cycle`: the half-edge of node `i` on the edge toward
+/// node `i+1 (mod n)` is labeled `kSuccessor`, all other half-edges
+/// `kPlain`. Cole-Vishkin needs such a consistent orientation; on oriented
+/// grids (Section 5) the dimension labels provide it for free.
+inline constexpr Label kCvPlain = 0;
+inline constexpr Label kCvSuccessor = 1;
+
+HalfEdgeLabeling chain_orientation_input(const Graph& graph, bool is_cycle);
+
+/// Cole-Vishkin 3-coloring of consistently oriented paths/cycles
+/// (max degree 2): the classic "compare with successor, keep (index, bit)
+/// of the lowest differing bit" color reduction, reaching 6 colors in
+/// Theta(log* id_range) rounds, then 3 greedy rounds down to 3 colors.
+/// This is the textbook member of the paper's class (B).
+class ColeVishkin final : public SynchronousAlgorithm {
+ public:
+  explicit ColeVishkin(std::uint64_t id_range);
+
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+
+  /// Rounds of the bit-shrinking stage (Theta(log* id_range)).
+  int shrink_rounds() const noexcept { return shrink_rounds_; }
+  /// Total rounds including the 6 -> 3 reduction.
+  int total_rounds() const noexcept { return shrink_rounds_ + 3; }
+
+ private:
+  std::uint64_t id_range_;
+  int shrink_rounds_;
+};
+
+}  // namespace lcl

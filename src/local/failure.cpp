@@ -1,0 +1,129 @@
+#include "local/failure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lcl {
+
+LocalFailureEstimate estimate_local_failure(
+    const SynchronousAlgorithm& algorithm, const NodeEdgeCheckableLcl& problem,
+    const Graph& graph, const HalfEdgeLabeling& input, const IdAssignment& ids,
+    int trials, std::uint64_t seed_base, int max_rounds) {
+  if (trials < 1) {
+    throw std::invalid_argument("estimate_local_failure: trials >= 1");
+  }
+  std::vector<int> node_failures(graph.node_count(), 0);
+  std::vector<int> edge_failures(graph.edge_count(), 0);
+  int global_failures = 0;
+
+  for (int t = 0; t < trials; ++t) {
+    const auto result = run_synchronous(algorithm, graph, input, ids,
+                                        seed_base + static_cast<std::uint64_t>(t),
+                                        0, max_rounds);
+    const auto check = check_solution(problem, graph, input, result.output);
+    if (!check.ok()) ++global_failures;
+    // A node/edge may appear in several violations of one run; count each
+    // entity at most once per trial.
+    std::vector<char> node_seen(graph.node_count(), 0);
+    std::vector<char> edge_seen(graph.edge_count(), 0);
+    for (const auto& v : check.violations) {
+      if (v.kind == Violation::Kind::kNode) {
+        if (!node_seen[v.id]) {
+          node_seen[v.id] = 1;
+          ++node_failures[v.id];
+        }
+      } else if (!edge_seen[v.id]) {
+        edge_seen[v.id] = 1;
+        ++edge_failures[v.id];
+      }
+    }
+  }
+
+  LocalFailureEstimate estimate;
+  estimate.trials = trials;
+  int worst = 0;
+  for (const int c : node_failures) worst = std::max(worst, c);
+  for (const int c : edge_failures) worst = std::max(worst, c);
+  estimate.local_failure = static_cast<double>(worst) / trials;
+  estimate.global_failure = static_cast<double>(global_failures) / trials;
+  return estimate;
+}
+
+namespace {
+constexpr std::size_t kDecided = 0;
+constexpr std::size_t kColor = 1;
+constexpr std::size_t kProposal = 2;
+constexpr std::size_t kRound = 3;
+}  // namespace
+
+CappedRandomColoring::CappedRandomColoring(int max_degree, int round_cap)
+    : max_degree_(max_degree), round_cap_(round_cap) {
+  if (max_degree < 1 || round_cap < 0) {
+    throw std::invalid_argument("CappedRandomColoring: bad arguments");
+  }
+}
+
+NodeState CappedRandomColoring::init(NodeContext& ctx) const {
+  if (ctx.degree == 0) return {1, 0, 0, 0};
+  return {0, 0, 0, 0};
+}
+
+NodeState CappedRandomColoring::step(
+    NodeContext& ctx, const NodeState& self,
+    const std::vector<const NodeState*>& neighbors, int round) const {
+  NodeState next = self;
+  next[kRound] = static_cast<std::uint64_t>(round);
+  if (self[kDecided] == 1) return next;
+
+  if (round >= round_cap_) {
+    // Out of budget: commit to whatever is on the table.
+    next[kDecided] = 1;
+    next[kColor] = self[kProposal] == 0 ? 0 : self[kProposal] - 1;
+    next[kProposal] = 0;
+    return next;
+  }
+
+  if (round % 2 == 1) {
+    std::vector<char> blocked(static_cast<std::size_t>(max_degree_) + 1, 0);
+    for (const NodeState* nb : neighbors) {
+      if ((*nb)[kDecided] == 1) blocked[(*nb)[kColor]] = 1;
+    }
+    std::vector<std::uint64_t> free;
+    for (std::uint64_t c = 0; c <= static_cast<std::uint64_t>(max_degree_);
+         ++c) {
+      if (!blocked[c]) free.push_back(c);
+    }
+    next[kProposal] = free[ctx.rng.next_below(free.size())] + 1;
+    return next;
+  }
+
+  const std::uint64_t proposal = self[kProposal];
+  if (proposal == 0) return next;
+  bool conflict = false;
+  for (const NodeState* nb : neighbors) {
+    if ((*nb)[kDecided] == 1 && (*nb)[kColor] + 1 == proposal) conflict = true;
+    if ((*nb)[kDecided] == 0 && (*nb)[kProposal] == proposal) conflict = true;
+  }
+  next[kProposal] = 0;
+  if (!conflict) {
+    next[kDecided] = 1;
+    next[kColor] = proposal - 1;
+  } else {
+    next[kProposal] = proposal;  // remember it in case the cap hits next
+  }
+  return next;
+}
+
+bool CappedRandomColoring::halted(const NodeContext&,
+                                  const NodeState& state) const {
+  return state[kDecided] == 1;
+}
+
+std::vector<Label> CappedRandomColoring::finalize(
+    const NodeContext& ctx, const NodeState& state) const {
+  return std::vector<Label>(static_cast<std::size_t>(ctx.degree),
+                            static_cast<Label>(state[kColor]));
+}
+
+}  // namespace lcl

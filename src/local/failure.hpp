@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/checker.hpp"
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+
+/// Empirical rendering of Definition 2.4: run a randomized algorithm many
+/// times and estimate, per node and per edge, how often its output is
+/// incorrect there; report the maximum - the measured local failure
+/// probability. This is the quantity Theorem 3.4's pipeline consumes (a
+/// T-round randomized algorithm with local failure probability p) and whose
+/// growth along the round-elimination sequence the theorem bounds by
+/// S * p^(1/(3*Delta+3)).
+struct LocalFailureEstimate {
+  /// max over nodes/edges of the empirical failure frequency.
+  double local_failure = 0.0;
+  /// Fraction of trials in which the global output was incorrect anywhere.
+  double global_failure = 0.0;
+  int trials = 0;
+};
+
+/// Runs `algorithm` `trials` times with independent seeds and aggregates
+/// per-node/per-edge failure frequencies via `check_solution`.
+LocalFailureEstimate estimate_local_failure(
+    const SynchronousAlgorithm& algorithm, const NodeEdgeCheckableLcl& problem,
+    const Graph& graph, const HalfEdgeLabeling& input, const IdAssignment& ids,
+    int trials, std::uint64_t seed_base = 1,
+    int max_rounds = 1'000'000);
+
+/// The randomized (Delta+1)-coloring of `RandomGreedyColoring`, truncated
+/// after `round_cap` rounds: still-undecided nodes commit to their current
+/// proposal (or color 0). Sweeping the cap trades rounds against local
+/// failure probability - the empirical face of the "T(n) rounds, failure
+/// p" premise of Theorem 3.4.
+class CappedRandomColoring final : public SynchronousAlgorithm {
+ public:
+  CappedRandomColoring(int max_degree, int round_cap);
+
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+
+ private:
+  int max_degree_;
+  int round_cap_;
+};
+
+}  // namespace lcl

@@ -1,0 +1,174 @@
+#include "local/forest_transform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "core/brute_force.hpp"
+
+namespace lcl {
+
+namespace {
+
+/// The center's connected component as far as the view shows it.
+struct ExploredComponent {
+  /// True iff every component node lies strictly inside the view (distance
+  /// < radius), so all its edges and ports are fully visible and the
+  /// exploration provably found the *whole* component.
+  bool complete = true;
+  std::vector<NodeId> nodes;
+};
+
+ExploredComponent explore_component(const LocalView& view) {
+  ExploredComponent result;
+  std::map<NodeId, bool> seen;
+  std::queue<NodeId> frontier;
+  frontier.push(view.center());
+  seen[view.center()] = true;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    result.nodes.push_back(v);
+    if (view.distance(v) >= view.radius()) {
+      // Boundary node: its edge set is invisible, so containment cannot be
+      // certified.
+      result.complete = false;
+      continue;
+    }
+    for (int p = 0; p < view.degree(v); ++p) {
+      const NodeId w = view.neighbor(v, p);
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push(w);
+      }
+    }
+  }
+  return result;
+}
+
+/// Eccentricity of `v` within the (complete) component.
+int component_eccentricity(const LocalView& view,
+                           const ExploredComponent& component, NodeId v) {
+  std::map<NodeId, int> dist;
+  std::queue<NodeId> frontier;
+  dist[v] = 0;
+  frontier.push(v);
+  int ecc = 0;
+  while (!frontier.empty()) {
+    const NodeId x = frontier.front();
+    frontier.pop();
+    ecc = std::max(ecc, dist[x]);
+    for (int p = 0; p < view.degree(x); ++p) {
+      const NodeId w = view.neighbor(x, p);
+      if (dist.count(w) == 0) {
+        dist[w] = dist[x] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  (void)component;
+  return ecc;
+}
+
+}  // namespace
+
+ForestTransformedAlgorithm::ForestTransformedAlgorithm(
+    const BallAlgorithm& tree_algorithm, const NodeEdgeCheckableLcl& problem)
+    : tree_algorithm_(tree_algorithm), problem_(problem) {}
+
+int ForestTransformedAlgorithm::radius(std::size_t advertised_n) const {
+  // Lemma 3.3 collects the (2T+2)-hop neighborhood; we use 2T+3 so that a
+  // component passing the small-component test (some node sees all of it
+  // within T+1 hops, hence pairwise distances <= 2T+2) lies strictly inside
+  // the view, with every port and edge fully visible.
+  const std::size_t n_squared = advertised_n * advertised_n;
+  return 2 * tree_algorithm_.radius(n_squared) + 3;
+}
+
+std::vector<Label> ForestTransformedAlgorithm::outputs(
+    const LocalView& view) const {
+  const std::size_t n = view.advertised_n();
+  const std::size_t n_squared = n * n;
+  const int t = tree_algorithm_.radius(n_squared);
+
+  const auto component = explore_component(view);
+  bool small_component = false;
+  if (component.complete) {
+    for (const NodeId v : component.nodes) {
+      if (component_eccentricity(view, component, v) <= t + 1) {
+        small_component = true;
+        break;
+      }
+    }
+  }
+
+  if (!small_component) {
+    // Large component: every node's (t+1)-hop neighborhood also occurs in
+    // some n^2-node tree, so running the tree algorithm with advertised
+    // size n^2 is sound (Lemma 3.3).
+    return tree_algorithm_.outputs(
+        view.restricted(view.center(), t).with_advertised(n_squared));
+  }
+
+  // Small component: build a canonical copy - nodes renumbered by ID rank,
+  // edges inserted in (ID rank, original port) order of the lower-ranked
+  // endpoint - and solve it with the deterministic backtracking solver.
+  // Every node of the component sees the same component and performs
+  // exactly this construction, so all of them read their outputs off the
+  // *same* solution (the "arbitrary but fixed deterministic fashion" of the
+  // lemma's proof).
+  std::vector<NodeId> ordered = component.nodes;
+  std::sort(ordered.begin(), ordered.end(),
+            [&](NodeId a, NodeId b) { return view.id(a) < view.id(b); });
+  std::map<NodeId, NodeId> rank;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    rank[ordered[i]] = static_cast<NodeId>(i);
+  }
+
+  Graph::Builder builder(ordered.size());
+  for (const NodeId v : ordered) {
+    const NodeId rv = rank.at(v);
+    for (int p = 0; p < view.degree(v); ++p) {
+      const NodeId rw = rank.at(view.neighbor(v, p));
+      if (rv < rw) builder.add_edge(rv, rw);
+    }
+  }
+  const Graph local_graph = builder.build();
+
+  // Match (local node, original port) to rebuilt half-edges; the neighbor
+  // identifies the edge since simple graphs have no parallel edges.
+  HalfEdgeLabeling local_input(local_graph.half_edge_count(), 0);
+  std::map<std::pair<NodeId, int>, HalfEdgeId> half_edge_of;
+  for (const NodeId v : ordered) {
+    const NodeId rv = rank.at(v);
+    for (int p = 0; p < view.degree(v); ++p) {
+      const NodeId rw = rank.at(view.neighbor(v, p));
+      for (int lp = 0; lp < local_graph.degree(rv); ++lp) {
+        if (local_graph.neighbor(rv, lp) == rw) {
+          const HalfEdgeId h = local_graph.half_edge(rv, lp);
+          half_edge_of[{rv, p}] = h;
+          local_input[h] = view.input(v, p);
+          break;
+        }
+      }
+    }
+  }
+
+  const auto solution = brute_force_solve(problem_, local_graph, local_input);
+  if (!solution) {
+    throw std::runtime_error(
+        "ForestTransformedAlgorithm: component admits no correct solution "
+        "(contradicts the existence of the tree algorithm)");
+  }
+
+  const NodeId rc = rank.at(view.center());
+  const int degree = view.degree(view.center());
+  std::vector<Label> out(static_cast<std::size_t>(degree));
+  for (int p = 0; p < degree; ++p) {
+    out[static_cast<std::size_t>(p)] = (*solution)[half_edge_of.at({rc, p})];
+  }
+  return out;
+}
+
+}  // namespace lcl

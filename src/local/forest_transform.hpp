@@ -1,0 +1,38 @@
+#pragma once
+
+#include "core/lcl.hpp"
+#include "local/view.hpp"
+
+namespace lcl {
+
+/// The Lemma 3.3 transformer: turns an algorithm `A` that solves a
+/// node-edge-checkable problem on *trees* in T(n) rounds into an algorithm
+/// `A'` solving the same problem on *forests* in O(T(n^2)) rounds.
+///
+/// Following the lemma's proof, each node u collects its (2*T(n^2)+2)-hop
+/// neighborhood and distinguishes two cases about its connected component
+/// C_u:
+///  - some node v in C_u sees all of C_u within T(n^2)+1 hops: then every
+///    node of C_u can see the whole component, and all of them map it, in
+///    the same deterministic fashion, to some fixed correct solution (we
+///    use the canonical backtracking solver with nodes ordered by ID);
+///  - otherwise, u simply runs A pretending the graph has n^2 nodes; its
+///    (T(n^2)+1)-hop neighborhood is then isomorphic to a neighborhood in
+///    some n^2-node tree, so A's guarantees apply.
+class ForestTransformedAlgorithm final : public BallAlgorithm {
+ public:
+  /// `tree_algorithm` must solve `problem` on trees; `problem` is needed for
+  /// the canonical small-component solutions. Both references must outlive
+  /// this object.
+  ForestTransformedAlgorithm(const BallAlgorithm& tree_algorithm,
+                             const NodeEdgeCheckableLcl& problem);
+
+  int radius(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(const LocalView& view) const override;
+
+ private:
+  const BallAlgorithm& tree_algorithm_;
+  const NodeEdgeCheckableLcl& problem_;
+};
+
+}  // namespace lcl

@@ -1,0 +1,46 @@
+#include "local/global_algorithms.hpp"
+
+namespace lcl {
+
+namespace {
+constexpr std::size_t kRootId = 0;
+constexpr std::size_t kDistance = 1;
+}  // namespace
+
+NodeState BfsTwoColoring::init(NodeContext& ctx) const {
+  return {ctx.id, 0};
+}
+
+NodeState BfsTwoColoring::step(NodeContext& ctx, const NodeState& self,
+                               const std::vector<const NodeState*>& neighbors,
+                               int round) const {
+  (void)ctx;
+  (void)round;
+  NodeState next = self;
+  for (const NodeState* nb : neighbors) {
+    const std::uint64_t candidate_root = (*nb)[kRootId];
+    const std::uint64_t candidate_dist = (*nb)[kDistance] + 1;
+    if (candidate_root < next[kRootId] ||
+        (candidate_root == next[kRootId] &&
+         candidate_dist < next[kDistance])) {
+      next[kRootId] = candidate_root;
+      next[kDistance] = candidate_dist;
+    }
+  }
+  return next;
+}
+
+bool BfsTwoColoring::halted(const NodeContext& ctx,
+                            const NodeState& state) const {
+  (void)ctx;
+  (void)state;
+  return false;  // global problem: rely on engine quiescence
+}
+
+std::vector<Label> BfsTwoColoring::finalize(const NodeContext& ctx,
+                                            const NodeState& state) const {
+  const Label color = static_cast<Label>(state[kDistance] % 2);
+  return std::vector<Label>(static_cast<std::size_t>(ctx.degree), color);
+}
+
+}  // namespace lcl

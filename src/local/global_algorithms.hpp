@@ -1,0 +1,41 @@
+#pragma once
+
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+
+/// Proper 2-coloring by global BFS: every node initially roots a wave at
+/// itself; waves carry (root id, distance) and nodes adopt the wave with
+/// the smallest root id (shortest distance as tie-break). Once the waves
+/// stabilize - after Theta(diameter) = Theta(n) rounds on paths - the color
+/// is the distance parity. This is the Figure 1 witness for the global
+/// class: 2-coloring is Theta(n) on paths/cycles because the parity of the
+/// whole path matters.
+///
+/// Nodes cannot locally detect global termination, so the algorithm never
+/// halts voluntarily; the engine's quiescence detection ends the run, and
+/// the reported round count ~ eccentricity of the minimum-id node.
+///
+/// Correct on bipartite graphs whose BFS layers from the minimum-id node
+/// 2-color them (always true on trees, paths and even cycles).
+class BfsTwoColoring final : public SynchronousAlgorithm {
+ public:
+  BfsTwoColoring() = default;
+
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+};
+
+/// Computes each node's eccentricity-bounded "distance to the minimum-id
+/// node" the same way `BfsTwoColoring` does - exposed for tests.
+struct BfsWaveState {
+  std::uint64_t root_id;
+  std::uint64_t distance;
+};
+
+}  // namespace lcl

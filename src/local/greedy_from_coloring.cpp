@@ -1,0 +1,186 @@
+#include "local/greedy_from_coloring.hpp"
+
+#include <stdexcept>
+
+namespace lcl {
+
+namespace {
+// Shared head of the state layout (must match LinialColoring's layout so the
+// coloring stage can be delegated verbatim).
+constexpr std::size_t kColor = 0;
+constexpr std::size_t kRoundsDone = 1;
+
+// MIS-specific fields.
+constexpr std::size_t kMisStatus = 2;  // 0 undecided, 1 in MIS, 2 dominated
+constexpr std::size_t kPointer = 3;    // pointer port + 1; 0 = none
+
+// Matching-specific fields.
+constexpr std::size_t kMatched = 2;       // 0/1
+constexpr std::size_t kMatchedPort = 3;   // port + 1
+constexpr std::size_t kMatchedRound = 4;  // round at which we got matched
+constexpr std::size_t kProposal = 5;      // proposed port + 1; 0 = none
+}  // namespace
+
+MisByColoring::MisByColoring(int max_degree, std::uint64_t id_range)
+    : max_degree_(max_degree), coloring_(max_degree, id_range) {}
+
+int MisByColoring::total_rounds() const noexcept {
+  // Coloring, then one join round per color class, then the pointer round.
+  return coloring_.total_rounds() + (max_degree_ + 1) + 1;
+}
+
+NodeState MisByColoring::init(NodeContext& ctx) const {
+  NodeState state = coloring_.init(ctx);
+  state.resize(4, 0);
+  return state;
+}
+
+NodeState MisByColoring::step(NodeContext& ctx, const NodeState& self,
+                              const std::vector<const NodeState*>& neighbors,
+                              int round) const {
+  const int coloring_rounds = coloring_.total_rounds();
+  if (round <= coloring_rounds) {
+    // LinialColoring only touches fields 0 and 1 and copies the rest.
+    return coloring_.step(ctx, self, neighbors, round);
+  }
+  NodeState next = self;
+  next[kRoundsDone] = static_cast<std::uint64_t>(round);
+
+  const int sweep = round - coloring_rounds;  // 1-based sweep index
+  if (sweep <= max_degree_ + 1) {
+    // Color class sweep: class (sweep-1) decides now.
+    const std::uint64_t my_class = static_cast<std::uint64_t>(sweep - 1);
+    if (self[kMisStatus] == 0 && self[kColor] == my_class) {
+      bool dominated = false;
+      for (const NodeState* nb : neighbors) {
+        if ((*nb)[kMisStatus] == 1) dominated = true;
+      }
+      next[kMisStatus] = dominated ? 2 : 1;
+    }
+    return next;
+  }
+
+  // Pointer round: dominated nodes record the smallest port leading into
+  // the MIS.
+  if (self[kMisStatus] == 2) {
+    for (std::size_t p = 0; p < neighbors.size(); ++p) {
+      if ((*neighbors[p])[kMisStatus] == 1) {
+        next[kPointer] = static_cast<std::uint64_t>(p) + 1;
+        break;
+      }
+    }
+    if (next[kPointer] == 0) {
+      throw std::logic_error(
+          "MisByColoring: dominated node has no MIS neighbor (bug)");
+    }
+  }
+  return next;
+}
+
+bool MisByColoring::halted(const NodeContext& ctx,
+                           const NodeState& state) const {
+  (void)ctx;
+  return state[kRoundsDone] >= static_cast<std::uint64_t>(total_rounds());
+}
+
+std::vector<Label> MisByColoring::finalize(const NodeContext& ctx,
+                                           const NodeState& state) const {
+  std::vector<Label> out(static_cast<std::size_t>(ctx.degree), kO);
+  if (state[kMisStatus] == 1) {
+    for (auto& l : out) l = kI;
+  } else {
+    out[static_cast<std::size_t>(state[kPointer] - 1)] = kP;
+  }
+  return out;
+}
+
+MatchingByColoring::MatchingByColoring(int max_degree, std::uint64_t id_range)
+    : max_degree_(max_degree), coloring_(max_degree, id_range) {}
+
+int MatchingByColoring::total_rounds() const noexcept {
+  // Coloring, then 3 rounds (propose / accept / confirm) per schedule step
+  // (c, p) with c in [0, max_degree] and p in [0, max_degree).
+  return coloring_.total_rounds() + 3 * (max_degree_ + 1) * max_degree_;
+}
+
+NodeState MatchingByColoring::init(NodeContext& ctx) const {
+  NodeState state = coloring_.init(ctx);
+  state.resize(6, 0);
+  return state;
+}
+
+NodeState MatchingByColoring::step(
+    NodeContext& ctx, const NodeState& self,
+    const std::vector<const NodeState*>& neighbors, int round) const {
+  const int coloring_rounds = coloring_.total_rounds();
+  if (round <= coloring_rounds) {
+    return coloring_.step(ctx, self, neighbors, round);
+  }
+  NodeState next = self;
+  next[kRoundsDone] = static_cast<std::uint64_t>(round);
+
+  const int offset = round - coloring_rounds - 1;  // 0-based in this stage
+  const int stage = offset / 3;                    // schedule step (c, p)
+  const int phase = offset % 3;                    // 0 propose, 1 accept, 2 confirm
+  const std::uint64_t color = static_cast<std::uint64_t>(stage / max_degree_);
+  const int port = stage % max_degree_;
+
+  if (phase == 0) {
+    next[kProposal] = 0;
+    if (self[kMatched] == 0 && self[kColor] == color && port < ctx.degree) {
+      next[kProposal] = static_cast<std::uint64_t>(port) + 1;
+    }
+    return next;
+  }
+
+  if (phase == 1) {
+    // Accept: unmatched non-proposers take the smallest incoming proposal.
+    if (self[kMatched] == 1 || self[kProposal] != 0) return next;
+    for (std::size_t p = 0; p < neighbors.size(); ++p) {
+      const NodeState& nb = *neighbors[p];
+      const std::uint64_t expected =
+          static_cast<std::uint64_t>(ctx.twin_ports[p]) + 1;
+      if (nb[kMatched] == 0 && nb[kProposal] == expected) {
+        next[kMatched] = 1;
+        next[kMatchedPort] = static_cast<std::uint64_t>(p) + 1;
+        next[kMatchedRound] = static_cast<std::uint64_t>(round);
+        break;
+      }
+    }
+    return next;
+  }
+
+  // Confirm: a proposer learns whether its target accepted it this stage.
+  next[kProposal] = 0;
+  if (self[kMatched] == 0 && self[kProposal] != 0) {
+    const std::size_t p = static_cast<std::size_t>(self[kProposal] - 1);
+    const NodeState& nb = *neighbors[p];
+    if (nb[kMatched] == 1 &&
+        nb[kMatchedRound] == static_cast<std::uint64_t>(round - 1) &&
+        nb[kMatchedPort] ==
+            static_cast<std::uint64_t>(ctx.twin_ports[p]) + 1) {
+      next[kMatched] = 1;
+      next[kMatchedPort] = self[kProposal];
+      next[kMatchedRound] = static_cast<std::uint64_t>(round);
+    }
+  }
+  return next;
+}
+
+bool MatchingByColoring::halted(const NodeContext& ctx,
+                                const NodeState& state) const {
+  (void)ctx;
+  return state[kRoundsDone] >= static_cast<std::uint64_t>(total_rounds());
+}
+
+std::vector<Label> MatchingByColoring::finalize(const NodeContext& ctx,
+                                                const NodeState& state) const {
+  if (state[kMatched] == 0) {
+    return std::vector<Label>(static_cast<std::size_t>(ctx.degree), kU);
+  }
+  std::vector<Label> out(static_cast<std::size_t>(ctx.degree), kY);
+  out[static_cast<std::size_t>(state[kMatchedPort] - 1)] = kM;
+  return out;
+}
+
+}  // namespace lcl

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "local/linial.hpp"
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+
+/// Maximal independent set in Theta(log* n) rounds: run Linial's
+/// (Delta+1)-coloring, then sweep the color classes 0..Delta - class c joins
+/// the MIS in sweep round c unless a neighbor already joined - and finally
+/// record a pointer to a dominating MIS neighbor. Produces the
+/// `problems::mis` output encoding (I / P / O).
+class MisByColoring final : public SynchronousAlgorithm {
+ public:
+  MisByColoring(int max_degree, std::uint64_t id_range);
+
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+
+  int total_rounds() const noexcept;
+
+  /// Output labels (match `problems::mis(max_degree)`).
+  static constexpr Label kI = 0;
+  static constexpr Label kP = 1;
+  static constexpr Label kO = 2;
+
+ private:
+  int max_degree_;
+  LinialColoring coloring_;
+};
+
+/// Maximal matching in Theta(log* n) rounds: run Linial's coloring, then a
+/// deterministic proposal schedule - step (c, p) lets unmatched nodes of
+/// color c propose along port p; proposals are accepted (smallest port
+/// first) and confirmed in the two subsequent rounds. After the full
+/// schedule no edge has two unmatched endpoints. Produces the
+/// `problems::maximal_matching` encoding (M / Y / U).
+class MatchingByColoring final : public SynchronousAlgorithm {
+ public:
+  MatchingByColoring(int max_degree, std::uint64_t id_range);
+
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+
+  int total_rounds() const noexcept;
+
+  /// Output labels (match `problems::maximal_matching(max_degree)`).
+  static constexpr Label kM = 0;
+  static constexpr Label kY = 1;
+  static constexpr Label kU = 2;
+
+ private:
+  int max_degree_;
+  LinialColoring coloring_;
+};
+
+}  // namespace lcl

@@ -1,0 +1,79 @@
+#include "local/order_invariant.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace lcl {
+
+FrozenOrderInvariantAlgorithm::FrozenOrderInvariantAlgorithm(
+    const OrderInvariantBallAlgorithm& inner, std::size_t n0)
+    : inner_(inner), n0_(n0) {}
+
+int FrozenOrderInvariantAlgorithm::radius(std::size_t advertised_n) const {
+  return inner_.radius(std::min(advertised_n, n0_));
+}
+
+std::vector<Label> FrozenOrderInvariantAlgorithm::outputs(
+    const LocalView& view) const {
+  const std::size_t frozen = std::min(view.advertised_n(), n0_);
+  return inner_.outputs(view.with_advertised(frozen));
+}
+
+bool check_order_invariance(const BallAlgorithm& algorithm,
+                            const Graph& graph, const HalfEdgeLabeling& input,
+                            const IdAssignment& ids, int trials,
+                            SplitRng& rng) {
+  const HalfEdgeLabeling reference =
+      run_ball_algorithm(algorithm, graph, input, ids);
+  for (int t = 0; t < trials; ++t) {
+    const IdAssignment remapped = order_preserving_remap(ids, 4, rng);
+    const HalfEdgeLabeling other =
+        run_ball_algorithm(algorithm, graph, input, remapped);
+    if (other != reference) return false;
+  }
+  return true;
+}
+
+int OrientByIdOrder::radius(std::size_t advertised_n) const {
+  (void)advertised_n;
+  return 1;
+}
+
+std::vector<Label> OrientByIdOrder::outputs(const LocalView& view) const {
+  const NodeId v = view.center();
+  const std::uint64_t my_id = view.id(v);
+  std::vector<Label> out(static_cast<std::size_t>(view.degree(v)));
+  for (int p = 0; p < view.degree(v); ++p) {
+    const NodeId w = view.neighbor(v, p);
+    out[static_cast<std::size_t>(p)] =
+        (my_id < view.id(w)) ? kOut : kIn;
+  }
+  return out;
+}
+
+int WastefulOrientByIdOrder::radius(std::size_t advertised_n) const {
+  // ~ log2(log2(n)), but at least 1: a strictly o(log n), omega(1) radius.
+  const int loglog =
+      advertised_n >= 4
+          ? floor_log2(static_cast<std::uint64_t>(
+                floor_log2(static_cast<std::uint64_t>(advertised_n))))
+          : 0;
+  return std::max(1, loglog);
+}
+
+std::vector<Label> WastefulOrientByIdOrder::outputs(
+    const LocalView& view) const {
+  // Same decision as OrientByIdOrder; the extra radius is never used.
+  const NodeId v = view.center();
+  const std::uint64_t my_id = view.id(v);
+  std::vector<Label> out(static_cast<std::size_t>(view.degree(v)));
+  for (int p = 0; p < view.degree(v); ++p) {
+    out[static_cast<std::size_t>(p)] =
+        (my_id < view.id(view.neighbor(v, p))) ? OrientByIdOrder::kOut
+                                               : OrientByIdOrder::kIn;
+  }
+  return out;
+}
+
+}  // namespace lcl

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "local/view.hpp"
+#include "util/rng.hpp"
+
+namespace lcl {
+
+/// Marker base class for algorithms that promise order-invariance
+/// (Definition 2.7): their output may depend only on the *relative order*
+/// of the identifiers in the view, never on their values. The promise is
+/// checked empirically by `check_order_invariance`, not enforced by the
+/// type system.
+class OrderInvariantBallAlgorithm : public BallAlgorithm {};
+
+/// Theorem 2.11 for the LOCAL model: an order-invariant algorithm with
+/// radius f(n) = o(log n) can be frozen at a fixed n0 - always executing
+/// `inner` with advertised size min(n, n0) - yielding a correct O(1)-round
+/// order-invariant algorithm. (Correctness needs `inner` to be genuinely
+/// order-invariant and n0 large enough for the Delta^(r+1)*(T(n0)+1) <=
+/// n0/Delta counting argument; the wrapper checks neither - tests do.)
+class FrozenOrderInvariantAlgorithm final
+    : public OrderInvariantBallAlgorithm {
+ public:
+  FrozenOrderInvariantAlgorithm(const OrderInvariantBallAlgorithm& inner,
+                                std::size_t n0);
+
+  int radius(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(const LocalView& view) const override;
+
+ private:
+  const OrderInvariantBallAlgorithm& inner_;
+  std::size_t n0_;
+};
+
+/// Property test for Definition 2.7: runs `algorithm` on `graph` under
+/// `trials` random order-preserving remappings of `ids` and reports whether
+/// every run produced the same output labeling. A false return gives a
+/// counterexample to order-invariance; true means no violation was found.
+bool check_order_invariance(const BallAlgorithm& algorithm,
+                            const Graph& graph, const HalfEdgeLabeling& input,
+                            const IdAssignment& ids, int trials,
+                            SplitRng& rng);
+
+/// A 1-round order-invariant algorithm producing the
+/// `problems::any_orientation` encoding: each edge is oriented toward its
+/// larger-ID endpoint. Used as the canonical O(1)-class witness.
+class OrientByIdOrder final : public OrderInvariantBallAlgorithm {
+ public:
+  int radius(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(const LocalView& view) const override;
+
+  static constexpr Label kOut = 0;
+  static constexpr Label kIn = 1;
+};
+
+/// The same orientation algorithm padded to a wastefully large radius
+/// (about log2(log2(n))): still order-invariant and correct, but with
+/// super-constant round complexity o(log n) - precisely the kind of
+/// algorithm Theorem 2.11's freezing collapses to O(1).
+class WastefulOrientByIdOrder final : public OrderInvariantBallAlgorithm {
+ public:
+  int radius(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(const LocalView& view) const override;
+};
+
+}  // namespace lcl

@@ -1,0 +1,89 @@
+#include "local/rand_coloring.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace lcl {
+
+namespace {
+// State layout.
+constexpr std::size_t kDecided = 0;   // 0 = undecided, 1 = decided
+constexpr std::size_t kColor = 1;     // final color when decided
+constexpr std::size_t kProposal = 2;  // proposal + 1; 0 = no proposal
+}  // namespace
+
+RandomGreedyColoring::RandomGreedyColoring(int max_degree)
+    : max_degree_(max_degree) {
+  if (max_degree < 1) {
+    throw std::invalid_argument(
+        "RandomGreedyColoring: max_degree must be >= 1");
+  }
+}
+
+NodeState RandomGreedyColoring::init(NodeContext& ctx) const {
+  if (ctx.degree > max_degree_) {
+    throw std::invalid_argument(
+        "RandomGreedyColoring: node degree exceeds declared max_degree");
+  }
+  if (ctx.degree == 0) return {1, 0, 0};  // isolated: decide instantly
+  return {0, 0, 0};
+}
+
+NodeState RandomGreedyColoring::step(
+    NodeContext& ctx, const NodeState& self,
+    const std::vector<const NodeState*>& neighbors, int round) const {
+  NodeState next = self;
+  if (self[kDecided] == 1) return next;
+
+  if (round % 2 == 1) {
+    // Proposal phase: pick a uniform color from the palette minus decided
+    // neighbor colors.
+    std::vector<char> blocked(static_cast<std::size_t>(max_degree_) + 1, 0);
+    for (const NodeState* nb : neighbors) {
+      if ((*nb)[kDecided] == 1) blocked[(*nb)[kColor]] = 1;
+    }
+    std::vector<std::uint64_t> free;
+    for (std::uint64_t c = 0; c <= static_cast<std::uint64_t>(max_degree_);
+         ++c) {
+      if (!blocked[c]) free.push_back(c);
+    }
+    // At most `degree` neighbors are decided, so at least one color is free.
+    const std::uint64_t pick = free[ctx.rng.next_below(free.size())];
+    next[kProposal] = pick + 1;
+    return next;
+  }
+
+  // Resolution phase: keep the proposal unless an undecided neighbor
+  // proposed the same color or a neighbor decided on it in the meantime.
+  const std::uint64_t proposal = self[kProposal];
+  if (proposal == 0) return next;
+  bool conflict = false;
+  for (const NodeState* nb : neighbors) {
+    if ((*nb)[kDecided] == 1 && (*nb)[kColor] + 1 == proposal) {
+      conflict = true;
+    }
+    if ((*nb)[kDecided] == 0 && (*nb)[kProposal] == proposal) {
+      conflict = true;
+    }
+  }
+  next[kProposal] = 0;
+  if (!conflict) {
+    next[kDecided] = 1;
+    next[kColor] = proposal - 1;
+  }
+  return next;
+}
+
+bool RandomGreedyColoring::halted(const NodeContext& ctx,
+                                  const NodeState& state) const {
+  (void)ctx;
+  return state[kDecided] == 1;
+}
+
+std::vector<Label> RandomGreedyColoring::finalize(
+    const NodeContext& ctx, const NodeState& state) const {
+  return std::vector<Label>(static_cast<std::size_t>(ctx.degree),
+                            static_cast<Label>(state[kColor]));
+}
+
+}  // namespace lcl

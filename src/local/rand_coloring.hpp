@@ -1,0 +1,34 @@
+#pragma once
+
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+
+/// The classic randomized (Delta+1)-coloring by random color trials:
+/// in each phase an undecided node proposes a uniformly random color not
+/// used by decided neighbors; it keeps the color if no undecided neighbor
+/// proposed the same one. Each node succeeds with constant probability per
+/// phase, so the algorithm finishes in O(log n) rounds with probability
+/// 1 - 1/poly(n). A witness for the "randomness does not beat log* for
+/// coloring, but look how simple it is" narrative; also the starting point
+/// (randomized algorithm with small local failure probability) of the
+/// round-elimination pipeline of Section 3.
+class RandomGreedyColoring final : public SynchronousAlgorithm {
+ public:
+  explicit RandomGreedyColoring(int max_degree);
+
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+
+  int colors() const noexcept { return max_degree_ + 1; }
+
+ private:
+  int max_degree_;
+};
+
+}  // namespace lcl

@@ -1,0 +1,152 @@
+#include "local/rooted_tree.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace lcl {
+
+namespace {
+constexpr std::size_t kColor = 0;
+constexpr std::size_t kRoundsDone = 1;
+
+/// Port toward the parent, or -1 at the root. Throws on two parent edges.
+int parent_port(const NodeContext& ctx) {
+  int port = -1;
+  for (int p = 0; p < ctx.degree; ++p) {
+    if (ctx.inputs[static_cast<std::size_t>(p)] == kParentEdge) {
+      if (port != -1) {
+        throw std::invalid_argument(
+            "RootedTreeColoring: node has two parent edges");
+      }
+      port = p;
+    }
+  }
+  return port;
+}
+}  // namespace
+
+HalfEdgeLabeling root_tree_input(const Graph& tree, NodeId root) {
+  if (!tree.is_tree()) {
+    throw std::invalid_argument("root_tree_input: graph is not a tree");
+  }
+  HalfEdgeLabeling input(tree.half_edge_count(), kChildEdge);
+  // BFS from the root; each discovered node marks its half-edge back.
+  std::vector<char> seen(tree.node_count(), 0);
+  std::queue<NodeId> frontier;
+  seen[root] = 1;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (int p = 0; p < tree.degree(v); ++p) {
+      const NodeId w = tree.neighbor(v, p);
+      if (seen[w]) continue;
+      seen[w] = 1;
+      input[tree.half_edge_of(w, tree.edge_at(v, p))] = kParentEdge;
+      frontier.push(w);
+    }
+  }
+  return input;
+}
+
+RootedTreeColoring::RootedTreeColoring(std::uint64_t id_range)
+    : id_range_(id_range), shrink_rounds_(0) {
+  if (id_range < 1) {
+    throw std::invalid_argument("RootedTreeColoring: id_range >= 1");
+  }
+  int rounds = 0;
+  std::uint64_t m = id_range;
+  while (m > 6) {
+    const std::uint64_t next = 2 * static_cast<std::uint64_t>(ceil_log2(m));
+    ++rounds;
+    if (next >= m) break;
+    m = next;
+  }
+  shrink_rounds_ = rounds;
+}
+
+NodeState RootedTreeColoring::init(NodeContext& ctx) const {
+  if (ctx.id >= id_range_) {
+    throw std::invalid_argument("RootedTreeColoring: id outside range");
+  }
+  parent_port(ctx);  // validates the orientation
+  return {ctx.id, 0};
+}
+
+NodeState RootedTreeColoring::step(
+    NodeContext& ctx, const NodeState& self,
+    const std::vector<const NodeState*>& neighbors, int round) const {
+  NodeState next = self;
+  next[kRoundsDone] = static_cast<std::uint64_t>(round);
+  const std::uint64_t color = self[kColor];
+  const int pp = parent_port(ctx);
+
+  if (round <= shrink_rounds_) {
+    // Bit-shrinking against the parent only (degree-independent).
+    if (pp == -1) {
+      next[kColor] = color & 1;
+      return next;
+    }
+    const std::uint64_t parent_color =
+        (*neighbors[static_cast<std::size_t>(pp)])[kColor];
+    const std::uint64_t diff = color ^ parent_color;
+    std::uint64_t i = 0;
+    while (((diff >> i) & 1) == 0) ++i;
+    next[kColor] = 2 * i + ((color >> i) & 1);
+    return next;
+  }
+
+  // Three (shift-down, recolor) pairs removing colors 5, 4, 3. Shift-down
+  // makes all siblings monochromatic, so a recoloring node faces at most
+  // two constraints (parent color, common child color) and {0,1,2} always
+  // offers a free color.
+  const int offset = round - shrink_rounds_ - 1;  // 0-based in this stage
+  const bool shift = (offset % 2 == 0);
+  const std::uint64_t target = 5 - static_cast<std::uint64_t>(offset / 2);
+
+  if (shift) {
+    if (pp == -1) {
+      // Root: any *small* color different from its current one - picking
+      // from {0,1,2} guarantees shift-downs never re-introduce a high color
+      // that an earlier recolor round already eliminated.
+      next[kColor] = color == 0 ? 1 : 0;
+    } else {
+      next[kColor] = (*neighbors[static_cast<std::size_t>(pp)])[kColor];
+    }
+    return next;
+  }
+
+  if (color == target) {
+    std::uint64_t parent_color = 6, child_color = 6;  // 6 = "none"
+    for (int p = 0; p < ctx.degree; ++p) {
+      const std::uint64_t c = (*neighbors[static_cast<std::size_t>(p)])[kColor];
+      if (p == pp) {
+        parent_color = c;
+      } else {
+        child_color = c;  // all children share one color after shift-down
+      }
+    }
+    for (std::uint64_t c = 0; c < 3; ++c) {
+      if (c != parent_color && c != child_color) {
+        next[kColor] = c;
+        break;
+      }
+    }
+  }
+  return next;
+}
+
+bool RootedTreeColoring::halted(const NodeContext&,
+                                const NodeState& state) const {
+  return state[kRoundsDone] >= static_cast<std::uint64_t>(total_rounds());
+}
+
+std::vector<Label> RootedTreeColoring::finalize(
+    const NodeContext& ctx, const NodeState& state) const {
+  return std::vector<Label>(static_cast<std::size_t>(ctx.degree),
+                            static_cast<Label>(state[kColor]));
+}
+
+}  // namespace lcl

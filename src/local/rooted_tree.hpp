@@ -1,0 +1,46 @@
+#pragma once
+
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+
+/// Input labeling that roots a tree at `root`: the half-edge of each
+/// non-root node on its edge toward the root is labeled `kParentEdge`, all
+/// other half-edges `kChildEdge`. The orientation a rooted tree provides is
+/// exactly what [BBOSST21] (the rooted-trees classification discussed in
+/// Section 1.1) assumes as given.
+inline constexpr Label kChildEdge = 0;
+inline constexpr Label kParentEdge = 1;
+
+HalfEdgeLabeling root_tree_input(const Graph& tree, NodeId root);
+
+/// Cole-Vishkin on rooted trees with *unbounded* degree: every node
+/// compares its color with its parent only, so the classic bit-shrinking
+/// works regardless of Delta, reaching 6 colors in Theta(log* id_range)
+/// rounds; a shift-down round (adopt the parent's color, so all siblings
+/// become monochromatic) followed by three recolor rounds brings the
+/// palette to 3. A proper 3-coloring of any rooted tree in Theta(log* n)
+/// rounds - impossible without the orientation (unrooted trees need
+/// Delta+1 colors for greedy arguments).
+class RootedTreeColoring final : public SynchronousAlgorithm {
+ public:
+  explicit RootedTreeColoring(std::uint64_t id_range);
+
+  NodeState init(NodeContext& ctx) const override;
+  NodeState step(NodeContext& ctx, const NodeState& self,
+                 const std::vector<const NodeState*>& neighbors,
+                 int round) const override;
+  bool halted(const NodeContext& ctx, const NodeState& state) const override;
+  std::vector<Label> finalize(const NodeContext& ctx,
+                              const NodeState& state) const override;
+
+  int shrink_rounds() const noexcept { return shrink_rounds_; }
+  /// shrink + 3 x (shift-down + recolor).
+  int total_rounds() const noexcept { return shrink_rounds_ + 6; }
+
+ private:
+  std::uint64_t id_range_;
+  int shrink_rounds_;
+};
+
+}  // namespace lcl

@@ -1,0 +1,99 @@
+#include "local/sinkless.hpp"
+
+#include <stdexcept>
+
+namespace lcl {
+
+namespace {
+constexpr std::size_t kDist = 0;        // distance to nearest non-full node
+constexpr std::size_t kClaim = 1;       // claimed out-port + 1 (0 = none)
+constexpr std::size_t kOrientMask = 2;  // bit p = 1 iff port p is OUT
+constexpr std::size_t kId = 3;          // own identifier (for tie-breaks)
+constexpr std::uint64_t kInfinity = std::uint64_t{1} << 62;
+}  // namespace
+
+SinklessOrientationTree::SinklessOrientationTree(int max_degree)
+    : max_degree_(max_degree) {
+  if (max_degree < 2) {
+    throw std::invalid_argument(
+        "SinklessOrientationTree: max_degree must be >= 2");
+  }
+  if (max_degree > 63) {
+    throw std::invalid_argument(
+        "SinklessOrientationTree: orientation mask supports degree <= 63");
+  }
+}
+
+NodeState SinklessOrientationTree::init(NodeContext& ctx) const {
+  if (ctx.degree > max_degree_) {
+    throw std::invalid_argument(
+        "SinklessOrientationTree: node degree exceeds declared max_degree");
+  }
+  const std::uint64_t dist = ctx.degree < max_degree_ ? 0 : kInfinity;
+  return {dist, 0, 0, ctx.id};
+}
+
+NodeState SinklessOrientationTree::step(
+    NodeContext& ctx, const NodeState& self,
+    const std::vector<const NodeState*>& neighbors, int round) const {
+  (void)round;
+  NodeState next = self;
+
+  // Wave: distance to the nearest node of degree < Delta.
+  std::uint64_t best = self[kDist];
+  for (const NodeState* nb : neighbors) {
+    best = std::min(best, (*nb)[kDist] + 1);
+  }
+  next[kDist] = best;
+
+  // Full-degree nodes claim an edge toward a strictly closer neighbor.
+  next[kClaim] = 0;
+  if (ctx.degree == max_degree_ && best != kInfinity && best > 0) {
+    for (std::size_t p = 0; p < neighbors.size(); ++p) {
+      if ((*neighbors[p])[kDist] + 1 == best) {
+        next[kClaim] = static_cast<std::uint64_t>(p) + 1;
+        break;
+      }
+    }
+  }
+
+  // Per-port orientation from current knowledge; quiescence settles it.
+  std::uint64_t mask = 0;
+  for (std::size_t p = 0; p < neighbors.size(); ++p) {
+    const NodeState& nb = *neighbors[p];
+    const std::uint64_t twin_claim =
+        static_cast<std::uint64_t>(ctx.twin_ports[p]) + 1;
+    bool out;
+    if (next[kClaim] == p + 1) {
+      out = true;  // I claimed this edge.
+    } else if (nb[kClaim] == twin_claim) {
+      out = false;  // The neighbor claimed it.
+    } else {
+      // Unclaimed: orient away from the smaller-ID endpoint; both sides
+      // evaluate the same comparison (ids travel in the states), so the
+      // edge gets exactly one direction.
+      out = ctx.id < nb[kId];
+    }
+    if (out) mask |= std::uint64_t{1} << p;
+  }
+  next[kOrientMask] = mask;
+  return next;
+}
+
+bool SinklessOrientationTree::halted(const NodeContext&,
+                                     const NodeState&) const {
+  return false;  // wave algorithm: the engine stops at quiescence
+}
+
+std::vector<Label> SinklessOrientationTree::finalize(
+    const NodeContext& ctx, const NodeState& state) const {
+  std::vector<Label> out(static_cast<std::size_t>(ctx.degree), kIn);
+  for (int p = 0; p < ctx.degree; ++p) {
+    if ((state[kOrientMask] >> p) & 1) {
+      out[static_cast<std::size_t>(p)] = kOut;
+    }
+  }
+  return out;
+}
+
+}  // namespace lcl

@@ -1,0 +1,130 @@
+#include "local/sync_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcl {
+
+SyncResult run_synchronous(const SynchronousAlgorithm& algorithm,
+                           const Graph& graph, const HalfEdgeLabeling& input,
+                           const IdAssignment& ids, std::uint64_t seed,
+                           std::size_t advertised_n, int max_rounds,
+                           const std::vector<std::vector<std::uint64_t>>*
+                               aux) {
+  if (input.size() != graph.half_edge_count()) {
+    throw std::invalid_argument("run_synchronous: input size mismatch");
+  }
+  if (ids.size() != graph.node_count()) {
+    throw std::invalid_argument("run_synchronous: id assignment mismatch");
+  }
+  if (advertised_n == 0) advertised_n = graph.node_count();
+
+  const std::size_t n = graph.node_count();
+  const SplitRng root(seed);
+
+  std::vector<NodeContext> contexts(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& ctx = contexts[v];
+    ctx.node = v;
+    ctx.id = ids[v];
+    ctx.degree = graph.degree(v);
+    ctx.n = advertised_n;
+    ctx.inputs.resize(static_cast<std::size_t>(ctx.degree));
+    ctx.twin_ports.resize(static_cast<std::size_t>(ctx.degree));
+    for (int p = 0; p < ctx.degree; ++p) {
+      ctx.inputs[static_cast<std::size_t>(p)] = input[graph.half_edge(v, p)];
+      const EdgeId e = graph.edge_at(v, p);
+      ctx.twin_ports[static_cast<std::size_t>(p)] =
+          graph.port_of(graph.neighbor(v, p), e);
+    }
+    if (aux != nullptr) {
+      if (aux->size() != n) {
+        throw std::invalid_argument("run_synchronous: aux size mismatch");
+      }
+      ctx.aux = (*aux)[v];
+    }
+    // Forking by the *identifier* makes the random stream a function of the
+    // node's identity, matching the model's per-node private randomness.
+    ctx.rng = root.fork(ids[v]);
+  }
+
+  std::vector<NodeState> current(n), next(n);
+  std::vector<char> halted(n, 0);
+  SyncResult result;
+  for (NodeId v = 0; v < n; ++v) {
+    current[v] = algorithm.init(contexts[v]);
+    halted[v] = algorithm.halted(contexts[v], current[v]) ? 1 : 0;
+    result.max_message_words =
+        std::max(result.max_message_words, current[v].size());
+  }
+  std::vector<const NodeState*> neighbor_states;
+  for (int round = 1;; ++round) {
+    bool all_halted = true;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!halted[v]) {
+        all_halted = false;
+        break;
+      }
+    }
+    if (all_halted) break;
+    if (round > max_rounds) {
+      throw std::runtime_error(
+          "run_synchronous: round cap exceeded (algorithm did not halt)");
+    }
+
+    bool any_change = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (halted[v]) {
+        next[v] = current[v];
+        continue;
+      }
+      neighbor_states.clear();
+      for (int p = 0; p < contexts[v].degree; ++p) {
+        neighbor_states.push_back(&current[graph.neighbor(v, p)]);
+      }
+      next[v] =
+          algorithm.step(contexts[v], current[v], neighbor_states, round);
+      if (next[v] != current[v]) any_change = true;
+      result.max_message_words =
+          std::max(result.max_message_words, next[v].size());
+    }
+    current.swap(next);
+    result.rounds = round;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!halted[v] && algorithm.halted(contexts[v], current[v])) {
+        halted[v] = 1;
+      }
+    }
+    if (!any_change) {
+      bool all = true;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!halted[v]) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) {
+        result.quiesced = true;
+        break;
+      }
+    }
+  }
+
+  result.output.assign(graph.half_edge_count(), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (contexts[v].degree == 0) continue;
+    const auto labels = algorithm.finalize(contexts[v], current[v]);
+    if (labels.size() != static_cast<std::size_t>(contexts[v].degree)) {
+      throw std::logic_error(
+          "run_synchronous: finalize returned wrong label count at node " +
+          std::to_string(v));
+    }
+    for (int p = 0; p < contexts[v].degree; ++p) {
+      result.output[graph.half_edge(v, p)] =
+          labels[static_cast<std::size_t>(p)];
+    }
+  }
+  return result;
+}
+
+}  // namespace lcl

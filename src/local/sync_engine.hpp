@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/labeling.hpp"
+#include "util/rng.hpp"
+
+namespace lcl {
+
+/// Per-node algorithm state in the synchronous engine: a small vector of
+/// words, interpreted by the algorithm.
+using NodeState = std::vector<std::uint64_t>;
+
+/// Static per-node information available to a synchronous algorithm.
+struct NodeContext {
+  NodeId node = 0;          // simulator-internal index (not visible "ID")
+  std::uint64_t id = 0;     // the LOCAL model identifier
+  int degree = 0;
+  std::size_t n = 0;        // advertised number of nodes
+  std::vector<Label> inputs;  // input labels by port
+  /// For each of this node's ports, the port number the shared edge has at
+  /// the *other* endpoint. One round of communication establishes this in a
+  /// real message-passing system, so exposing it statically is sound; the
+  /// matching protocol uses it to address proposals.
+  std::vector<int> twin_ports;
+  /// Model-specific per-node data, e.g. the d-tuple of PROD-LOCAL
+  /// identifiers of Definition 5.2 (one per grid dimension). Empty unless
+  /// the caller supplies aux data to `run_synchronous`.
+  std::vector<std::uint64_t> aux;
+  SplitRng rng{0};          // private random stream (Definition 2.1)
+};
+
+/// A LOCAL algorithm expressed as a synchronous message-passing state
+/// machine. This is the "operational" counterpart of `BallAlgorithm`:
+/// instead of a function of the whole radius-T ball, the algorithm runs in
+/// rounds, each round reading the *previous-round* states of its neighbors.
+/// After T rounds a node's state is a function of its radius-T ball, so the
+/// two formulations describe the same model; this one additionally lets the
+/// engine *measure* how many rounds an adaptive algorithm actually takes,
+/// which is how the Figure 1 benches produce locality-vs-n series.
+class SynchronousAlgorithm {
+ public:
+  virtual ~SynchronousAlgorithm() = default;
+
+  /// Initial state of a node (round 0, before any communication).
+  virtual NodeState init(NodeContext& ctx) const = 0;
+
+  /// One round: compute the new state from the own state and the neighbor
+  /// states (indexed by port; entries are never null). `round` starts at 1.
+  virtual NodeState step(NodeContext& ctx, const NodeState& self,
+                         const std::vector<const NodeState*>& neighbors,
+                         int round) const = 0;
+
+  /// True when the node has locally, irrevocably finished: its state will
+  /// no longer change and it no longer needs to be stepped. The engine
+  /// stops when all nodes halt.
+  virtual bool halted(const NodeContext& ctx, const NodeState& state)
+      const = 0;
+
+  /// Output labels for the node's ports, read off the final state.
+  virtual std::vector<Label> finalize(const NodeContext& ctx,
+                                      const NodeState& state) const = 0;
+};
+
+/// Result of a synchronous execution.
+struct SyncResult {
+  HalfEdgeLabeling output;
+  /// Rounds executed until all nodes halted (or quiescence).
+  int rounds = 0;
+  /// Largest per-round message size observed, in 64-bit words (node states
+  /// are broadcast to neighbors each round, so the state size *is* the
+  /// message size). A value of O(log n / 64) words means the algorithm also
+  /// fits the CONGEST model - relevant because [10] (discussed in Section
+  /// 1.1) shows LCL complexities on trees coincide in LOCAL and CONGEST.
+  std::size_t max_message_words = 0;
+  /// True if the run ended because no state changed during a round while
+  /// some nodes had not halted. Algorithms for global problems (e.g. BFS
+  /// 2-coloring) cannot detect termination locally; quiescence is the
+  /// engine-level stand-in, and the round count still upper-bounds the
+  /// locality the algorithm used.
+  bool quiesced = false;
+};
+
+/// Runs `algorithm` on `graph` until every node halts, quiescence, or
+/// `max_rounds` (throws `std::runtime_error` when the cap is hit - an
+/// algorithm bug, not a legitimate outcome).
+SyncResult run_synchronous(const SynchronousAlgorithm& algorithm,
+                           const Graph& graph, const HalfEdgeLabeling& input,
+                           const IdAssignment& ids, std::uint64_t seed,
+                           std::size_t advertised_n = 0,
+                           int max_rounds = 1'000'000,
+                           const std::vector<std::vector<std::uint64_t>>*
+                               aux = nullptr);
+
+}  // namespace lcl

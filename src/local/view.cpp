@@ -1,0 +1,142 @@
+#include "local/view.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace lcl {
+
+LocalView::LocalView(const Graph& graph, NodeId center, int radius,
+                     const HalfEdgeLabeling& input, const IdAssignment& ids,
+                     const std::vector<std::uint64_t>* seeds,
+                     std::size_t advertised_n)
+    : graph_(&graph),
+      center_(center),
+      radius_(radius),
+      input_(&input),
+      ids_(&ids),
+      seeds_(seeds),
+      advertised_n_(advertised_n) {
+  if (radius < 0) {
+    throw std::invalid_argument("LocalView: negative radius");
+  }
+  if (input.size() != graph.half_edge_count()) {
+    throw std::invalid_argument("LocalView: input labeling size mismatch");
+  }
+  if (ids.size() != graph.node_count()) {
+    throw std::invalid_argument("LocalView: id assignment size mismatch");
+  }
+  dist_.assign(graph.node_count(), -1);
+  std::queue<NodeId> frontier;
+  dist_[center] = 0;
+  frontier.push(center);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    nodes_.push_back(v);
+    if (dist_[v] == radius) continue;
+    for (int p = 0; p < graph.degree(v); ++p) {
+      const NodeId w = graph.neighbor(v, p);
+      if (dist_[w] == -1) {
+        dist_[w] = dist_[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+}
+
+bool LocalView::contains(NodeId v) const {
+  return v < dist_.size() && dist_[v] != -1;
+}
+
+int LocalView::distance(NodeId v) const {
+  if (!contains(v)) {
+    throw std::logic_error(
+        "LocalView: node " + std::to_string(v) +
+        " is outside the view (radius " + std::to_string(radius_) + ")");
+  }
+  return dist_[v];
+}
+
+int LocalView::degree(NodeId v) const {
+  distance(v);  // visibility check
+  return graph_->degree(v);
+}
+
+std::uint64_t LocalView::id(NodeId v) const {
+  distance(v);
+  return (*ids_)[v];
+}
+
+std::uint64_t LocalView::seed(NodeId v) const {
+  distance(v);
+  if (seeds_ == nullptr) {
+    throw std::logic_error(
+        "LocalView: random seeds requested but none were supplied "
+        "(deterministic execution)");
+  }
+  return (*seeds_)[v];
+}
+
+Label LocalView::input(NodeId v, int port) const {
+  distance(v);
+  return (*input_)[graph_->half_edge(v, port)];
+}
+
+NodeId LocalView::neighbor(NodeId v, int port) const {
+  if (distance(v) >= radius_) {
+    throw std::logic_error(
+        "LocalView: node " + std::to_string(v) +
+        " is on the view boundary; its edges are not visible "
+        "(Definition 2.1: edges need an endpoint within T-1)");
+  }
+  return graph_->neighbor(v, port);
+}
+
+int LocalView::twin_port(NodeId v, int port) const {
+  const NodeId w = neighbor(v, port);  // validates edge visibility
+  return graph_->port_of(w, graph_->edge_at(v, port));
+}
+
+LocalView LocalView::with_advertised(std::size_t advertised_n) const {
+  LocalView copy = *this;
+  copy.advertised_n_ = advertised_n;
+  return copy;
+}
+
+LocalView LocalView::restricted(NodeId new_center, int new_radius) const {
+  if (distance(new_center) + new_radius > radius_) {
+    throw std::logic_error(
+        "LocalView::restricted: requested sub-view exceeds the parent view");
+  }
+  return LocalView(*graph_, new_center, new_radius, *input_, *ids_, seeds_,
+                   advertised_n_);
+}
+
+HalfEdgeLabeling run_ball_algorithm(const BallAlgorithm& algorithm,
+                                    const Graph& graph,
+                                    const HalfEdgeLabeling& input,
+                                    const IdAssignment& ids,
+                                    const std::vector<std::uint64_t>* seeds,
+                                    std::size_t advertised_n) {
+  if (advertised_n == 0) advertised_n = graph.node_count();
+  const int radius = algorithm.radius(advertised_n);
+  HalfEdgeLabeling output(graph.half_edge_count(), 0);
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (graph.degree(v) == 0) continue;
+    const LocalView view(graph, v, radius, input, ids, seeds, advertised_n);
+    const auto labels = algorithm.outputs(view);
+    if (labels.size() != static_cast<std::size_t>(graph.degree(v))) {
+      throw std::logic_error(
+          "run_ball_algorithm: algorithm returned " +
+          std::to_string(labels.size()) + " labels at node " +
+          std::to_string(v) + " of degree " +
+          std::to_string(graph.degree(v)));
+    }
+    for (int p = 0; p < graph.degree(v); ++p) {
+      output[graph.half_edge(v, p)] = labels[static_cast<std::size_t>(p)];
+    }
+  }
+  return output;
+}
+
+}  // namespace lcl

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl {
+
+/// The information a node sees in a `T`-round LOCAL algorithm
+/// (Definition 2.1): all nodes within distance `T`, all edges with an
+/// endpoint within distance `T-1`, and all half-edges (with inputs) whose
+/// node endpoint is within distance `T` - plus IDs, per-node random seeds
+/// and the advertised number of nodes `n`.
+///
+/// The view enforces the visibility rules at the API level: querying
+/// anything outside the ball throws `std::logic_error`, so an algorithm that
+/// oversteps its declared radius fails loudly in tests rather than silently
+/// reading global state.
+class LocalView {
+ public:
+  /// Builds the view of `center` at distance `radius` in `graph`.
+  /// `seeds` may be null for deterministic algorithms.
+  LocalView(const Graph& graph, NodeId center, int radius,
+            const HalfEdgeLabeling& input, const IdAssignment& ids,
+            const std::vector<std::uint64_t>* seeds,
+            std::size_t advertised_n);
+
+  NodeId center() const noexcept { return center_; }
+  int radius() const noexcept { return radius_; }
+  /// The number of nodes the algorithm is told the graph has. Lemma 3.3
+  /// deliberately advertises n^2 on forests, so this may differ from the
+  /// true size.
+  std::size_t advertised_n() const noexcept { return advertised_n_; }
+
+  /// True iff `v` is within the ball.
+  bool contains(NodeId v) const;
+  /// Distance from the center (throws if outside the ball).
+  int distance(NodeId v) const;
+  /// All ball nodes in BFS order (center first).
+  const std::vector<NodeId>& nodes() const noexcept { return nodes_; }
+
+  /// Degree of `v`; visible for all ball nodes (their half-edges are part
+  /// of the view).
+  int degree(NodeId v) const;
+  /// ID of `v`; visible for all ball nodes.
+  std::uint64_t id(NodeId v) const;
+  /// Random seed of `v` (requires seeds to have been supplied).
+  std::uint64_t seed(NodeId v) const;
+  /// Input label on half-edge (v, port); visible for all ball nodes.
+  Label input(NodeId v, int port) const;
+  /// Neighbor across port `port` of `v`. Only nodes at distance <= radius-1
+  /// know their full edge set, so this throws for boundary nodes.
+  NodeId neighbor(NodeId v, int port) const;
+
+  /// Port number that the edge at `(v, port)` has at the *other* endpoint.
+  /// Requires distance(v) <= radius-1 (the edge must be visible); the other
+  /// endpoint may be a boundary node - its half-edge, including the port
+  /// number, is part of the view per Definition 2.1.
+  int twin_port(NodeId v, int port) const;
+
+  /// A copy of this view that advertises a different node count. Lemma 3.3
+  /// executes the tree algorithm "with input parameter n^2" on forests;
+  /// footnote 7 of the paper explicitly allows running an algorithm with a
+  /// number-of-nodes parameter that is not the true size.
+  LocalView with_advertised(std::size_t advertised_n) const;
+
+  /// A re-rooted, shrunken view: the `new_radius`-ball of `new_center`,
+  /// which must be fully contained in this view
+  /// (distance(new_center) + new_radius <= radius). This is how a T-round
+  /// algorithm simulates a (T-1)-round algorithm at a neighbor, the core
+  /// operation of the Lemma 3.9 lifting.
+  LocalView restricted(NodeId new_center, int new_radius) const;
+
+ private:
+  const Graph* graph_;
+  NodeId center_;
+  int radius_;
+  const HalfEdgeLabeling* input_;
+  const IdAssignment* ids_;
+  const std::vector<std::uint64_t>* seeds_;
+  std::size_t advertised_n_;
+  std::vector<NodeId> nodes_;
+  std::vector<int> dist_;  // indexed by NodeId; -1 outside the ball
+};
+
+/// A LOCAL algorithm in the Definition 2.1 sense: a function from the
+/// radius-`T` view of a node to the output labels of that node's half-edges
+/// (one label per port).
+class BallAlgorithm {
+ public:
+  virtual ~BallAlgorithm() = default;
+
+  /// The radius the algorithm requires on graphs that advertise `n` nodes.
+  virtual int radius(std::size_t advertised_n) const = 0;
+
+  /// Output labels for the center's ports (must return exactly
+  /// `view.degree(view.center())` labels).
+  virtual std::vector<Label> outputs(const LocalView& view) const = 0;
+};
+
+/// Runs `algorithm` at every node of `graph` and assembles the global output
+/// labeling. `advertised_n` defaults to the true node count; `seeds` may be
+/// null for deterministic algorithms. Throws `std::logic_error` if the
+/// algorithm returns the wrong number of labels for some node.
+HalfEdgeLabeling run_ball_algorithm(const BallAlgorithm& algorithm,
+                                    const Graph& graph,
+                                    const HalfEdgeLabeling& input,
+                                    const IdAssignment& ids,
+                                    const std::vector<std::uint64_t>* seeds =
+                                        nullptr,
+                                    std::size_t advertised_n = 0);
+
+}  // namespace lcl

@@ -1,0 +1,246 @@
+#include "re/engine.hpp"
+
+#include <chrono>
+#include <map>
+#include <stdexcept>
+
+#include "re/operators.hpp"
+#include "re/reduce.hpp"
+
+namespace lcl {
+
+namespace {
+
+/// Composes an operator step with a label reduction: the reduced problem's
+/// label `l` means whatever the representative pre-reduction label meant.
+ReStep reduce_step(ReStep step) {
+  Reduction red = reduce(step.problem);
+  ReStep out;
+  out.meaning.reserve(red.new_to_old.size());
+  for (const auto rep : red.new_to_old) {
+    out.meaning.push_back(step.meaning[rep]);
+  }
+  out.problem = std::move(red.problem);
+  return out;
+}
+
+/// Cheap structural signature for fixed-point detection: label count and
+/// per-degree configuration counts. Two isomorphic problems share it; a
+/// matching signature is reported as a *likely* fixed point.
+std::vector<std::size_t> signature(const NodeEdgeCheckableLcl& p) {
+  std::vector<std::size_t> sig{p.output_alphabet().size(),
+                               p.edge_configs().size()};
+  for (int d = 1; d <= p.max_degree(); ++d) {
+    sig.push_back(p.node_configs(d).size());
+  }
+  return sig;
+}
+
+/// The synthesized constant-round algorithm: evaluates the 0-round witness
+/// at level k and lifts it down level by level via Lemma 3.9, simulating
+/// the lift at every node within the radius-k view.
+class SynthesizedAlgorithm final : public BallAlgorithm {
+ public:
+  SynthesizedAlgorithm(const NodeEdgeCheckableLcl& base,
+                       const std::vector<SequenceLevel>& levels,
+                       ZeroRoundAlgorithm witness)
+      : base_(base), levels_(levels), witness_(std::move(witness)) {}
+
+  int radius(std::size_t advertised_n) const override {
+    (void)advertised_n;
+    return static_cast<int>(levels_.size());
+  }
+
+  std::vector<Label> outputs(const LocalView& view) const override {
+    std::map<std::pair<std::size_t, NodeId>, std::vector<Label>> memo;
+    return labels_at(view, 0, view.center(), memo);
+  }
+
+ private:
+  /// Output labels of problem `f^level(pi)` at node `u`, one per port.
+  std::vector<Label> labels_at(
+      const LocalView& view, std::size_t level, NodeId u,
+      std::map<std::pair<std::size_t, NodeId>, std::vector<Label>>& memo)
+      const {
+    const auto key = std::make_pair(level, u);
+    if (auto it = memo.find(key); it != memo.end()) return it->second;
+
+    const int degree = view.degree(u);
+    std::vector<Label> result;
+    if (level == levels_.size()) {
+      // Top of the sequence: apply the 0-round witness to u's input tuple.
+      std::vector<Label> inputs(static_cast<std::size_t>(degree));
+      for (int p = 0; p < degree; ++p) {
+        inputs[static_cast<std::size_t>(p)] = view.input(u, p);
+      }
+      result = witness_.apply(inputs);
+    } else {
+      // Lemma 3.9 at this level: compute f^(level+1) labels at u and its
+      // neighbors, then the two-step choice.
+      const auto& lvl = levels_[level];
+      const auto mine = labels_at(view, level + 1, u, memo);
+      // Step 1: per edge, both endpoints pick the same psi-label pair; the
+      // smaller-ID endpoint plays the role of "first".
+      std::vector<Label> psi_labels(static_cast<std::size_t>(degree));
+      for (int p = 0; p < degree; ++p) {
+        const NodeId w = view.neighbor(u, p);
+        const auto theirs = labels_at(view, level + 1, w, memo);
+        const int q = view.twin_port(u, p);
+        const Label xu = mine[static_cast<std::size_t>(p)];
+        const Label xw = theirs[static_cast<std::size_t>(q)];
+        psi_labels[static_cast<std::size_t>(p)] =
+            (view.id(u) < view.id(w))
+                ? choose_pair(lvl, xu, xw).first
+                : choose_pair(lvl, xw, xu).second;
+      }
+      // Step 2: per node selection satisfying the lower-level node
+      // constraint.
+      result = choose_node(level, psi_labels);
+    }
+    memo.emplace(key, result);
+    return result;
+  }
+
+  /// Lexicographically smallest pair (La, Lb) in meaning(xa) x meaning(xb)
+  /// allowed by the psi edge constraint (deterministic; both endpoints
+  /// compute it identically).
+  std::pair<Label, Label> choose_pair(const SequenceLevel& lvl, Label xa,
+                                      Label xb) const {
+    for (const auto la : lvl.next.meaning[xa].to_vector()) {
+      for (const auto lb : lvl.next.meaning[xb].to_vector()) {
+        if (lvl.psi.problem.edge_allows(la, lb)) return {la, lb};
+      }
+    }
+    throw std::logic_error(
+        "SynthesizedAlgorithm: Rbar edge constraint violated");
+  }
+
+  std::vector<Label> choose_node(std::size_t level,
+                                 const std::vector<Label>& psi_labels) const {
+    const auto& lvl = levels_[level];
+    const NodeEdgeCheckableLcl& lower =
+        level == 0 ? base_ : levels_[level - 1].next.problem;
+    std::vector<std::vector<Label>> options;
+    options.reserve(psi_labels.size());
+    for (const auto L : psi_labels) {
+      options.push_back(lvl.psi.meaning[L].to_vector());
+    }
+    std::vector<Label> current(psi_labels.size());
+    const auto search = [&](auto&& self, std::size_t pos) -> bool {
+      if (pos == current.size()) {
+        return lower.node_allows(Configuration(current));
+      }
+      for (const auto l : options[pos]) {
+        current[pos] = l;
+        if (self(self, pos + 1)) return true;
+      }
+      return false;
+    };
+    if (!search(search, 0)) {
+      throw std::logic_error(
+          "SynthesizedAlgorithm: R node constraint violated");
+    }
+    return current;
+  }
+
+  const NodeEdgeCheckableLcl& base_;
+  const std::vector<SequenceLevel>& levels_;
+  ZeroRoundAlgorithm witness_;
+};
+
+}  // namespace
+
+SpeedupEngine::SpeedupEngine(NodeEdgeCheckableLcl base)
+    : base_(std::move(base)) {}
+
+const NodeEdgeCheckableLcl& SpeedupEngine::problem_at(std::size_t i) const {
+  if (i == 0) return base_;
+  if (i <= levels_.size()) return levels_[i - 1].next.problem;
+  throw std::out_of_range("SpeedupEngine::problem_at: step not computed");
+}
+
+SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
+  Outcome outcome;
+  levels_.clear();
+  witness_.reset();
+  witness_step_ = -1;
+
+  if (auto w = find_zero_round_algorithm(base_, options.degrees)) {
+    witness_ = std::move(w);
+    witness_step_ = 0;
+    outcome.zero_round_step = 0;
+    return outcome;
+  }
+
+  auto previous_signature = signature(base_);
+  for (int step = 0; step < options.max_steps; ++step) {
+    const auto start = std::chrono::steady_clock::now();
+    StepStats stats;
+    stats.index = step;
+    try {
+      const NodeEdgeCheckableLcl& current = problem_at(levels_.size());
+      ReStep psi = apply_r(current, options.limits);
+      if (options.reduce) psi = reduce_step(std::move(psi));
+      ReStep next = apply_rbar(psi.problem, options.limits);
+      if (options.reduce) next = reduce_step(std::move(next));
+      stats.labels_psi = psi.problem.output_alphabet().size();
+      stats.labels_next = next.problem.output_alphabet().size();
+      stats.node_configs = next.problem.total_node_configs();
+      stats.edge_configs = next.problem.edge_configs().size();
+      levels_.push_back(SequenceLevel{std::move(psi), std::move(next)});
+    } catch (const ReBlowupError& e) {
+      outcome.budget_exhausted = true;
+      outcome.blowup_message = e.what();
+      return outcome;
+    } catch (const std::runtime_error& e) {
+      // reduce() throws when no output label survives trimming: the
+      // problem admits no correct solution on any graph with an edge.
+      outcome.detected_unsolvable = true;
+      outcome.blowup_message = e.what();
+      return outcome;
+    }
+
+    const NodeEdgeCheckableLcl& latest = levels_.back().next.problem;
+    if (auto w = find_zero_round_algorithm(latest, options.degrees)) {
+      witness_ = std::move(w);
+      witness_step_ = static_cast<int>(levels_.size());
+      stats.zero_round_solvable = true;
+      outcome.zero_round_step = witness_step_;
+    }
+    stats.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    outcome.steps.push_back(stats);
+    if (outcome.zero_round_step >= 0) return outcome;
+
+    const auto sig = signature(latest);
+    if (sig == previous_signature) {
+      outcome.fixed_point = true;
+      return outcome;
+    }
+    previous_signature = sig;
+  }
+  return outcome;
+}
+
+std::unique_ptr<BallAlgorithm> SpeedupEngine::synthesize() const {
+  if (!witness_) {
+    throw std::logic_error(
+        "SpeedupEngine::synthesize: no 0-round witness found; run() must "
+        "succeed first");
+  }
+  // The witness lives at level `witness_step_`; the synthesized algorithm
+  // lifts through exactly the first `witness_step_` levels.
+  if (witness_step_ != static_cast<int>(levels_.size())) {
+    // witness at the base problem: 0 levels to lift through.
+    if (witness_step_ != 0) {
+      throw std::logic_error("SpeedupEngine::synthesize: internal state");
+    }
+  }
+  static const std::vector<SequenceLevel> kNoLevels;
+  const auto& lifting_levels = witness_step_ == 0 ? kNoLevels : levels_;
+  return std::make_unique<SynthesizedAlgorithm>(base_, lifting_levels,
+                                                *witness_);
+}
+
+}  // namespace lcl

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "core/lcl.hpp"
+#include "graph/graph.hpp"
+#include "graph/labeling.hpp"
+#include "re/step.hpp"
+
+namespace lcl {
+
+/// One level of the round-elimination sequence, as kept by the engine:
+/// `psi = R(pi_i)` and `next = Rbar(psi)` (both possibly label-reduced, with
+/// `meaning` composed through the reduction). `psi.meaning[l]` is a set of
+/// `pi_i` output labels; `next.meaning[l]` is a set of `psi` output labels.
+struct SequenceLevel {
+  ReStep psi;   // R(pi_i)
+  ReStep next;  // Rbar(R(pi_i)) = pi_{i+1}
+};
+
+/// The constructive content of Lemma 3.9, centralized: given a correct
+/// solution of `Rbar(R(pi))` on `(graph, input)`, produce a correct solution
+/// of `pi` via the two-step choice
+///  1. per edge, pick compatible `R(pi)`-labels out of the two half-edges'
+///     label sets (the Rbar edge constraint guarantees a choice exists);
+///  2. per node, pick `pi`-labels out of the chosen sets whose multiset is
+///     an allowed node configuration (the R node constraint guarantees it).
+/// Both choices are deterministic (lexicographically smallest), mirroring
+/// the "in some deterministic fashion" of the lemma.
+///
+/// Throws `std::logic_error` if `solution` is not actually correct for
+/// `level.next.problem` (the lemma's preconditions are violated).
+HalfEdgeLabeling lift_solution(const NodeEdgeCheckableLcl& pi,
+                               const SequenceLevel& level, const Graph& graph,
+                               const HalfEdgeLabeling& input,
+                               const HalfEdgeLabeling& solution);
+
+}  // namespace lcl

@@ -1,0 +1,182 @@
+#include "re/operators.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/combinatorics.hpp"
+
+namespace lcl {
+
+namespace {
+
+/// Shared scaffolding of R and Rbar: both have output alphabet
+/// 2^Sigma_out(Pi) \ {{}} and g(l) = { A : A subseteq g_Pi(l) }.
+struct DerivedAlphabet {
+  std::vector<LabelSet> labels;  // meaning of each new label
+  Alphabet alphabet;             // names like "{A,B}"
+};
+
+DerivedAlphabet derive_alphabet(const NodeEdgeCheckableLcl& pi,
+                                const ReLimits& limits) {
+  const std::size_t base = pi.output_alphabet().size();
+  if (base >= 63 || ((std::uint64_t{1} << base) - 1) > limits.max_labels) {
+    throw ReBlowupError(
+        "round elimination: derived alphabet for '" + pi.name() +
+        "' would have 2^" + std::to_string(base) +
+        "-1 labels, exceeding the limit of " +
+        std::to_string(limits.max_labels));
+  }
+  DerivedAlphabet out;
+  out.labels = all_nonempty_subsets(base, /*max_universe_bits=*/62);
+  const auto namer = [&pi](std::uint32_t l) {
+    return pi.output_alphabet().name(l);
+  };
+  for (const auto& set : out.labels) {
+    out.alphabet.add(set.to_string(namer));
+  }
+  return out;
+}
+
+/// True iff the multiset {sets[0], .., sets[d-1]} admits a selection that is
+/// an allowed node configuration of `pi`. Checked per stored configuration
+/// via a small backtracking matching (configurations and degrees are tiny).
+bool exists_selection_in_node_constraint(const NodeEdgeCheckableLcl& pi,
+                                         const std::vector<LabelSet>& sets) {
+  const int degree = static_cast<int>(sets.size());
+  for (const auto& config : pi.node_configs(degree)) {
+    // Match each config label occurrence to a distinct slot whose set
+    // contains it.
+    const auto& labels = config.labels();
+    std::vector<char> used(sets.size(), 0);
+    // Recursive matching over config positions.
+    const auto match = [&](auto&& self, std::size_t pos) -> bool {
+      if (pos == labels.size()) return true;
+      for (std::size_t slot = 0; slot < sets.size(); ++slot) {
+        if (!used[slot] && sets[slot].contains(labels[pos])) {
+          used[slot] = 1;
+          if (self(self, pos + 1)) return true;
+          used[slot] = 0;
+        }
+      }
+      return false;
+    };
+    if (match(match, 0)) return true;
+  }
+  return false;
+}
+
+/// True iff EVERY selection from the sets is an allowed node configuration
+/// of `pi`.
+bool all_selections_in_node_constraint(const NodeEdgeCheckableLcl& pi,
+                                       const std::vector<LabelSet>& sets) {
+  // Search for a counterexample selection.
+  const bool found_bad = for_each_selection(
+      sets, [&](const std::vector<std::uint32_t>& selection) {
+        return !pi.node_allows(
+            Configuration(std::vector<Label>(selection.begin(),
+                                             selection.end())));
+      });
+  return !found_bad;
+}
+
+enum class Quantifier { kExists, kForAll };
+
+ReStep apply_operator(const NodeEdgeCheckableLcl& pi, const ReLimits& limits,
+                      Quantifier node_quantifier, const char* name_prefix) {
+  auto derived = derive_alphabet(pi, limits);
+  const std::size_t label_count = derived.labels.size();
+  const std::size_t base = pi.output_alphabet().size();
+
+  // Configuration-count guard across all degrees plus edge pairs.
+  std::uint64_t candidates = count_multisets(label_count, 2);
+  for (int d = 1; d <= pi.max_degree(); ++d) {
+    const std::uint64_t c = count_multisets(label_count, d);
+    candidates = candidates > limits.max_configs ? candidates
+                                                 : candidates + c;
+  }
+  if (candidates > limits.max_configs) {
+    throw ReBlowupError("round elimination: '" + std::string(name_prefix) +
+                        "(" + pi.name() + ")' would need " +
+                        std::to_string(candidates) +
+                        " candidate configurations, exceeding the limit of " +
+                        std::to_string(limits.max_configs));
+  }
+
+  NodeEdgeCheckableLcl::Builder builder(
+      std::string(name_prefix) + "(" + pi.name() + ")", pi.input_alphabet(),
+      derived.alphabet, pi.max_degree());
+
+  // Precompute, per derived label B:
+  //  - forall_partners(B) = { b : {b1, b} in E_Pi for ALL b1 in B }
+  //  - exists_partners(B) = { b : {b1, b} in E_Pi for SOME b1 in B }
+  std::vector<LabelSet> forall_partners(label_count, LabelSet(base));
+  std::vector<LabelSet> exists_partners(label_count, LabelSet(base));
+  for (std::size_t i = 0; i < label_count; ++i) {
+    LabelSet all = LabelSet::full(base);
+    LabelSet any(base);
+    for (const auto b : derived.labels[i].to_vector()) {
+      all = all.intersect_with(pi.edge_partners(b));
+      any = any.union_with(pi.edge_partners(b));
+    }
+    forall_partners[i] = std::move(all);
+    exists_partners[i] = std::move(any);
+  }
+
+  // Edge constraint.
+  for (std::size_t i = 0; i < label_count; ++i) {
+    for (std::size_t j = i; j < label_count; ++j) {
+      const bool allowed =
+          node_quantifier == Quantifier::kExists
+              // R: edge is the FORALL side.
+              ? derived.labels[j].is_subset_of(forall_partners[i])
+              // Rbar: edge is the EXISTS side.
+              : derived.labels[j].intersects(exists_partners[i]);
+      if (allowed) {
+        builder.allow_edge(static_cast<Label>(i), static_cast<Label>(j));
+      }
+    }
+  }
+
+  // Node constraint per degree.
+  std::vector<LabelSet> slot_sets;
+  for (int d = 1; d <= pi.max_degree(); ++d) {
+    for (const auto& multiset :
+         enumerate_multisets(label_count, static_cast<std::size_t>(d))) {
+      slot_sets.clear();
+      for (const auto l : multiset) slot_sets.push_back(derived.labels[l]);
+      const bool allowed =
+          node_quantifier == Quantifier::kExists
+              ? exists_selection_in_node_constraint(pi, slot_sets)
+              : all_selections_in_node_constraint(pi, slot_sets);
+      if (allowed) {
+        builder.allow_node(
+            std::vector<Label>(multiset.begin(), multiset.end()));
+      }
+    }
+  }
+
+  // g: derived label allowed for input l iff its meaning is a subset of
+  // g_Pi(l).
+  for (Label in = 0; in < pi.input_alphabet().size(); ++in) {
+    const LabelSet& allowed = pi.allowed_outputs(in);
+    for (std::size_t i = 0; i < label_count; ++i) {
+      if (derived.labels[i].is_subset_of(allowed)) {
+        builder.allow_output_for_input(in, static_cast<Label>(i));
+      }
+    }
+  }
+
+  return ReStep{builder.build(), std::move(derived.labels)};
+}
+
+}  // namespace
+
+ReStep apply_r(const NodeEdgeCheckableLcl& pi, const ReLimits& limits) {
+  return apply_operator(pi, limits, Quantifier::kExists, "R");
+}
+
+ReStep apply_rbar(const NodeEdgeCheckableLcl& pi, const ReLimits& limits) {
+  return apply_operator(pi, limits, Quantifier::kForAll, "Rbar");
+}
+
+}  // namespace lcl

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "core/lcl.hpp"
+
+namespace lcl {
+
+/// Result of the sound label-level simplification of a problem.
+struct Reduction {
+  NodeEdgeCheckableLcl problem;
+  /// For each old output label, its new label, or `kDropped`.
+  std::vector<Label> old_to_new;
+  /// For each new label, a representative old label.
+  std::vector<Label> new_to_old;
+
+  static constexpr Label kDropped = static_cast<Label>(-1);
+};
+
+/// Simplifies a node-edge-checkable problem without changing its set of
+/// correct solutions up to relabeling - in particular, preserving
+/// solvability on every instance, round complexity, and 0-round
+/// solvability. Two passes, iterated to a fixed point:
+///
+///  1. *Trim*: drop output labels that appear in no node configuration, or
+///     have no edge partner, or are permitted by no input label. Such
+///     labels cannot occur in any correct solution, so removing them (and
+///     every configuration mentioning them) is lossless.
+///  2. *Merge*: identify output labels with identical behaviour - equal
+///     edge partner sets, equal `g`-preimages, and equal node-configuration
+///     signatures (the multisets obtained by deleting one occurrence of the
+///     label from each configuration containing it). Replacing one such
+///     label by the other maps correct solutions to correct solutions in
+///     both directions, so the quotient problem is equivalent.
+///
+/// The paper's operators deliberately skip such simplifications (note after
+/// Definition 3.1); `reduce` is the practical counterpart that keeps the
+/// faithful sequence computable for a few extra steps. The ablation bench
+/// `bench_re_ablation` quantifies the difference.
+Reduction reduce(const NodeEdgeCheckableLcl& problem);
+
+}  // namespace lcl

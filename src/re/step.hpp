@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/lcl.hpp"
+#include "util/label_set.hpp"
+
+namespace lcl {
+
+/// The result of applying a round-elimination operator (`R` or `Rbar`,
+/// Definitions 3.1/3.2) to a problem `Pi`: the derived node-edge-checkable
+/// problem, together with the *meaning* of each of its output labels as a
+/// set of `Pi`-output labels (the derived alphabets are subsets of the
+/// predecessor's output alphabet; after label reduction, `meaning[l]` is the
+/// set the representative label denotes).
+///
+/// The meanings are what make the derived problems executable: the Lemma
+/// 3.9 lifting picks concrete predecessor labels out of these sets.
+struct ReStep {
+  NodeEdgeCheckableLcl problem;
+  std::vector<LabelSet> meaning;  // indexed by output label of `problem`
+};
+
+/// Thrown when the faithful enumeration of a derived problem would exceed
+/// the configured safety limits (the label/configuration counts grow doubly
+/// exponentially along the sequence - the paper's parameter `S` in Theorem
+/// 3.4 quantifies the same blow-up).
+class ReBlowupError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Enumeration budgets for the operators.
+struct ReLimits {
+  /// Maximum size of the derived output alphabet (before reduction).
+  std::size_t max_labels = 4096;
+  /// Maximum number of candidate configurations examined per constraint.
+  std::uint64_t max_configs = 4'000'000;
+};
+
+}  // namespace lcl

@@ -1,0 +1,159 @@
+#include "re/zero_round.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/combinatorics.hpp"
+#include "util/label_set.hpp"
+
+namespace lcl {
+
+std::vector<Label> ZeroRoundAlgorithm::apply(
+    const std::vector<Label>& inputs) const {
+  // Stable argsort of the inputs, so equal inputs keep port order.
+  std::vector<std::size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return inputs[a] < inputs[b];
+  });
+  std::vector<Label> sorted(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    sorted[i] = inputs[order[i]];
+  }
+  const auto& out_sorted = outputs.at(sorted);
+  std::vector<Label> out(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out[order[i]] = out_sorted[i];
+  }
+  return out;
+}
+
+namespace {
+
+/// All ways to answer one sorted input multiset: output tuples satisfying
+/// the node constraint and g, position by position.
+std::vector<std::vector<Label>> candidate_answers(
+    const NodeEdgeCheckableLcl& p, const std::vector<Label>& inputs) {
+  std::vector<std::vector<Label>> result;
+  const int d = static_cast<int>(inputs.size());
+  for (const auto& config : p.node_configs(d)) {
+    // Assign the config's labels (a multiset) to positions such that
+    // position j gets a label in g(inputs[j]). Enumerate distinct
+    // assignments via backtracking over positions, consuming config labels.
+    const auto& labels = config.labels();
+    std::vector<char> used(labels.size(), 0);
+    std::vector<Label> current(inputs.size());
+    const auto assign = [&](auto&& self, std::size_t pos) -> void {
+      if (pos == inputs.size()) {
+        result.push_back(current);
+        return;
+      }
+      Label previous = static_cast<Label>(-1);
+      for (std::size_t k = 0; k < labels.size(); ++k) {
+        if (used[k] || labels[k] == previous) continue;  // skip duplicates
+        if (!p.allowed_outputs(inputs[pos]).contains(labels[k])) continue;
+        previous = labels[k];
+        used[k] = 1;
+        current[pos] = labels[k];
+        self(self, pos + 1);
+        used[k] = 0;
+      }
+    };
+    assign(assign, 0);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::optional<ZeroRoundAlgorithm> find_zero_round_algorithm(
+    const NodeEdgeCheckableLcl& problem, const std::vector<int>& degrees) {
+  std::vector<int> degree_list = degrees;
+  if (degree_list.empty()) {
+    for (int d = 1; d <= problem.max_degree(); ++d) degree_list.push_back(d);
+  }
+  // Enumerate all sorted input multisets for the required degrees.
+  std::vector<std::vector<Label>> input_tuples;
+  for (const int d : degree_list) {
+    for (const auto& m : enumerate_multisets(
+             problem.input_alphabet().size(), static_cast<std::size_t>(d))) {
+      input_tuples.emplace_back(m.begin(), m.end());
+    }
+  }
+
+  // Pre-compute candidates per tuple; fail fast if some tuple has none.
+  std::vector<std::vector<std::vector<Label>>> candidates;
+  candidates.reserve(input_tuples.size());
+  for (const auto& tuple : input_tuples) {
+    candidates.push_back(candidate_answers(problem, tuple));
+    if (candidates.back().empty()) return std::nullopt;
+  }
+
+  // Order tuples by ascending candidate count: most constrained first.
+  std::vector<std::size_t> order(input_tuples.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return candidates[a].size() < candidates[b].size();
+  });
+
+  const std::size_t out_size = problem.output_alphabet().size();
+  std::vector<int> used_count(out_size, 0);
+  LabelSet used(out_size);
+  std::vector<const std::vector<Label>*> chosen(input_tuples.size(), nullptr);
+
+  // A label may join the used set only if it is edge-compatible with every
+  // already-used label and with itself.
+  const auto compatible = [&](Label l) {
+    if (!problem.edge_allows(l, l)) return false;
+    return used.is_subset_of(problem.edge_partners(l));
+  };
+
+  const auto search = [&](auto&& self, std::size_t idx) -> bool {
+    if (idx == order.size()) return true;
+    const std::size_t t = order[idx];
+    for (const auto& answer : candidates[t]) {
+      // Try to commit this answer's labels to the used-clique.
+      std::vector<Label> added;
+      bool ok = true;
+      for (const auto l : answer) {
+        if (used_count[l] == 0) {
+          if (!compatible(l)) {
+            ok = false;
+            break;
+          }
+          used.insert(l);
+        }
+        ++used_count[l];
+        added.push_back(l);
+      }
+      if (ok) {
+        chosen[t] = &answer;
+        if (self(self, idx + 1)) return true;
+        chosen[t] = nullptr;
+      }
+      for (auto it = added.rbegin(); it != added.rend(); ++it) {
+        if (--used_count[*it] == 0) used.erase(*it);
+      }
+    }
+    return false;
+  };
+
+  if (!search(search, 0)) return std::nullopt;
+
+  ZeroRoundAlgorithm algo;
+  for (std::size_t t = 0; t < input_tuples.size(); ++t) {
+    algo.outputs[input_tuples[t]] = *chosen[t];
+  }
+  return algo;
+}
+
+bool zero_round_solvable(const NodeEdgeCheckableLcl& problem,
+                         const std::vector<int>& degrees) {
+  return find_zero_round_algorithm(problem, degrees).has_value();
+}
+
+}  // namespace lcl

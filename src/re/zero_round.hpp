@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/lcl.hpp"
+
+namespace lcl {
+
+/// A deterministic 0-round algorithm in the sense of Theorem 3.10's
+/// `A_det`: a function from a node's input tuple to an output tuple, valid
+/// on every forest regardless of size. Keyed by the *sorted* input multiset;
+/// a node applies it by sorting its inputs, reading off the output tuple,
+/// and undoing the sort (stably), so all nodes with the same inputs behave
+/// identically.
+struct ZeroRoundAlgorithm {
+  /// outputs.at(sorted inputs)[j] = output for the j-th smallest input.
+  std::map<std::vector<Label>, std::vector<Label>> outputs;
+
+  /// Output labels (per port) for a node whose port p carries input
+  /// `inputs[p]`. Throws `std::out_of_range` for an unknown input tuple.
+  std::vector<Label> apply(const std::vector<Label>& inputs) const;
+};
+
+/// Decides whether `problem` admits a deterministic 0-round algorithm on
+/// forests (all degrees 1..max_degree, all input labelings), and returns a
+/// witness if so.
+///
+/// Characterization (extracted from the proof of Theorem 3.10): such an
+/// algorithm is a map I -> O(I) from input tuples to output tuples with
+///  1. multiset(O(I)) an allowed node configuration,
+///  2. O(I)_j in g(I_j) for every position j, and
+///  3. every pair of *used* output labels - across all tuples and
+///     positions, including a label with itself - an allowed edge
+///     configuration, because any two half-edges produced by the map can
+///     end up facing each other across an edge of some forest.
+///
+/// The search backtracks over input multisets, maintaining the growing
+/// "used label" clique of condition 3.
+///
+/// `degrees` restricts which node degrees must be answered (default: all of
+/// 1..max_degree, the forest setting). Pass `{2}` for cycles, where every
+/// node has degree exactly 2.
+std::optional<ZeroRoundAlgorithm> find_zero_round_algorithm(
+    const NodeEdgeCheckableLcl& problem, const std::vector<int>& degrees = {});
+
+/// Convenience: true iff a witness exists.
+bool zero_round_solvable(const NodeEdgeCheckableLcl& problem,
+                         const std::vector<int>& degrees = {});
+
+}  // namespace lcl

@@ -1,0 +1,66 @@
+#include "util/math.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcl {
+
+int log_star(double n) {
+  int count = 0;
+  while (n > 1.0) {
+    n = std::log2(n);
+    ++count;
+    if (count > 64) break;  // defensive; unreachable for finite doubles
+  }
+  return count;
+}
+
+std::uint64_t tower(int height) {
+  if (height < 0) throw std::invalid_argument("tower: negative height");
+  std::uint64_t value = 1;
+  for (int i = 0; i < height; ++i) {
+    if (value >= 63) throw std::overflow_error("tower: value exceeds 2^63");
+    value = std::uint64_t{1} << value;
+  }
+  return value;
+}
+
+int floor_log2(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("floor_log2: zero");
+  return 63 - std::countl_zero(n);
+}
+
+int ceil_log2(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("ceil_log2: zero");
+  const int fl = floor_log2(n);
+  return (std::uint64_t{1} << fl) == n ? fl : fl + 1;
+}
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+namespace {
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  for (std::uint64_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::uint64_t next_prime(std::uint64_t n) {
+  if (n < 2) return 2;
+  while (!is_prime(n)) ++n;
+  return n;
+}
+
+}  // namespace lcl

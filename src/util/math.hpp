@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lcl {
+
+/// The iterated logarithm: the number of times `log2` must be applied to `n`
+/// before the result is at most 1. `log_star(1) == 0`, `log_star(2) == 1`,
+/// `log_star(16) == 3`, `log_star(65536) == 4`.
+int log_star(double n);
+
+/// Iterated-exponential tower of 2s: `tower(0) == 1`, `tower(1) == 2`,
+/// `tower(2) == 4`, `tower(3) == 16`, `tower(4) == 65536`.
+/// Throws `std::overflow_error` for heights whose value exceeds 2^63.
+std::uint64_t tower(int height);
+
+/// Floor of log2; `floor_log2(1) == 0`. Throws `std::invalid_argument` on 0.
+int floor_log2(std::uint64_t n);
+
+/// Ceiling of log2; `ceil_log2(1) == 0`. Throws `std::invalid_argument` on 0.
+int ceil_log2(std::uint64_t n);
+
+/// Greatest common divisor with gcd(0, x) == x.
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b);
+
+/// The smallest prime >= n (n >= 2). Used by Linial's coloring construction,
+/// which needs a field GF(q) of adequate size.
+std::uint64_t next_prime(std::uint64_t n);
+
+}  // namespace lcl

@@ -1,0 +1,12 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lcl {
+
+/// A label: a dense index into an `Alphabet` (see core/alphabet.hpp).
+/// Declared here, below both the core and graph modules, so that graph-side
+/// labeling containers need not depend on the LCL machinery.
+using Label = std::uint32_t;
+
+}  // namespace lcl

@@ -1,0 +1,215 @@
+#include "volume/algorithms.hpp"
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "local/cole_vishkin.hpp"
+#include "util/math.hpp"
+
+namespace lcl {
+
+namespace {
+
+/// Successor port of known node `j` per the chain orientation labeling, or
+/// -1 if it has none (right endpoint of a path).
+int successor_port_of(const VolumeQuery& q, std::size_t j) {
+  int port = -1;
+  for (int p = 0; p < q.degree(j); ++p) {
+    if (q.input(j, p) == kCvSuccessor) {
+      if (port != -1) {
+        throw std::invalid_argument(
+            "volume chain algorithm: node has two successor half-edges");
+      }
+      port = p;
+    }
+  }
+  return port;
+}
+
+/// Predecessor port of known node `j`, or -1 (left endpoint).
+int predecessor_port_of(const VolumeQuery& q, std::size_t j) {
+  if (q.degree(j) > 2) {
+    throw std::invalid_argument(
+        "volume chain algorithm: degree exceeds 2");
+  }
+  const int succ = successor_port_of(q, j);
+  for (int p = 0; p < q.degree(j); ++p) {
+    if (p != succ) return p;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::uint64_t VolumeConstant::probe_budget(std::size_t) const { return 0; }
+
+std::vector<Label> VolumeConstant::outputs(VolumeQuery& query) const {
+  return std::vector<Label>(static_cast<std::size_t>(query.degree(0)), 0);
+}
+
+std::uint64_t VolumeOrientByIds::probe_budget(std::size_t) const {
+  // One probe per port of the queried node; LCLs live on constant-degree
+  // graphs, so this is O(1).
+  return 64;
+}
+
+std::vector<Label> VolumeOrientByIds::outputs(VolumeQuery& query) const {
+  const int degree = query.degree(0);
+  std::vector<Label> out(static_cast<std::size_t>(degree));
+  for (int p = 0; p < degree; ++p) {
+    const std::size_t nb = query.probe(0, p);
+    out[static_cast<std::size_t>(p)] =
+        (query.id(0) < query.id(nb)) ? kOut : kIn;
+  }
+  return out;
+}
+
+std::uint64_t WastefulVolumeOrient::probe_budget(
+    std::size_t advertised_n) const {
+  const std::uint64_t loglog =
+      advertised_n >= 4
+          ? static_cast<std::uint64_t>(floor_log2(static_cast<std::uint64_t>(
+                floor_log2(static_cast<std::uint64_t>(advertised_n)))))
+          : 0;
+  return 64 + loglog;
+}
+
+std::vector<Label> WastefulVolumeOrient::outputs(VolumeQuery& query) const {
+  // Burn some budget-dependent probes to make the waste observable, then
+  // decide exactly like VolumeOrientByIds.
+  const int degree = query.degree(0);
+  std::vector<Label> out(static_cast<std::size_t>(degree));
+  for (int p = 0; p < degree; ++p) {
+    const std::size_t nb = query.probe(0, p);
+    out[static_cast<std::size_t>(p)] =
+        (query.id(0) < query.id(nb)) ? VolumeOrientByIds::kOut
+                                     : VolumeOrientByIds::kIn;
+  }
+  const std::uint64_t extra =
+      probe_budget(query.advertised_n()) - 64;
+  for (std::uint64_t i = 0; i < extra && degree > 0; ++i) {
+    query.probe(0, 0);  // redundant re-probes of the first neighbor
+  }
+  return out;
+}
+
+VolumeColeVishkin::VolumeColeVishkin(std::uint64_t id_range)
+    : id_range_(id_range),
+      shrink_rounds_(ColeVishkin(id_range).shrink_rounds()) {}
+
+std::uint64_t VolumeColeVishkin::probe_budget(std::size_t) const {
+  return static_cast<std::uint64_t>(shrink_rounds_) + 8;
+}
+
+std::vector<Label> VolumeColeVishkin::outputs(VolumeQuery& query) const {
+  if (query.id(0) >= id_range_) {
+    throw std::invalid_argument("VolumeColeVishkin: id outside range");
+  }
+  const int t = shrink_rounds_;
+
+  // Collect the chain window: positions -3 .. t+3 around the queried node
+  // (position 0). Walking stops early at true path endpoints.
+  std::map<int, std::size_t> window;  // position -> known index
+  window[0] = 0;
+  {
+    std::size_t cur = 0;
+    for (int pos = 1; pos <= t + 3; ++pos) {
+      const int sp = successor_port_of(query, cur);
+      if (sp == -1) break;
+      cur = query.probe(cur, sp);
+      window[pos] = cur;
+    }
+    cur = 0;
+    for (int pos = -1; pos >= -3; --pos) {
+      const int pp = predecessor_port_of(query, cur);
+      if (pp == -1) break;
+      cur = query.probe(cur, pp);
+      window[pos] = cur;
+    }
+  }
+
+  // Simulate the LOCAL Cole-Vishkin computation inside the window. Window
+  // boundary effects cannot reach position 0: after the shrink stage the
+  // colors at positions [-3, 3] are exact, and each of the three reduction
+  // rounds consults only direct neighbors, so the final color at 0 depends
+  // on exact values only (positions outside [-3+r, 3-r] may hold garbage in
+  // round r, but that garbage never propagates to 0).
+  std::map<int, std::uint64_t> colors;
+  for (const auto& [pos, idx] : window) colors[pos] = query.id(idx);
+  for (int round = 1; round <= t; ++round) {
+    std::map<int, std::uint64_t> next;
+    for (const auto& [pos, c] : colors) {
+      const auto succ = colors.find(pos + 1);
+      if (succ == colors.end()) {
+        if (window.count(pos + 1) == 0 &&
+            successor_port_of(query, window.at(pos)) == -1) {
+          next[pos] = c & 1;  // true right endpoint
+        }
+        // Otherwise the successor is merely outside the simulated window;
+        // this position's color is no longer computable (and no longer
+        // needed).
+        continue;
+      }
+      const std::uint64_t diff = c ^ succ->second;
+      std::uint64_t i = 0;
+      while (((diff >> i) & 1) == 0) ++i;
+      next[pos] = 2 * i + ((c >> i) & 1);
+    }
+    colors = std::move(next);
+  }
+
+  // 6 -> 3 reduction, three rounds, exactly as the LOCAL algorithm.
+  for (int r = 0; r < 3; ++r) {
+    const std::uint64_t target = 5 - static_cast<std::uint64_t>(r);
+    std::map<int, std::uint64_t> next;
+    for (const auto& [pos, c] : colors) {
+      if (c != target) {
+        next[pos] = c;
+        continue;
+      }
+      std::uint64_t chosen = target;
+      for (std::uint64_t cand = 0; cand < 3; ++cand) {
+        bool used = false;
+        const auto left = colors.find(pos - 1);
+        const auto right = colors.find(pos + 1);
+        if (left != colors.end() && left->second == cand) used = true;
+        if (right != colors.end() && right->second == cand) used = true;
+        if (!used) {
+          chosen = cand;
+          break;
+        }
+      }
+      next[pos] = chosen;
+    }
+    colors = std::move(next);
+  }
+
+  const auto own = colors.find(0);
+  if (own == colors.end()) {
+    throw std::logic_error("VolumeColeVishkin: window analysis bug");
+  }
+  return std::vector<Label>(static_cast<std::size_t>(query.degree(0)),
+                            static_cast<Label>(own->second));
+}
+
+std::uint64_t VolumeTwoColoring::probe_budget(
+    std::size_t advertised_n) const {
+  return advertised_n + 1;
+}
+
+std::vector<Label> VolumeTwoColoring::outputs(VolumeQuery& query) const {
+  // Walk to the chain start and color by distance parity.
+  std::size_t cur = 0;
+  std::uint64_t distance = 0;
+  while (true) {
+    const int pp = predecessor_port_of(query, cur);
+    if (pp == -1) break;
+    cur = query.probe(cur, pp);
+    ++distance;
+  }
+  return std::vector<Label>(static_cast<std::size_t>(query.degree(0)),
+                            static_cast<Label>(distance % 2));
+}
+
+}  // namespace lcl

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+
+#include "volume/model.hpp"
+
+namespace lcl {
+
+/// O(1)-probe witness: outputs the constant label 0 on every half-edge
+/// without probing at all (the `problems::trivial` encoding).
+class VolumeConstant final : public VolumeAlgorithm {
+ public:
+  std::uint64_t probe_budget(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(VolumeQuery& query) const override;
+};
+
+/// O(Delta) = O(1)-probe witness: probes each neighbor once and orients
+/// every edge toward the larger identifier (the `problems::any_orientation`
+/// encoding). Order-invariant in the Definition 2.10 sense.
+class VolumeOrientByIds final : public VolumeAlgorithm {
+ public:
+  std::uint64_t probe_budget(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(VolumeQuery& query) const override;
+
+  static constexpr Label kOut = 0;
+  static constexpr Label kIn = 1;
+};
+
+/// The same orientation with a wastefully growing probe budget (~ log log
+/// n): order-invariant, correct, omega(1) - the input for the Theorem 2.11
+/// freezing demonstration in the VOLUME model.
+class WastefulVolumeOrient final : public VolumeAlgorithm {
+ public:
+  std::uint64_t probe_budget(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(VolumeQuery& query) const override;
+};
+
+/// Theta(log* n)-probe witness: Cole-Vishkin 3-coloring of consistently
+/// oriented paths/cycles in the VOLUME model. To answer a query the
+/// algorithm probes a window of ~ log* chain neighbors (3 backward,
+/// shrink_rounds + 3 forward) and simulates the LOCAL Cole-Vishkin
+/// computation inside the window. Probe complexity Theta(log* id_range);
+/// NOT order-invariant (it reads identifier bits) - exactly the
+/// "sub-log*-volume algorithms must be order-invariant" dichotomy of
+/// Theorem 4.1 is about making such algorithms order-invariant.
+///
+/// Expects the `chain_orientation_input` labeling (kCvSuccessor marks each
+/// node's successor half-edge).
+class VolumeColeVishkin final : public VolumeAlgorithm {
+ public:
+  explicit VolumeColeVishkin(std::uint64_t id_range);
+
+  std::uint64_t probe_budget(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(VolumeQuery& query) const override;
+
+  int shrink_rounds() const noexcept { return shrink_rounds_; }
+
+ private:
+  std::uint64_t id_range_;
+  int shrink_rounds_;
+};
+
+/// Theta(n)-probe witness: proper 2-coloring of a path by walking backward
+/// to the path's start and coloring by distance parity. The probe
+/// complexity is the distance to the chain start - linear in n - matching
+/// 2-coloring's global complexity. Expects `chain_orientation_input` on a
+/// path (not a cycle).
+class VolumeTwoColoring final : public VolumeAlgorithm {
+ public:
+  std::uint64_t probe_budget(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(VolumeQuery& query) const override;
+};
+
+}  // namespace lcl

@@ -1,0 +1,107 @@
+#include "volume/model.hpp"
+
+#include <string>
+
+namespace lcl {
+
+VolumeQuery::VolumeQuery(const Graph& graph, NodeId start,
+                         const HalfEdgeLabeling& input,
+                         const IdAssignment& ids, std::uint64_t budget,
+                         std::size_t advertised_n, bool allow_far_probes)
+    : graph_(&graph),
+      input_(&input),
+      ids_(&ids),
+      budget_(budget),
+      advertised_n_(advertised_n),
+      allow_far_probes_(allow_far_probes) {
+  known_.push_back(start);
+}
+
+void VolumeQuery::check_known(std::size_t j) const {
+  if (j >= known_.size()) {
+    throw std::out_of_range("VolumeQuery: unknown node index " +
+                            std::to_string(j));
+  }
+}
+
+std::uint64_t VolumeQuery::id(std::size_t j) const {
+  check_known(j);
+  return (*ids_)[known_[j]];
+}
+
+int VolumeQuery::degree(std::size_t j) const {
+  check_known(j);
+  return graph_->degree(known_[j]);
+}
+
+Label VolumeQuery::input(std::size_t j, int port) const {
+  check_known(j);
+  return (*input_)[graph_->half_edge(known_[j], port)];
+}
+
+std::size_t VolumeQuery::reveal(NodeId v) {
+  if (++probes_ > budget_) {
+    throw ProbeBudgetExceeded(
+        "VolumeQuery: probe budget of " + std::to_string(budget_) +
+        " exhausted");
+  }
+  known_.push_back(v);
+  return known_.size() - 1;
+}
+
+std::size_t VolumeQuery::probe(std::size_t j, int port) {
+  check_known(j);
+  return reveal(graph_->neighbor(known_[j], port));
+}
+
+std::size_t VolumeQuery::far_probe(std::uint64_t target_id) {
+  if (!allow_far_probes_) {
+    throw std::logic_error(
+        "VolumeQuery: far probes are an LCA-model feature; this query runs "
+        "in the plain VOLUME model");
+  }
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    if ((*ids_)[v] == target_id) return reveal(v);
+  }
+  throw std::out_of_range("VolumeQuery::far_probe: no node with id " +
+                          std::to_string(target_id));
+}
+
+VolumeRunResult run_volume_algorithm(const VolumeAlgorithm& algorithm,
+                                     const Graph& graph,
+                                     const HalfEdgeLabeling& input,
+                                     const IdAssignment& ids,
+                                     std::size_t advertised_n,
+                                     bool lca_mode) {
+  if (input.size() != graph.half_edge_count()) {
+    throw std::invalid_argument("run_volume_algorithm: input size mismatch");
+  }
+  if (ids.size() != graph.node_count()) {
+    throw std::invalid_argument("run_volume_algorithm: ids size mismatch");
+  }
+  if (advertised_n == 0) advertised_n = graph.node_count();
+  const std::uint64_t budget = algorithm.probe_budget(advertised_n);
+
+  VolumeRunResult result;
+  result.output.assign(graph.half_edge_count(), 0);
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const int degree = graph.degree(v);
+    if (degree == 0) continue;
+    VolumeQuery query(graph, v, input, ids, budget, advertised_n, lca_mode);
+    const auto labels = algorithm.outputs(query);
+    if (labels.size() != static_cast<std::size_t>(degree)) {
+      throw std::logic_error(
+          "run_volume_algorithm: wrong label count at node " +
+          std::to_string(v));
+    }
+    for (int p = 0; p < degree; ++p) {
+      result.output[graph.half_edge(v, p)] =
+          labels[static_cast<std::size_t>(p)];
+    }
+    result.max_probes = std::max(result.max_probes, query.probes_used());
+    result.total_probes += query.probes_used();
+  }
+  return result;
+}
+
+}  // namespace lcl

@@ -1,0 +1,114 @@
+#pragma once
+#include <algorithm>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl {
+
+/// Thrown when a VOLUME algorithm exceeds its declared probe budget.
+class ProbeBudgetExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A single query of the VOLUME model (Definition 2.9): the algorithm is
+/// asked to produce the output labels of one node's half-edges. It starts
+/// knowing that node's tuple `(id, deg, in)` (Definition 2.8) and may
+/// adaptively probe: "reveal the neighbor behind port p of the j-th known
+/// node". Each probe reveals one more tuple and counts toward the budget.
+///
+/// The handle exposes only tuple data - never `NodeId`s of the underlying
+/// graph - so an algorithm cannot accidentally bypass the probe discipline.
+class VolumeQuery {
+ public:
+  /// `budget` = maximum number of probes; `advertised_n` is what the
+  /// algorithm is told about the graph size.
+  VolumeQuery(const Graph& graph, NodeId start,
+              const HalfEdgeLabeling& input, const IdAssignment& ids,
+              std::uint64_t budget, std::size_t advertised_n,
+              bool allow_far_probes = false);
+
+  /// Number of known nodes (the queried node is index 0).
+  std::size_t known_count() const noexcept { return known_.size(); }
+  std::size_t advertised_n() const noexcept { return advertised_n_; }
+
+  /// Lowers the advertised size to `min(advertised_n, n0)`. Used by the
+  /// Theorem 2.11 freezer: the wrapped algorithm then behaves exactly as it
+  /// would on an n0-node graph.
+  void clamp_advertised(std::size_t n0) {
+    advertised_n_ = std::min(advertised_n_, n0);
+  }
+  std::uint64_t probes_used() const noexcept { return probes_; }
+  std::uint64_t budget() const noexcept { return budget_; }
+
+  /// Tuple data of the j-th known node.
+  std::uint64_t id(std::size_t j) const;
+  int degree(std::size_t j) const;
+  Label input(std::size_t j, int port) const;
+
+  /// Adaptive probe: reveals the neighbor behind port `port` of known node
+  /// `j` and returns its index in the known list (a node revealed twice
+  /// gets a fresh index each time - the algorithm can identify duplicates
+  /// by ID, exactly as in Definition 2.9). Throws `ProbeBudgetExceeded`
+  /// when the budget is exhausted, `std::out_of_range` for bad arguments.
+  std::size_t probe(std::size_t j, int port);
+
+  /// LCA far probe (Section 2.2): reveals the node with identifier
+  /// `target_id`, which must exist. Counts as one probe. Only available
+  /// when the query was created with far probes enabled (the LCA model);
+  /// throws `std::logic_error` otherwise.
+  std::size_t far_probe(std::uint64_t target_id);
+
+ private:
+  void check_known(std::size_t j) const;
+  std::size_t reveal(NodeId v);
+
+  const Graph* graph_;
+  const HalfEdgeLabeling* input_;
+  const IdAssignment* ids_;
+  std::uint64_t budget_;
+  std::size_t advertised_n_;
+  bool allow_far_probes_;
+  std::uint64_t probes_ = 0;
+  std::vector<NodeId> known_;
+};
+
+/// A VOLUME model algorithm: answers one node-query within a probe budget
+/// that may depend on (the advertised) n.
+class VolumeAlgorithm {
+ public:
+  virtual ~VolumeAlgorithm() = default;
+
+  /// Probe budget T(n).
+  virtual std::uint64_t probe_budget(std::size_t advertised_n) const = 0;
+
+  /// Output labels for the queried node's ports (exactly `query.degree(0)`
+  /// labels).
+  virtual std::vector<Label> outputs(VolumeQuery& query) const = 0;
+};
+
+/// Result of running a VOLUME algorithm on every node of a graph.
+struct VolumeRunResult {
+  HalfEdgeLabeling output;
+  /// Maximum probes used by any single query - the empirical probe
+  /// complexity, the quantity on the Figure 1 (bottom right) axis.
+  std::uint64_t max_probes = 0;
+  std::uint64_t total_probes = 0;
+};
+
+/// Runs `algorithm` once per (non-isolated) node and assembles the output
+/// labeling. `advertised_n` defaults to the true size; `lca_mode` enables
+/// far probes.
+VolumeRunResult run_volume_algorithm(const VolumeAlgorithm& algorithm,
+                                     const Graph& graph,
+                                     const HalfEdgeLabeling& input,
+                                     const IdAssignment& ids,
+                                     std::size_t advertised_n = 0,
+                                     bool lca_mode = false);
+
+}  // namespace lcl

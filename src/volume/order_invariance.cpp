@@ -1,0 +1,42 @@
+#include "volume/order_invariance.hpp"
+
+#include <algorithm>
+
+namespace lcl {
+
+bool check_volume_order_invariance(const VolumeAlgorithm& algorithm,
+                                   const Graph& graph,
+                                   const HalfEdgeLabeling& input,
+                                   const IdAssignment& ids, int trials,
+                                   SplitRng& rng) {
+  const auto reference = run_volume_algorithm(algorithm, graph, input, ids);
+  for (int t = 0; t < trials; ++t) {
+    const IdAssignment remapped = order_preserving_remap(ids, 4, rng);
+    const auto other = run_volume_algorithm(algorithm, graph, input, remapped);
+    if (other.output != reference.output ||
+        other.max_probes != reference.max_probes ||
+        other.total_probes != reference.total_probes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FrozenVolumeAlgorithm::FrozenVolumeAlgorithm(const VolumeAlgorithm& inner,
+                                             std::size_t n0)
+    : inner_(inner), n0_(n0) {}
+
+std::uint64_t FrozenVolumeAlgorithm::probe_budget(
+    std::size_t advertised_n) const {
+  return inner_.probe_budget(std::min(advertised_n, n0_));
+}
+
+std::vector<Label> FrozenVolumeAlgorithm::outputs(VolumeQuery& query) const {
+  // The inner algorithm reads the graph size only through
+  // `query.advertised_n()`; clamping it to n0 is exactly the "run A with
+  // input parameter min(n, n0)" of Theorem 2.11's proof.
+  query.clamp_advertised(n0_);
+  return inner_.outputs(query);
+}
+
+}  // namespace lcl

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "util/rng.hpp"
+#include "volume/model.hpp"
+
+namespace lcl {
+
+/// Property test for Definition 2.10 (order-invariant VOLUME algorithm):
+/// runs `algorithm` under `trials` random order-preserving remappings of the
+/// identifiers and reports whether every run produced the same output
+/// labeling with the same probe counts. A false return is a counterexample
+/// to order-invariance.
+bool check_volume_order_invariance(const VolumeAlgorithm& algorithm,
+                                   const Graph& graph,
+                                   const HalfEdgeLabeling& input,
+                                   const IdAssignment& ids, int trials,
+                                   SplitRng& rng);
+
+/// Theorem 2.11 for the VOLUME model: freezing an order-invariant algorithm
+/// at a fixed n0 (always advertising min(n, n0)) turns probe complexity
+/// f(n) = o(n) into O(1) while preserving correctness - provided the inner
+/// algorithm is genuinely order-invariant and n0 satisfies the theorem's
+/// counting condition Delta^(r+1) * (T(n0)+1) <= n0 / Delta.
+class FrozenVolumeAlgorithm final : public VolumeAlgorithm {
+ public:
+  FrozenVolumeAlgorithm(const VolumeAlgorithm& inner, std::size_t n0);
+
+  std::uint64_t probe_budget(std::size_t advertised_n) const override;
+  std::vector<Label> outputs(VolumeQuery& query) const override;
+
+ private:
+  const VolumeAlgorithm& inner_;
+  std::size_t n0_;
+};
+
+}  // namespace lcl

@@ -1,0 +1,153 @@
+// Failure-injection property tests: start from a provably correct solution,
+// plant a random corruption, and require the checker to notice. This guards
+// the checker itself - every other result in the repository is only as
+// trustworthy as `check_solution`.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl {
+namespace {
+
+struct Case {
+  const char* name;
+  NodeEdgeCheckableLcl problem;
+};
+
+std::vector<Case> battery() {
+  std::vector<Case> cases;
+  cases.push_back({"3-coloring", problems::coloring(3, 3)});
+  cases.push_back({"mis", problems::mis(3)});
+  cases.push_back({"matching", problems::maximal_matching(3)});
+  cases.push_back({"sinkless", problems::sinkless_orientation(3)});
+  cases.push_back({"weak-2-coloring", problems::weak_coloring(2, 3)});
+  return cases;
+}
+
+/// Independent re-implementation of Definition 2.3 used as a differential
+/// oracle for the checker (deliberately naive and separate from
+/// `check_solution`).
+bool naive_valid(const NodeEdgeCheckableLcl& p, const Graph& g,
+                 const HalfEdgeLabeling& input,
+                 const HalfEdgeLabeling& output) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.degree(v) == 0) continue;
+    std::vector<Label> around;
+    for (int port = 0; port < g.degree(v); ++port) {
+      const HalfEdgeId h = g.half_edge(v, port);
+      around.push_back(output[h]);
+      if (!p.allowed_outputs(input[h]).contains(output[h])) return false;
+    }
+    if (!p.node_allows(Configuration(around))) return false;
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!p.edge_allows(output[2 * e], output[2 * e + 1])) return false;
+  }
+  return true;
+}
+
+/// Smallest label change at one half-edge that alters the labeling.
+HalfEdgeLabeling corrupt(const HalfEdgeLabeling& solution,
+                         std::size_t alphabet, SplitRng& rng) {
+  HalfEdgeLabeling bad = solution;
+  const std::size_t h = rng.next_below(bad.size());
+  const Label old = bad[h];
+  Label fresh = static_cast<Label>(rng.next_below(alphabet));
+  while (fresh == old) fresh = static_cast<Label>(rng.next_below(alphabet));
+  bad[h] = fresh;
+  return bad;
+}
+
+class CheckerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckerFuzzTest, SingleHalfEdgeCorruptionAlwaysAttributed) {
+  SplitRng rng(GetParam());
+  for (auto& c : battery()) {
+    Graph g = make_random_tree(12, 3, rng);
+    const auto input = uniform_labeling(g, 0);
+    const auto solution = brute_force_solve(c.problem, g, input);
+    ASSERT_TRUE(solution.has_value()) << c.name;
+    ASSERT_TRUE(is_correct_solution(c.problem, g, input, *solution))
+        << c.name;
+
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto bad =
+          corrupt(*solution, c.problem.output_alphabet().size(), rng);
+      const auto check = check_solution(c.problem, g, input, bad);
+      // Differential oracle: the checker and the naive validator must agree
+      // (a single flip occasionally yields another valid solution, e.g. a
+      // recolorable leaf in 3-coloring - that is a pass for both).
+      EXPECT_EQ(check.ok(), naive_valid(c.problem, g, input, bad)) << c.name;
+      if (check.ok()) continue;
+      // Invalid corruption: some violation must be attributed to the
+      // corrupted half-edge's node or edge (all other half-edges are
+      // untouched, so any constraint involving the change sits there).
+      std::size_t changed = 0;
+      for (std::size_t h = 0; h < bad.size(); ++h) {
+        if (bad[h] != (*solution)[h]) changed = h;
+      }
+      const NodeId v = g.node_of(static_cast<HalfEdgeId>(changed));
+      const EdgeId e = Graph::edge_of(static_cast<HalfEdgeId>(changed));
+      bool attributed = false;
+      for (const auto& violation : check.violations) {
+        if (violation.kind == Violation::Kind::kNode && violation.id == v) {
+          attributed = true;
+        }
+        if (violation.kind == Violation::Kind::kEdge && violation.id == e) {
+          attributed = true;
+        }
+      }
+      EXPECT_TRUE(attributed)
+          << c.name << ": violation not attributed to the corrupted site";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(CheckerFuzz, InputfulCorruptionCaught) {
+  // forbidden_color: flipping an output to the forbidden color must be
+  // flagged even if the coloring stays proper.
+  SplitRng rng(7);
+  const auto problem = problems::forbidden_color(4, 2);
+  Graph g = make_path(6);
+  // Forbid color c at node i's half-edges via inputs.
+  HalfEdgeLabeling input(g.half_edge_count(),
+                         problem.input_alphabet().at("free"));
+  input[g.half_edge(2, 0)] = problem.input_alphabet().at("forbid1");
+  const auto solution = brute_force_solve(problem, g, input);
+  ASSERT_TRUE(solution.has_value());
+
+  HalfEdgeLabeling bad = *solution;
+  bad[g.half_edge(2, 0)] = 1;  // the forbidden color
+  // Make the neighbor consistent so only the g constraint can complain...
+  // (it may also break properness; either way the checker must object).
+  const auto check = check_solution(problem, g, input, bad);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(CheckerFuzz, RandomLabelingsAlmostNeverPass) {
+  // Sanity: a uniformly random labeling of a 30-node tree practically never
+  // satisfies MIS. (Probabilistic, but the failure probability of this
+  // test is astronomically small.)
+  SplitRng rng(99);
+  const auto problem = problems::mis(3);
+  Graph g = make_random_tree(30, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  int passes = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto random_out =
+        random_labeling(g, problem.output_alphabet().size(), rng);
+    if (is_correct_solution(problem, g, input, random_out)) ++passes;
+  }
+  EXPECT_EQ(passes, 0);
+}
+
+}  // namespace
+}  // namespace lcl

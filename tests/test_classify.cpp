@@ -1,0 +1,111 @@
+#include "classify/cycle_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl {
+namespace {
+
+TEST(CycleClassifier, TrivialIsConstant) {
+  const auto result = classify_on_cycles(problems::trivial(2));
+  EXPECT_EQ(result.complexity, CycleComplexity::kConstant);
+  EXPECT_EQ(result.zero_round_collapse_step, 0);
+}
+
+TEST(CycleClassifier, OrientationIsConstantViaCollapse) {
+  const auto result = classify_on_cycles(problems::any_orientation(2));
+  EXPECT_EQ(result.complexity, CycleComplexity::kConstant);
+  EXPECT_GE(result.zero_round_collapse_step, 1);
+}
+
+TEST(CycleClassifier, ProperColoringIsLogStar) {
+  for (int colors : {3, 4, 5}) {
+    const auto result = classify_on_cycles(problems::coloring(colors, 2));
+    EXPECT_EQ(result.complexity, CycleComplexity::kLogStar) << colors;
+  }
+}
+
+TEST(CycleClassifier, MisAndMatchingAreLogStar) {
+  EXPECT_EQ(classify_on_cycles(problems::mis(2)).complexity,
+            CycleComplexity::kLogStar);
+  EXPECT_EQ(classify_on_cycles(problems::maximal_matching(2)).complexity,
+            CycleComplexity::kLogStar);
+}
+
+TEST(CycleClassifier, TwoColoringIsGlobalWithPeriodTwo) {
+  const auto result = classify_on_cycles(problems::two_coloring(2));
+  EXPECT_EQ(result.complexity, CycleComplexity::kGlobal);
+  ASSERT_FALSE(result.scc_gcds.empty());
+  for (const auto g : result.scc_gcds) EXPECT_EQ(g, 2u);
+}
+
+TEST(CycleClassifier, UnsolvableDetected) {
+  // Output b is required by the edge constraint but never allowed around a
+  // node, so no cycle admits a solution.
+  Alphabet in({"-"});
+  Alphabet out({"a", "b"});
+  NodeEdgeCheckableLcl::Builder b("dead-end", in, out, 2);
+  b.allow_node({0, 0}).allow_node({0});
+  b.allow_edge(0, 1);
+  b.unrestricted_inputs();
+  const auto result = classify_on_cycles(b.build());
+  EXPECT_EQ(result.complexity, CycleComplexity::kUnsolvable);
+}
+
+TEST(CycleClassifier, RejectsInputfulProblems) {
+  EXPECT_THROW(classify_on_cycles(problems::forbidden_color(3, 2)),
+               std::invalid_argument);
+}
+
+TEST(CycleClassifier, ToStringCoversAllClasses) {
+  EXPECT_EQ(to_string(CycleComplexity::kUnsolvable), "unsolvable");
+  EXPECT_EQ(to_string(CycleComplexity::kGlobal), "Theta(n)");
+  EXPECT_EQ(to_string(CycleComplexity::kLogStar), "Theta(log* n)");
+  EXPECT_EQ(to_string(CycleComplexity::kConstant), "O(1)");
+}
+
+class SolvableLengthTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolvableLengthTest, AutomatonAgreesWithBruteForce) {
+  const std::uint64_t n = GetParam();
+  const Graph cycle = make_cycle(n);
+  const struct {
+    const char* name;
+    NodeEdgeCheckableLcl problem;
+  } cases[] = {
+      {"3-coloring", problems::coloring(3, 2)},
+      {"2-coloring", problems::two_coloring(2)},
+      {"mis", problems::mis(2)},
+      {"matching", problems::maximal_matching(2)},
+      {"trivial", problems::trivial(2)},
+  };
+  for (const auto& c : cases) {
+    const auto input = uniform_labeling(cycle, 0);
+    const bool automaton = solvable_on_cycle_length(c.problem, n);
+    const bool brute = brute_force_solvable(c.problem, cycle, input);
+    EXPECT_EQ(automaton, brute) << c.name << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SolvableLengthTest,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+TEST(SolvableLength, KnownPatterns) {
+  // 2-coloring: even cycles only; 3-coloring: all; MIS: all n >= 3.
+  const auto two = problems::two_coloring(2);
+  const auto three = problems::coloring(3, 2);
+  for (std::uint64_t n = 3; n <= 14; ++n) {
+    EXPECT_EQ(solvable_on_cycle_length(two, n), n % 2 == 0) << n;
+    EXPECT_TRUE(solvable_on_cycle_length(three, n)) << n;
+  }
+  // Large lengths through the matrix power.
+  EXPECT_TRUE(solvable_on_cycle_length(two, 1u << 20));
+  EXPECT_FALSE(solvable_on_cycle_length(two, (1u << 20) + 1));
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,118 @@
+#include "classify/path_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl {
+namespace {
+
+TEST(PathClassifier, TrivialIsConstant) {
+  const auto result = classify_on_paths(problems::trivial(2));
+  EXPECT_EQ(result.complexity, CycleComplexity::kConstant);
+  EXPECT_TRUE(result.solvable_for_all_lengths);
+  EXPECT_EQ(result.zero_round_collapse_step, 0);
+}
+
+TEST(PathClassifier, OrientationIsConstant) {
+  const auto result = classify_on_paths(problems::any_orientation(2));
+  EXPECT_EQ(result.complexity, CycleComplexity::kConstant);
+  EXPECT_GE(result.zero_round_collapse_step, 1);
+}
+
+TEST(PathClassifier, ColoringIsLogStar) {
+  for (int colors : {3, 4}) {
+    const auto result = classify_on_paths(problems::coloring(colors, 2));
+    EXPECT_EQ(result.complexity, CycleComplexity::kLogStar) << colors;
+    EXPECT_TRUE(result.solvable_for_all_lengths);
+  }
+}
+
+TEST(PathClassifier, TwoColoringIsGlobalDespiteAllLengthsSolvable) {
+  // The canonical trap: 2-coloring is solvable on EVERY path, yet Theta(n)
+  // - the automaton is length-feasible everywhere but has no flexible
+  // (gcd-1) state.
+  const auto result = classify_on_paths(problems::two_coloring(2));
+  EXPECT_EQ(result.complexity, CycleComplexity::kGlobal);
+  EXPECT_TRUE(result.solvable_for_all_lengths);
+}
+
+TEST(PathClassifier, MisAndMatchingAreLogStar) {
+  EXPECT_EQ(classify_on_paths(problems::mis(2)).complexity,
+            CycleComplexity::kLogStar);
+  EXPECT_EQ(classify_on_paths(problems::maximal_matching(2)).complexity,
+            CycleComplexity::kLogStar);
+}
+
+TEST(PathClassifier, UnsolvableDetected) {
+  // Degree-1 nodes have no allowed configuration: no path is solvable.
+  Alphabet in({"-"});
+  Alphabet out({"a"});
+  NodeEdgeCheckableLcl::Builder b("no-endpoints", in, out, 2);
+  b.allow_node({0, 0});
+  b.allow_edge(0, 0);
+  b.unrestricted_inputs();
+  const auto result = classify_on_paths(b.build());
+  EXPECT_EQ(result.complexity, CycleComplexity::kUnsolvable);
+  EXPECT_FALSE(result.solvable_for_all_lengths);
+}
+
+TEST(PathClassifier, RejectsInputfulProblems) {
+  EXPECT_THROW(classify_on_paths(problems::forbidden_color(3, 2)),
+               std::invalid_argument);
+}
+
+class PathLengthTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathLengthTest, AutomatonAgreesWithBruteForce) {
+  const std::uint64_t n = GetParam();
+  const Graph path = make_path(n);
+  const struct {
+    const char* name;
+    NodeEdgeCheckableLcl problem;
+  } cases[] = {
+      {"3-coloring", problems::coloring(3, 2)},
+      {"2-coloring", problems::two_coloring(2)},
+      {"mis", problems::mis(2)},
+      {"matching", problems::maximal_matching(2)},
+      {"sinkless", problems::sinkless_orientation(2)},
+  };
+  for (const auto& c : cases) {
+    const auto input = uniform_labeling(path, 0);
+    EXPECT_EQ(solvable_on_path_length(c.problem, n),
+              brute_force_solvable(c.problem, path, input))
+        << c.name << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PathLengthTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11));
+
+TEST(PathLength, MatchingParity) {
+  // Maximal matching on paths: solvable for every n >= 2 (maximality, not
+  // perfection); perfect matching (no unmatched label) would be even-only.
+  const auto matching = problems::maximal_matching(2);
+  for (std::uint64_t n = 2; n <= 12; ++n) {
+    EXPECT_TRUE(solvable_on_path_length(matching, n)) << n;
+  }
+
+  // Perfect matching: no unmatched label exists, so parity bites.
+  const auto perfect = problems::perfect_matching(2);
+  for (std::uint64_t n = 2; n <= 12; ++n) {
+    EXPECT_EQ(solvable_on_path_length(perfect, n), n % 2 == 0) << n;
+  }
+  const auto cls = classify_on_paths(perfect);
+  EXPECT_EQ(cls.complexity, CycleComplexity::kGlobal);
+  EXPECT_FALSE(cls.solvable_for_all_lengths);
+}
+
+TEST(PathLength, RejectsTinyN) {
+  EXPECT_THROW(solvable_on_path_length(problems::trivial(2), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcl

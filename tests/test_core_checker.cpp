@@ -1,0 +1,185 @@
+#include "core/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl {
+namespace {
+
+/// Assigns each node a color and writes it on all its half-edges.
+HalfEdgeLabeling node_colors_to_half_edges(const Graph& g,
+                                           const std::vector<Label>& colors) {
+  HalfEdgeLabeling out(g.half_edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (int p = 0; p < g.degree(v); ++p) {
+      out[g.half_edge(v, p)] = colors[v];
+    }
+  }
+  return out;
+}
+
+TEST(Checker, AcceptsProperColoring) {
+  Graph g = make_path(6);
+  auto p = problems::coloring(3, 2);
+  std::vector<Label> colors;
+  for (std::size_t i = 0; i < 6; ++i) {
+    colors.push_back(static_cast<Label>(i % 3));
+  }
+  const auto out = node_colors_to_half_edges(g, colors);
+  const auto input = uniform_labeling(g, 0);
+  const auto result = check_solution(p, g, input, out);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(Checker, RejectsMonochromaticEdge) {
+  Graph g = make_path(4);
+  auto p = problems::coloring(3, 2);
+  std::vector<Label> colors{0, 1, 1, 0};  // nodes 1 and 2 clash
+  const auto out = node_colors_to_half_edges(g, colors);
+  const auto input = uniform_labeling(g, 0);
+  const auto result = check_solution(p, g, input, out);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.edge_failures(), 1u);
+  EXPECT_EQ(result.node_failures(), 0u);
+}
+
+TEST(Checker, RejectsInconsistentNodeLabels) {
+  Graph g = make_path(3);
+  auto p = problems::coloring(3, 2);
+  HalfEdgeLabeling out(g.half_edge_count(), 0);
+  // Node 1 writes color 0 on one half-edge and color 1 on the other: not a
+  // valid node configuration for coloring.
+  out[g.half_edge(1, 0)] = 1;
+  out[g.half_edge(0, 0)] = 2;
+  out[g.half_edge(2, 0)] = 1;
+  const auto input = uniform_labeling(g, 0);
+  const auto result = check_solution(p, g, input, out);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.node_failures(), 1u);
+}
+
+TEST(Checker, GViolationAttributedToNodeAndEdge) {
+  Graph g = make_path(2);
+  auto p = problems::forbidden_color(3, 2);
+  const Label forbid0 = p.input_alphabet().at("forbid0");
+  const Label free = p.input_alphabet().at("free");
+  HalfEdgeLabeling input(g.half_edge_count(), free);
+  input[g.half_edge(0, 0)] = forbid0;
+  HalfEdgeLabeling out(g.half_edge_count());
+  out[g.half_edge(0, 0)] = 0;  // violates g: color 0 forbidden here
+  out[g.half_edge(1, 0)] = 1;
+  const auto result = check_solution(p, g, input, out);
+  EXPECT_FALSE(result.ok());
+  // Definition 2.4 attributes a g violation to both the node and the edge.
+  EXPECT_GE(result.node_failures(), 1u);
+  EXPECT_GE(result.edge_failures(), 1u);
+}
+
+TEST(Checker, IsolatedNodesIgnored) {
+  Graph g = Graph::Builder(3).add_edge(0, 1).build();
+  auto p = problems::coloring(2, 2);
+  HalfEdgeLabeling out(g.half_edge_count());
+  out[g.half_edge(0, 0)] = 0;
+  out[g.half_edge(1, 0)] = 1;
+  const auto input = uniform_labeling(g, 0);
+  EXPECT_TRUE(is_correct_solution(p, g, input, out));
+}
+
+TEST(Checker, ValidatesArguments) {
+  Graph g = make_path(4);
+  auto p = problems::coloring(3, 2);
+  const auto input = uniform_labeling(g, 0);
+  HalfEdgeLabeling out(g.half_edge_count(), 0);
+
+  HalfEdgeLabeling short_out(g.half_edge_count() - 1, 0);
+  EXPECT_THROW(check_solution(p, g, input, short_out), std::invalid_argument);
+
+  HalfEdgeLabeling bad_label(g.half_edge_count(), 99);
+  EXPECT_THROW(check_solution(p, g, input, bad_label), std::invalid_argument);
+
+  HalfEdgeLabeling bad_input(g.half_edge_count(), 42);
+  EXPECT_THROW(check_solution(p, g, bad_input, out), std::invalid_argument);
+
+  Graph star = make_star(5);  // degree 5 > problem max degree 2
+  const auto star_in = uniform_labeling(star, 0);
+  HalfEdgeLabeling star_out(star.half_edge_count(), 0);
+  EXPECT_THROW(check_solution(p, star, star_in, star_out),
+               std::invalid_argument);
+}
+
+TEST(Checker, SinklessOrientationOnStarLikeTree) {
+  // Orient all edges of a path toward increasing ids; interior nodes of a
+  // path have degree 2 < Delta = 3, so any orientation is fine.
+  Graph g = make_path(5);
+  auto p = problems::sinkless_orientation(3);
+  const Label kOut = p.output_alphabet().at("O");
+  const Label kIn = p.output_alphabet().at("I");
+  HalfEdgeLabeling out(g.half_edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    out[g.half_edge_of(u, e)] = kOut;
+    out[g.half_edge_of(v, e)] = kIn;
+  }
+  const auto input = uniform_labeling(g, 0);
+  EXPECT_TRUE(is_correct_solution(p, g, input, out));
+}
+
+TEST(Checker, SinklessOrientationRejectsSinkAtFullDegree) {
+  Graph g = make_star(3);  // center has degree 3 = Delta
+  auto p = problems::sinkless_orientation(3);
+  const Label kOut = p.output_alphabet().at("O");
+  const Label kIn = p.output_alphabet().at("I");
+  HalfEdgeLabeling out(g.half_edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    // All edges oriented toward the center: center is a sink.
+    const auto [u, v] = g.endpoints(e);
+    const NodeId leaf = (u == 0) ? v : u;
+    out[g.half_edge_of(leaf, e)] = kOut;
+    out[g.half_edge_of(0, e)] = kIn;
+  }
+  const auto input = uniform_labeling(g, 0);
+  const auto result = check_solution(p, g, input, out);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.node_failures(), 1u);
+  EXPECT_EQ(result.violations.front().id, 0u);
+}
+
+TEST(Checker, MisOnPathAcceptsAlternating) {
+  Graph g = make_path(5);
+  auto p = problems::mis(2);
+  const Label kI = p.output_alphabet().at("I");
+  const Label kP = p.output_alphabet().at("P");
+  const Label kO = p.output_alphabet().at("O");
+  // MIS = {0, 2, 4}; nodes 1 and 3 point at a neighbor in the set.
+  HalfEdgeLabeling out(g.half_edge_count());
+  auto set_node = [&](NodeId v, std::vector<Label> labels) {
+    for (int port = 0; port < g.degree(v); ++port) {
+      out[g.half_edge(v, port)] = labels[static_cast<std::size_t>(port)];
+    }
+  };
+  set_node(0, {kI});
+  set_node(1, {kP, kO});  // port 0 points to node 0
+  set_node(2, {kI, kI});
+  set_node(3, {kP, kO});  // port 0 points to node 2
+  set_node(4, {kI});
+  const auto input = uniform_labeling(g, 0);
+  const auto result = check_solution(p, g, input, out);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(Checker, ResultToStringListsViolations) {
+  Graph g = make_path(3);
+  auto p = problems::coloring(2, 2);
+  HalfEdgeLabeling out(g.half_edge_count(), 0);  // everything color 0
+  const auto input = uniform_labeling(g, 0);
+  const auto result = check_solution(p, g, input, out);
+  EXPECT_FALSE(result.ok());
+  const std::string s = result.to_string();
+  EXPECT_NE(s.find("edge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcl

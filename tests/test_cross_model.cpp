@@ -1,0 +1,104 @@
+// Cross-model consistency: the same textbook algorithm implemented in
+// different models (LOCAL synchronous, VOLUME, PROD-LOCAL grids) must
+// produce *identical* outputs on the same instance - a strong mutual
+// correctness check for the three simulators.
+
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "grid/algorithms.hpp"
+#include "grid/torus.hpp"
+#include "local/cole_vishkin.hpp"
+#include "local/order_invariant.hpp"
+#include "local/sync_engine.hpp"
+#include "volume/algorithms.hpp"
+
+namespace lcl {
+namespace {
+
+std::uint64_t id_range_for(const IdAssignment& ids) {
+  std::uint64_t max_id = 0;
+  for (auto id : ids) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+class CrossModelPathTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrossModelPathTest, VolumeCvEqualsLocalCvOnPaths) {
+  const std::size_t n = GetParam();
+  Graph g = make_path(n);
+  SplitRng rng(n * 7 + 3);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const auto input = chain_orientation_input(g, false);
+  const std::uint64_t range = id_range_for(ids);
+
+  const auto local = run_synchronous(ColeVishkin(range), g, input, ids, 1);
+  const auto volume =
+      run_volume_algorithm(VolumeColeVishkin(range), g, input, ids);
+  EXPECT_EQ(local.output, volume.output) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrossModelPathTest,
+                         ::testing::Values(2, 3, 5, 9, 33, 200));
+
+class CrossModelCycleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrossModelCycleTest, GridColoringD1EqualsColeVishkinOnCycles) {
+  // A 1-dimensional oriented torus IS an oriented cycle; GridColoring with
+  // the node's id as its (single) PROD-LOCAL identifier must reproduce the
+  // chain Cole-Vishkin coloring bit for bit.
+  const std::size_t n = GetParam();
+  const OrientedTorus torus({n});
+  const Graph& g = torus.graph();
+  SplitRng rng(n + 13);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const std::uint64_t range = id_range_for(ids);
+
+  // Grid side: aux tuple = (id) per node; torus orientation input.
+  std::vector<std::vector<std::uint64_t>> aux(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) aux[v] = {ids[v]};
+  const auto grid_result =
+      run_synchronous(GridColoring(1, range), g, torus.orientation_input(),
+                      ids, 1, 0, 1'000'000, &aux);
+
+  // Chain side: same graph, orientation labels translated (forward = succ).
+  HalfEdgeLabeling chain_input(g.half_edge_count(), kCvPlain);
+  const auto torus_input = torus.orientation_input();
+  for (HalfEdgeId h = 0; h < g.half_edge_count(); ++h) {
+    if (torus_input[h] == OrientedTorus::forward_label(0)) {
+      chain_input[h] = kCvSuccessor;
+    }
+  }
+  const auto cv_result =
+      run_synchronous(ColeVishkin(range), g, chain_input, ids, 1);
+
+  EXPECT_EQ(grid_result.output, cv_result.output) << "n=" << n;
+  const auto dummy = uniform_labeling(g, 0);
+  EXPECT_TRUE(is_correct_solution(problems::coloring(3, 2), g, dummy,
+                                  grid_result.output));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrossModelCycleTest,
+                         ::testing::Values(3, 4, 7, 64, 500));
+
+TEST(CrossModel, FrozenLocalAndVolumeAgreeOnOrientation) {
+  // The LOCAL and VOLUME orientation algorithms implement the same rule
+  // (edge toward the larger id), so their outputs coincide.
+  SplitRng rng(21);
+  Graph g = make_random_tree(120, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+
+  const auto volume =
+      run_volume_algorithm(VolumeOrientByIds{}, g, input, ids);
+  // LOCAL side via the ball-algorithm runner.
+  const OrientByIdOrder local_algo;
+  const auto local = run_ball_algorithm(local_algo, g, input, ids);
+  EXPECT_EQ(volume.output, local);
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,229 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "util/rng.hpp"
+
+namespace lcl {
+namespace {
+
+TEST(GraphBuilder, BasicTriangle) {
+  Graph g = Graph::Builder()
+                .add_edge(0, 1)
+                .add_edge(1, 2)
+                .add_edge(2, 0)
+                .build();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.half_edge_count(), 6u);
+  EXPECT_EQ(g.max_degree(), 2);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopsAndParallelEdges) {
+  Graph::Builder b;
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, IsolatedNodes) {
+  Graph g = Graph::Builder(5).add_edge(0, 1).build();
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.degree(4), 0);
+  EXPECT_EQ(g.component_count(), 4u);
+}
+
+TEST(Graph, PortsAndHalfEdges) {
+  // Node 1 gains ports in edge-insertion order: {1,0} then {1,2} then {1,3}.
+  Graph g =
+      Graph::Builder().add_edge(1, 0).add_edge(1, 2).add_edge(1, 3).build();
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.neighbor(1, 0), 0u);
+  EXPECT_EQ(g.neighbor(1, 1), 2u);
+  EXPECT_EQ(g.neighbor(1, 2), 3u);
+  EXPECT_EQ(g.port_of(1, g.edge_at(1, 1)), 1);
+
+  const HalfEdgeId h = g.half_edge(1, 0);
+  EXPECT_EQ(g.node_of(h), 1u);
+  EXPECT_EQ(g.node_of(Graph::twin(h)), 0u);
+  EXPECT_EQ(Graph::edge_of(h), g.edge_at(1, 0));
+  EXPECT_EQ(Graph::twin(Graph::twin(h)), h);
+}
+
+TEST(Graph, HalfEdgeOfThrowsForNonIncident) {
+  Graph g = Graph::Builder().add_edge(0, 1).add_edge(1, 2).build();
+  EXPECT_THROW(g.half_edge_of(0, g.edge_at(1, 1)), std::invalid_argument);
+  EXPECT_THROW(g.port_of(2, g.edge_at(0, 0)), std::invalid_argument);
+}
+
+TEST(Graph, BallAndDistances) {
+  Graph g = make_path(10);
+  const auto ball = g.ball(5, 2);
+  const std::set<NodeId> got(ball.begin(), ball.end());
+  EXPECT_EQ(got, (std::set<NodeId>{3, 4, 5, 6, 7}));
+  EXPECT_EQ(ball.front(), 5u);  // BFS order: center first
+
+  const auto dist = g.distances_from(0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(dist[i], static_cast<int>(i));
+  }
+}
+
+TEST(Graph, DistancesUnreachable) {
+  Graph g = Graph::Builder(4).add_edge(0, 1).add_edge(2, 3).build();
+  const auto dist = g.distances_from(0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(Generators, PathCycleStar) {
+  EXPECT_TRUE(make_path(1).is_tree());
+  EXPECT_TRUE(make_path(50).is_tree());
+  EXPECT_EQ(make_path(50).max_degree(), 2);
+
+  Graph cycle = make_cycle(17);
+  EXPECT_FALSE(cycle.is_forest());
+  EXPECT_EQ(cycle.edge_count(), 17u);
+  EXPECT_EQ(cycle.max_degree(), 2);
+
+  Graph star = make_star(9);
+  EXPECT_TRUE(star.is_tree());
+  EXPECT_EQ(star.max_degree(), 9);
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, RegularTree) {
+  Graph t = make_regular_tree(3, 3);
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_EQ(t.max_degree(), 3);
+  // 1 + 3 + 6 + 12 = 22 nodes.
+  EXPECT_EQ(t.node_count(), 22u);
+  EXPECT_EQ(make_regular_tree(3, 0).node_count(), 1u);
+}
+
+class RandomTreeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeTest, AlwaysTreeWithBoundedDegree) {
+  SplitRng rng(GetParam());
+  for (std::size_t n : {1u, 2u, 5u, 50u, 500u}) {
+    for (int delta : {2, 3, 5}) {
+      Graph t = make_random_tree(n, delta, rng);
+      EXPECT_TRUE(t.is_tree()) << "n=" << n << " delta=" << delta;
+      EXPECT_LE(t.max_degree(), delta);
+      EXPECT_EQ(t.node_count(), n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+class RandomForestTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RandomForestTest, ComponentsAndAcyclicity) {
+  const auto [n, components] = GetParam();
+  SplitRng rng(7);
+  Graph f = make_random_forest(n, components, 3, rng);
+  EXPECT_TRUE(f.is_forest());
+  EXPECT_EQ(f.component_count(), components);
+  EXPECT_EQ(f.node_count(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomForestTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{10, 1},
+                      std::pair<std::size_t, std::size_t>{10, 3},
+                      std::pair<std::size_t, std::size_t>{100, 7},
+                      std::pair<std::size_t, std::size_t>{5, 5}));
+
+TEST(Generators, Caterpillar) {
+  Graph c = make_caterpillar(5, 3);
+  EXPECT_TRUE(c.is_tree());
+  EXPECT_EQ(c.node_count(), 5u + 15u);
+  EXPECT_EQ(c.max_degree(), 5);  // interior spine: 2 spine + 3 legs
+}
+
+TEST(Generators, ShortcutPathHasLogDiameterAndBoundedDegree) {
+  for (std::size_t n : {2u, 7u, 64u, 1000u}) {
+    Graph g = make_shortcut_path(n);
+    EXPECT_LE(g.max_degree(), 3) << "n=" << n;
+    // The construction intentionally contains cycles (the paper notes the
+    // [BHKLOS18] problems need shortcuts and hence cycles); it must however
+    // be connected.
+    EXPECT_EQ(g.component_count(), 1u) << "n=" << n;
+    EXPECT_FALSE(g.is_tree());
+  }
+}
+
+TEST(Generators, ShortcutPathBallCoversExponentialSpine) {
+  const std::size_t n = 256;
+  Graph g = make_shortcut_path(n);
+  // From spine node 0, radius 2*log2(n) reaches every spine node via the
+  // binary tree.
+  const auto dist = g.distances_from(0);
+  int max_spine_dist = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_spine_dist = std::max(max_spine_dist, dist[i]);
+  }
+  EXPECT_LE(max_spine_dist, 2 * 8 + 2);
+}
+
+TEST(Labeling, UniformAndRandom) {
+  Graph g = make_cycle(10);
+  const auto uni = uniform_labeling(g, 3);
+  EXPECT_EQ(uni.size(), g.half_edge_count());
+  for (auto l : uni) EXPECT_EQ(l, 3u);
+
+  SplitRng rng(1);
+  const auto rnd = random_labeling(g, 4, rng);
+  EXPECT_EQ(rnd.size(), g.half_edge_count());
+  for (auto l : rnd) EXPECT_LT(l, 4u);
+  EXPECT_THROW(random_labeling(g, 0, rng), std::invalid_argument);
+}
+
+TEST(Ids, SequentialAndShuffled) {
+  Graph g = make_path(20);
+  const auto seq = sequential_ids(g);
+  EXPECT_EQ(seq.front(), 1u);
+  EXPECT_EQ(seq.back(), 20u);
+
+  SplitRng rng(3);
+  const auto shuffled = shuffled_sequential_ids(g, rng);
+  std::set<std::uint64_t> values(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(values.size(), 20u);
+  EXPECT_EQ(*values.begin(), 1u);
+  EXPECT_EQ(*values.rbegin(), 20u);
+}
+
+TEST(Ids, RandomDistinct) {
+  Graph g = make_path(100);
+  SplitRng rng(9);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  std::set<std::uint64_t> values(ids.begin(), ids.end());
+  EXPECT_EQ(values.size(), 100u);
+  for (auto id : ids) EXPECT_GE(id, 1u);
+}
+
+TEST(Ids, OrderPreservingRemapKeepsOrder) {
+  Graph g = make_path(50);
+  SplitRng rng(11);
+  const auto ids = random_distinct_ids(g, 2, rng);
+  const auto remapped = order_preserving_remap(ids, 4, rng);
+  ASSERT_EQ(remapped.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      EXPECT_EQ(ids[i] < ids[j], remapped[i] < remapped[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcl

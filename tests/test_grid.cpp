@@ -1,0 +1,179 @@
+#include "grid/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "grid/algorithms.hpp"
+#include "local/global_algorithms.hpp"
+#include "local/sync_engine.hpp"
+
+namespace lcl {
+namespace {
+
+TEST(OrientedTorus, StructureBasics) {
+  const OrientedTorus torus({4, 5});
+  EXPECT_EQ(torus.node_count(), 20u);
+  EXPECT_EQ(torus.dimensions(), 2);
+  EXPECT_EQ(torus.extent(0), 4u);
+  EXPECT_EQ(torus.extent(1), 5u);
+  EXPECT_EQ(torus.graph().edge_count(), 40u);  // d * n edges
+  for (NodeId v = 0; v < torus.node_count(); ++v) {
+    EXPECT_EQ(torus.graph().degree(v), 4);
+  }
+  EXPECT_THROW(OrientedTorus({2, 4}), std::invalid_argument);
+  EXPECT_THROW(OrientedTorus({}), std::invalid_argument);
+  EXPECT_THROW(torus.extent(2), std::out_of_range);
+}
+
+TEST(OrientedTorus, CoordinateRoundTrip) {
+  const OrientedTorus torus({3, 4, 5});
+  for (NodeId v = 0; v < torus.node_count(); ++v) {
+    EXPECT_EQ(torus.node_at(torus.coords_of(v)), v);
+  }
+  EXPECT_THROW(torus.node_at({1, 2}), std::invalid_argument);
+  EXPECT_THROW(torus.node_at({3, 0, 0}), std::out_of_range);
+}
+
+TEST(OrientedTorus, OrientationInputIsConsistent) {
+  const OrientedTorus torus({3, 4});
+  const auto input = torus.orientation_input();
+  const Graph& g = torus.graph();
+  // Every edge pairs k+ with k-; every node carries each label exactly once.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Label a = input[2 * e];
+    const Label b = input[2 * e + 1];
+    EXPECT_EQ(a / 2, b / 2);  // same dimension
+    EXPECT_NE(a % 2, b % 2);  // opposite directions
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::set<Label> seen;
+    for (int p = 0; p < g.degree(v); ++p) {
+      seen.insert(input[g.half_edge(v, p)]);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // 0+, 0-, 1+, 1-
+  }
+  // Following forward-0 from a node walks its dimension-0 cycle.
+  NodeId v = torus.node_at({0, 0});
+  for (int step = 0; step < 3; ++step) {
+    int fp = -1;
+    for (int p = 0; p < g.degree(v); ++p) {
+      if (input[g.half_edge(v, p)] == OrientedTorus::forward_label(0)) fp = p;
+    }
+    ASSERT_NE(fp, -1);
+    v = g.neighbor(v, fp);
+  }
+  EXPECT_EQ(v, torus.node_at({0, 0}));  // wrapped around extent 3
+}
+
+TEST(ProdLocal, IdsSharedExactlyOnLines) {
+  const OrientedTorus torus({3, 4});
+  SplitRng rng(3);
+  const auto prod = random_prod_ids(torus, rng);
+  for (NodeId u = 0; u < torus.node_count(); ++u) {
+    for (NodeId v = 0; v < torus.node_count(); ++v) {
+      const auto cu = torus.coords_of(u);
+      const auto cv = torus.coords_of(v);
+      const auto tu = prod.tuple_for(torus, u);
+      const auto tv = prod.tuple_for(torus, v);
+      for (std::size_t k = 0; k < cu.size(); ++k) {
+        EXPECT_EQ(cu[k] == cv[k], tu[k] == tv[k]);
+      }
+    }
+  }
+}
+
+TEST(ProdLocal, CombinedIdsAreGloballyUnique) {
+  const OrientedTorus torus({4, 3, 3});
+  SplitRng rng(9);
+  const auto prod = random_prod_ids(torus, rng);
+  const auto ids = combined_ids(torus, prod);
+  std::set<std::uint64_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), torus.node_count());
+}
+
+TEST(OrientationCopy, ZeroRoundsAndCorrect) {
+  const OrientedTorus torus({3, 5});
+  const auto input = torus.orientation_input();
+  const auto problem = orientation_copy_problem(2);
+  IdAssignment ids(torus.node_count());
+  for (NodeId v = 0; v < torus.node_count(); ++v) ids[v] = v + 1;
+
+  const auto result =
+      run_synchronous(OrientationEcho{}, torus.graph(), input, ids, 1);
+  EXPECT_EQ(result.rounds, 0);
+  const auto check =
+      check_solution(problem, torus.graph(), input, result.output);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+}
+
+class GridColoringTest
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(GridColoringTest, ProperColoringInLogStarRounds) {
+  const OrientedTorus torus(GetParam());
+  const int d = torus.dimensions();
+  SplitRng rng(torus.node_count());
+  const auto prod = random_prod_ids(torus, rng);
+  const auto aux = prod.all_tuples(torus);
+  const auto ids = combined_ids(torus, prod);
+  const auto input = torus.orientation_input();
+
+  const GridColoring algo(d, prod_id_range(prod));
+  const auto result = run_synchronous(algo, torus.graph(), input, ids, 1, 0,
+                                      1'000'000, &aux);
+  EXPECT_EQ(result.rounds, algo.total_rounds());
+
+  const auto problem = problems::coloring(algo.colors(), 2 * d);
+  const auto dummy = uniform_labeling(torus.graph(), 0);
+  const auto check =
+      check_solution(problem, torus.graph(), dummy, result.output);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridColoringTest,
+    ::testing::Values(std::vector<std::size_t>{7},
+                      std::vector<std::size_t>{64},
+                      std::vector<std::size_t>{3, 3},
+                      std::vector<std::size_t>{5, 12},
+                      std::vector<std::size_t>{16, 16},
+                      std::vector<std::size_t>{3, 4, 5},
+                      std::vector<std::size_t>{4, 4, 4}));
+
+TEST(GridColoring, RejectsMissingAux) {
+  const OrientedTorus torus({4, 4});
+  const auto input = torus.orientation_input();
+  IdAssignment ids(torus.node_count());
+  for (NodeId v = 0; v < torus.node_count(); ++v) ids[v] = v + 1;
+  const GridColoring algo(2, 1u << 20);
+  EXPECT_THROW(run_synchronous(algo, torus.graph(), input, ids, 1),
+               std::invalid_argument);
+}
+
+TEST(GridCheckerboard, GlobalTwoColoringOnEvenTorus) {
+  // 2-coloring an even torus needs Theta(n^(1/d)) rounds; the BFS
+  // wave algorithm achieves it and the round count scales with the side
+  // length, not with n.
+  const OrientedTorus small({4, 4});
+  const OrientedTorus large({16, 16});
+  for (const OrientedTorus* torus : {&small, &large}) {
+    IdAssignment ids(torus->node_count());
+    for (NodeId v = 0; v < torus->node_count(); ++v) ids[v] = v + 1;
+    const auto dummy = uniform_labeling(torus->graph(), 0);
+    const auto result =
+        run_synchronous(BfsTwoColoring{}, torus->graph(), dummy, ids, 1);
+    const auto problem = problems::two_coloring(4);
+    EXPECT_TRUE(
+        is_correct_solution(problem, torus->graph(), dummy, result.output));
+    EXPECT_TRUE(result.quiesced);
+    // Eccentricity of the root ~ d * side / 2.
+    EXPECT_LE(result.rounds,
+              static_cast<int>(torus->extent(0) + torus->extent(1)));
+  }
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "local/cole_vishkin.hpp"
+#include "local/global_algorithms.hpp"
+#include "local/greedy_from_coloring.hpp"
+#include "local/linial.hpp"
+#include "local/rand_coloring.hpp"
+#include "local/rooted_tree.hpp"
+#include "local/sinkless.hpp"
+#include "local/sync_engine.hpp"
+#include "util/math.hpp"
+
+namespace lcl {
+namespace {
+
+struct Instance {
+  Graph graph;
+  HalfEdgeLabeling input;
+  IdAssignment ids;
+};
+
+Instance tree_instance(std::size_t n, int delta, std::uint64_t seed) {
+  SplitRng rng(seed);
+  Graph g = make_random_tree(n, delta, rng);
+  HalfEdgeLabeling input = uniform_labeling(g, 0);
+  IdAssignment ids = random_distinct_ids(g, 3, rng);
+  return {std::move(g), std::move(input), std::move(ids)};
+}
+
+std::uint64_t id_range_for(const IdAssignment& ids) {
+  std::uint64_t max_id = 0;
+  for (auto id : ids) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+class LinialTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(LinialTest, ProducesProperColoringOnRandomTrees) {
+  const auto [n, delta, seed] = GetParam();
+  auto inst = tree_instance(n, delta, static_cast<std::uint64_t>(seed));
+  const LinialColoring algo(delta, id_range_for(inst.ids));
+  const auto result = run_synchronous(algo, inst.graph, inst.input, inst.ids,
+                                      /*seed=*/1);
+  const auto problem = problems::coloring(delta + 1, delta);
+  const auto check =
+      check_solution(problem, inst.graph, inst.input, result.output);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  EXPECT_EQ(result.rounds, algo.total_rounds());
+  EXPECT_FALSE(result.quiesced);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LinialTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5, 30, 200, 1000),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(1, 7)));
+
+TEST(Linial, ScheduleShrinksLikeLogStar) {
+  // The palette stage should take Theta(log*) steps: tiny for any realistic
+  // id range, growing extremely slowly.
+  const auto s1 = LinialSchedule::compute(1u << 10, 3);
+  const auto s2 = LinialSchedule::compute(1u << 30, 3);
+  const auto s3 = LinialSchedule::compute(std::uint64_t{1} << 60, 3);
+  EXPECT_LE(s1.steps.size(), 4u);
+  EXPECT_LE(s3.steps.size(), 6u);
+  EXPECT_GE(s2.steps.size(), s1.steps.size());
+  EXPECT_GE(s3.steps.size(), s2.steps.size());
+  // Final palettes are O(Delta^2 log^2 Delta)-ish constants.
+  EXPECT_LE(s3.final_palette, 200u);
+}
+
+TEST(Linial, WorksOnPathAndStar) {
+  for (auto make : {+[](std::size_t n) { return make_path(n); },
+                    +[](std::size_t n) { return make_star(n - 1); }}) {
+    Graph g = make(20);
+    SplitRng rng(3);
+    const auto ids = shuffled_sequential_ids(g, rng);
+    const int delta = g.max_degree();
+    const LinialColoring algo(delta, id_range_for(ids));
+    const auto input = uniform_labeling(g, 0);
+    const auto result = run_synchronous(algo, g, input, ids, 1);
+    const auto problem = problems::coloring(delta + 1, delta);
+    EXPECT_TRUE(is_correct_solution(problem, g, input, result.output));
+  }
+}
+
+TEST(Linial, RejectsIdOutOfRange) {
+  Graph g = make_path(3);
+  const LinialColoring algo(2, /*id_range=*/2);  // ids go up to 3
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = sequential_ids(g);
+  EXPECT_THROW(run_synchronous(algo, g, input, ids, 1), std::invalid_argument);
+}
+
+class ColeVishkinTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ColeVishkinTest, ThreeColorsOrientedCycle) {
+  const std::size_t n = GetParam();
+  Graph g = make_cycle(n);
+  SplitRng rng(n);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const auto input = chain_orientation_input(g, /*is_cycle=*/true);
+  const ColeVishkin algo(id_range_for(ids));
+  const auto result = run_synchronous(algo, g, input, ids, 1);
+  // Check properness as a 3-coloring; CV input labels are not the coloring
+  // problem's input alphabet, so check against a uniform dummy input.
+  const auto problem = problems::coloring(3, 2);
+  const auto dummy = uniform_labeling(g, 0);
+  const auto check = check_solution(problem, g, dummy, result.output);
+  EXPECT_TRUE(check.ok()) << "n=" << n << "\n" << check.to_string();
+  EXPECT_EQ(result.rounds, algo.total_rounds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ColeVishkinTest,
+                         ::testing::Values(3, 4, 5, 10, 100, 1000, 4096));
+
+TEST(ColeVishkin, ThreeColorsOrientedPath) {
+  for (std::size_t n : {2u, 3u, 17u, 256u}) {
+    Graph g = make_path(n);
+    SplitRng rng(n);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    const auto input = chain_orientation_input(g, false);
+    const ColeVishkin algo(id_range_for(ids));
+    const auto result = run_synchronous(algo, g, input, ids, 1);
+    const auto problem = problems::coloring(3, 2);
+    const auto dummy = uniform_labeling(g, 0);
+    EXPECT_TRUE(is_correct_solution(problem, g, dummy, result.output))
+        << "n=" << n;
+  }
+}
+
+TEST(ColeVishkin, RoundsGrowLikeLogStar) {
+  const ColeVishkin small(1u << 10);
+  const ColeVishkin large(std::uint64_t{1} << 62);
+  EXPECT_LT(small.total_rounds(), 12);
+  EXPECT_LT(large.total_rounds(), 14);
+  EXPECT_GE(large.shrink_rounds(), small.shrink_rounds());
+}
+
+TEST(ColeVishkin, RejectsHighDegree) {
+  Graph g = make_star(3);
+  const auto ids = sequential_ids(g);
+  const auto input = uniform_labeling(g, kCvPlain);
+  const ColeVishkin algo(16);
+  EXPECT_THROW(run_synchronous(algo, g, input, ids, 1), std::invalid_argument);
+}
+
+class RandColoringTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(RandColoringTest, ProperWithHighProbability) {
+  const auto [n, delta] = GetParam();
+  auto inst = tree_instance(n, delta, 42 + n);
+  const RandomGreedyColoring algo(delta);
+  const auto result = run_synchronous(algo, inst.graph, inst.input, inst.ids,
+                                      /*seed=*/99);
+  const auto problem = problems::coloring(delta + 1, delta);
+  EXPECT_TRUE(
+      is_correct_solution(problem, inst.graph, inst.input, result.output));
+  // O(log n) rounds with overwhelming probability (factor 2: phases).
+  EXPECT_LE(result.rounds, 20 * (ceil_log2(n) + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandColoringTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 10, 100, 2000),
+                       ::testing::Values(2, 3, 5)));
+
+class MisTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(MisTest, ValidMisOnRandomTrees) {
+  const auto [n, delta, seed] = GetParam();
+  auto inst = tree_instance(n, delta, static_cast<std::uint64_t>(seed));
+  const MisByColoring algo(delta, id_range_for(inst.ids));
+  const auto result = run_synchronous(algo, inst.graph, inst.input, inst.ids,
+                                      /*seed=*/1);
+  const auto problem = problems::mis(delta);
+  const auto check =
+      check_solution(problem, inst.graph, inst.input, result.output);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MisTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 25, 300),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(5, 11)));
+
+class MatchingTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(MatchingTest, ValidMaximalMatchingOnRandomTrees) {
+  const auto [n, delta, seed] = GetParam();
+  auto inst = tree_instance(n, delta, static_cast<std::uint64_t>(seed));
+  const MatchingByColoring algo(delta, id_range_for(inst.ids));
+  const auto result = run_synchronous(algo, inst.graph, inst.input, inst.ids,
+                                      /*seed=*/1);
+  const auto problem = problems::maximal_matching(delta);
+  const auto check =
+      check_solution(problem, inst.graph, inst.input, result.output);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatchingTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 25, 300),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(5, 11)));
+
+TEST(Matching, WorksOnCycles) {
+  for (std::size_t n : {4u, 7u, 100u}) {
+    Graph g = make_cycle(n);
+    SplitRng rng(n);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    const auto input = uniform_labeling(g, 0);
+    const MatchingByColoring algo(2, id_range_for(ids));
+    const auto result = run_synchronous(algo, g, input, ids, 1);
+    const auto problem = problems::maximal_matching(2);
+    EXPECT_TRUE(is_correct_solution(problem, g, input, result.output))
+        << "n=" << n;
+  }
+}
+
+TEST(BfsTwoColoring, ProperOnPathsAndRoundsLinear) {
+  for (std::size_t n : {2u, 9u, 64u, 257u}) {
+    Graph g = make_path(n);
+    SplitRng rng(n);
+    const auto ids = shuffled_sequential_ids(g, rng);
+    const auto input = uniform_labeling(g, 0);
+    const BfsTwoColoring algo;
+    const auto result = run_synchronous(algo, g, input, ids, 1);
+    const auto problem = problems::two_coloring(2);
+    EXPECT_TRUE(is_correct_solution(problem, g, input, result.output))
+        << "n=" << n;
+    EXPECT_TRUE(result.quiesced);
+    // Rounds ~ eccentricity of the min-id node: Theta(n) on paths.
+    if (n >= 9) EXPECT_GE(result.rounds, static_cast<int>(n) / 2 - 1);
+    EXPECT_LE(result.rounds, static_cast<int>(n) + 1);
+  }
+}
+
+TEST(BfsTwoColoring, ProperOnEvenCyclesAndTrees) {
+  {
+    Graph g = make_cycle(10);
+    const auto ids = sequential_ids(g);
+    const auto input = uniform_labeling(g, 0);
+    const auto result = run_synchronous(BfsTwoColoring{}, g, input, ids, 1);
+    EXPECT_TRUE(is_correct_solution(problems::two_coloring(2), g, input,
+                                    result.output));
+  }
+  {
+    SplitRng rng(5);
+    Graph g = make_random_tree(60, 3, rng);
+    const auto ids = random_distinct_ids(g, 2, rng);
+    const auto input = uniform_labeling(g, 0);
+    const auto result = run_synchronous(BfsTwoColoring{}, g, input, ids, 1);
+    EXPECT_TRUE(is_correct_solution(problems::two_coloring(3), g, input,
+                                    result.output));
+  }
+}
+
+class RootedColoringTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(RootedColoringTest, ThreeColorsAnyDegreeRootedTree) {
+  const auto [n, delta, seed] = GetParam();
+  auto inst = tree_instance(n, delta, static_cast<std::uint64_t>(seed));
+  const auto input = root_tree_input(inst.graph, /*root=*/0);
+  const RootedTreeColoring algo(id_range_for(inst.ids));
+  const auto result =
+      run_synchronous(algo, inst.graph, input, inst.ids, /*seed=*/1);
+  // A proper *3*-coloring regardless of the degree bound - the rooted
+  // orientation is what makes this possible in Theta(log* n) rounds.
+  const auto problem = problems::coloring(3, delta);
+  const auto dummy = uniform_labeling(inst.graph, 0);
+  const auto check = check_solution(problem, inst.graph, dummy, result.output);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  EXPECT_EQ(result.rounds, algo.total_rounds());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RootedColoringTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 20, 200, 1500),
+                       ::testing::Values(2, 3, 6),
+                       ::testing::Values(1, 9)));
+
+TEST(RootedColoring, WorksOnStarsAndDeepTrees) {
+  for (int delta : {2, 5}) {
+    Graph g = delta == 2 ? make_path(40) : make_star(30);
+    SplitRng rng(8);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    const auto input = root_tree_input(g, 0);
+    const RootedTreeColoring algo(id_range_for(ids));
+    const auto result = run_synchronous(algo, g, input, ids, 1);
+    const auto dummy = uniform_labeling(g, 0);
+    EXPECT_TRUE(is_correct_solution(problems::coloring(3, g.max_degree()), g,
+                                    dummy, result.output));
+  }
+}
+
+TEST(RootedColoring, RejectsNonTrees) {
+  Graph g = make_cycle(5);
+  EXPECT_THROW(root_tree_input(g, 0), std::invalid_argument);
+}
+
+class SinklessTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(SinklessTest, ValidOrientationOnRandomTrees) {
+  const auto [n, seed] = GetParam();
+  auto inst = tree_instance(n, 3, static_cast<std::uint64_t>(seed));
+  const SinklessOrientationTree algo(3);
+  const auto result = run_synchronous(algo, inst.graph, inst.input, inst.ids,
+                                      /*seed=*/1);
+  const auto problem = problems::sinkless_orientation(3);
+  const auto check =
+      check_solution(problem, inst.graph, inst.input, result.output);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SinklessTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 10, 100, 1500),
+                       ::testing::Values(1, 2, 3, 4, 50)));
+
+TEST(Sinkless, LogRoundsOnCompleteTrees) {
+  // On complete Delta-regular trees the distance-to-boundary wave makes the
+  // measured rounds track the depth, i.e. Theta(log n).
+  for (int depth : {2, 4, 6, 8}) {
+    Graph g = make_regular_tree(3, depth);
+    SplitRng rng(depth);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    const auto input = uniform_labeling(g, 0);
+    const SinklessOrientationTree algo(3);
+    const auto result = run_synchronous(algo, g, input, ids, 1);
+    const auto problem = problems::sinkless_orientation(3);
+    EXPECT_TRUE(is_correct_solution(problem, g, input, result.output));
+    EXPECT_GE(result.rounds, depth / 2);
+    EXPECT_LE(result.rounds, depth + 3);
+  }
+}
+
+TEST(Sinkless, WorksOnStarsAndPaths) {
+  for (auto make : {+[](std::size_t n) { return make_star(n - 1); },
+                    +[](std::size_t n) { return make_path(n); }}) {
+    Graph g = make(12);
+    SplitRng rng(4);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    const auto input = uniform_labeling(g, 0);
+    const int delta = std::max(2, g.max_degree());
+    const SinklessOrientationTree algo(delta);
+    const auto result = run_synchronous(algo, g, input, ids, 1);
+    const auto problem = problems::sinkless_orientation(delta);
+    EXPECT_TRUE(is_correct_solution(problem, g, input, result.output));
+  }
+}
+
+TEST(SyncEngine, ValidatesArguments) {
+  Graph g = make_path(4);
+  const BfsTwoColoring algo;
+  const auto ids = sequential_ids(g);
+  EXPECT_THROW(
+      run_synchronous(algo, g, HalfEdgeLabeling(3, 0), ids, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      run_synchronous(algo, g, uniform_labeling(g, 0), IdAssignment(2), 1),
+      std::invalid_argument);
+}
+
+TEST(SyncEngine, RoundCapThrows) {
+  Graph g = make_path(4);
+  // BfsTwoColoring never halts; with quiescence it stops, so craft a cap
+  // smaller than the quiescence time.
+  const auto ids = sequential_ids(g);
+  EXPECT_THROW(run_synchronous(BfsTwoColoring{}, g, uniform_labeling(g, 0),
+                               ids, 1, 0, /*max_rounds=*/1),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lcl

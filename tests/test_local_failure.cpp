@@ -1,0 +1,100 @@
+#include "local/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "local/linial.hpp"
+#include "local/rand_coloring.hpp"
+
+namespace lcl {
+namespace {
+
+struct Setup {
+  Graph graph;
+  HalfEdgeLabeling input;
+  IdAssignment ids;
+  NodeEdgeCheckableLcl problem;
+};
+
+Setup make_setup(std::size_t n) {
+  SplitRng rng(n);
+  Graph g = make_random_tree(n, 3, rng);
+  auto input = uniform_labeling(g, 0);
+  auto ids = random_distinct_ids(g, 3, rng);
+  return {std::move(g), std::move(input), std::move(ids),
+          problems::coloring(4, 3)};
+}
+
+TEST(LocalFailure, DeterministicCorrectAlgorithmHasZeroFailure) {
+  auto s = make_setup(60);
+  std::uint64_t id_range = 0;
+  for (auto id : s.ids) id_range = std::max(id_range, id + 1);
+  const LinialColoring algo(3, id_range);
+  const auto estimate = estimate_local_failure(algo, s.problem, s.graph,
+                                               s.input, s.ids, 10);
+  EXPECT_EQ(estimate.local_failure, 0.0);
+  EXPECT_EQ(estimate.global_failure, 0.0);
+  EXPECT_EQ(estimate.trials, 10);
+}
+
+TEST(LocalFailure, UncappedRandomColoringEventuallyPerfect) {
+  auto s = make_setup(60);
+  const RandomGreedyColoring algo(3);
+  const auto estimate = estimate_local_failure(algo, s.problem, s.graph,
+                                               s.input, s.ids, 20);
+  EXPECT_EQ(estimate.local_failure, 0.0);
+}
+
+TEST(LocalFailure, CapZeroFailsBadly) {
+  auto s = make_setup(120);
+  const CappedRandomColoring algo(3, 0);
+  const auto estimate = estimate_local_failure(algo, s.problem, s.graph,
+                                               s.input, s.ids, 30);
+  // Everyone outputs color 0: essentially every edge is monochromatic.
+  EXPECT_GT(estimate.local_failure, 0.9);
+  EXPECT_EQ(estimate.global_failure, 1.0);
+}
+
+TEST(LocalFailure, FailureDecreasesWithRoundCap) {
+  auto s = make_setup(150);
+  double previous = 1.1;
+  for (const int cap : {0, 4, 10}) {
+    const CappedRandomColoring algo(3, cap);
+    const auto estimate = estimate_local_failure(algo, s.problem, s.graph,
+                                                 s.input, s.ids, 60);
+    EXPECT_LE(estimate.local_failure, previous);
+    previous = estimate.local_failure + 0.05;  // allow sampling noise
+  }
+}
+
+TEST(LocalFailure, LargeCapMatchesUncapped) {
+  auto s = make_setup(80);
+  const CappedRandomColoring capped(3, 1000);
+  const auto estimate = estimate_local_failure(capped, s.problem, s.graph,
+                                               s.input, s.ids, 10);
+  EXPECT_EQ(estimate.local_failure, 0.0);
+}
+
+TEST(LocalFailure, ValidatesTrials) {
+  auto s = make_setup(10);
+  const CappedRandomColoring algo(3, 2);
+  EXPECT_THROW(estimate_local_failure(algo, s.problem, s.graph, s.input,
+                                      s.ids, 0),
+               std::invalid_argument);
+}
+
+TEST(CongestCounters, LinialMessagesAreSmall) {
+  // Linial's states are two words - well within CONGEST message size; the
+  // engine now reports this.
+  auto s = make_setup(64);
+  std::uint64_t id_range = 0;
+  for (auto id : s.ids) id_range = std::max(id_range, id + 1);
+  const LinialColoring algo(3, id_range);
+  const auto result = run_synchronous(algo, s.graph, s.input, s.ids, 1);
+  EXPECT_LE(result.max_message_words, 2u);
+  EXPECT_GE(result.max_message_words, 1u);
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,189 @@
+#include "re/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/problems.hpp"
+#include "re/reduce.hpp"
+
+namespace lcl {
+namespace {
+
+/// Finds the derived label whose meaning is exactly `labels` (over the base
+/// output alphabet of size `universe`).
+Label label_for(const ReStep& step, std::size_t universe,
+                std::initializer_list<std::uint32_t> labels) {
+  const LabelSet want(universe, labels);
+  for (std::size_t l = 0; l < step.meaning.size(); ++l) {
+    if (step.meaning[l] == want) return static_cast<Label>(l);
+  }
+  throw std::logic_error("label_for: no such derived label");
+}
+
+TEST(ApplyR, TwoColoringHandComputation) {
+  // Base: 2-coloring at Delta=2. Sigma_out = {A, B}; N = const multisets;
+  // E = {{A,B}}.
+  const auto pi = problems::two_coloring(2);
+  const auto step = apply_r(pi);
+  ASSERT_EQ(step.meaning.size(), 3u);  // {A}, {B}, {A,B}
+
+  const Label a = label_for(step, 2, {0});
+  const Label b = label_for(step, 2, {1});
+  const Label ab = label_for(step, 2, {0, 1});
+  const auto& r = step.problem;
+
+  // Edge constraint (FORALL): only {A} vs {B} survives.
+  EXPECT_TRUE(r.edge_allows(a, b));
+  EXPECT_FALSE(r.edge_allows(a, a));
+  EXPECT_FALSE(r.edge_allows(b, b));
+  EXPECT_FALSE(r.edge_allows(ab, a));
+  EXPECT_FALSE(r.edge_allows(ab, b));
+  EXPECT_FALSE(r.edge_allows(ab, ab));
+
+  // Node constraint (EXISTS a selection in N = {AA, BB}).
+  EXPECT_TRUE(r.node_allows(Configuration({a, a})));
+  EXPECT_TRUE(r.node_allows(Configuration({b, b})));
+  EXPECT_FALSE(r.node_allows(Configuration({a, b})));
+  EXPECT_TRUE(r.node_allows(Configuration({ab, a})));
+  EXPECT_TRUE(r.node_allows(Configuration({ab, b})));
+  EXPECT_TRUE(r.node_allows(Configuration({ab, ab})));
+  // Degree 1: N^1 = {A}, {B}.
+  EXPECT_TRUE(r.node_allows(Configuration({a})));
+  EXPECT_TRUE(r.node_allows(Configuration({ab})));
+}
+
+TEST(ApplyRbar, TwoColoringHandComputation) {
+  const auto pi = problems::two_coloring(2);
+  const auto step = apply_rbar(pi);
+  const Label a = label_for(step, 2, {0});
+  const Label b = label_for(step, 2, {1});
+  const Label ab = label_for(step, 2, {0, 1});
+  const auto& rb = step.problem;
+
+  // Edge constraint (EXISTS): any pair containing complementary elements.
+  EXPECT_TRUE(rb.edge_allows(a, b));
+  EXPECT_FALSE(rb.edge_allows(a, a));
+  EXPECT_TRUE(rb.edge_allows(ab, a));
+  EXPECT_TRUE(rb.edge_allows(ab, b));
+  EXPECT_TRUE(rb.edge_allows(ab, ab));
+
+  // Node constraint (FORALL selections in N).
+  EXPECT_TRUE(rb.node_allows(Configuration({a, a})));
+  EXPECT_TRUE(rb.node_allows(Configuration({b, b})));
+  EXPECT_FALSE(rb.node_allows(Configuration({a, b})));
+  EXPECT_FALSE(rb.node_allows(Configuration({ab, a})));
+  EXPECT_FALSE(rb.node_allows(Configuration({ab, ab})));
+}
+
+TEST(ApplyR, GRespectsInputRestrictions) {
+  // forbidden_color: g(forbid_c) excludes color c; in R, a derived label is
+  // allowed for an input iff its meaning avoids the forbidden color.
+  const auto pi = problems::forbidden_color(2, 2);
+  const auto step = apply_r(pi);
+  const Label forbid0 = pi.input_alphabet().at("forbid0");
+  const Label free = pi.input_alphabet().at("free");
+
+  const Label only0 = label_for(step, 2, {0});
+  const Label only1 = label_for(step, 2, {1});
+  const Label both = label_for(step, 2, {0, 1});
+  EXPECT_FALSE(step.problem.allowed_outputs(forbid0).contains(only0));
+  EXPECT_TRUE(step.problem.allowed_outputs(forbid0).contains(only1));
+  EXPECT_FALSE(step.problem.allowed_outputs(forbid0).contains(both));
+  EXPECT_TRUE(step.problem.allowed_outputs(free).contains(both));
+}
+
+TEST(ApplyR, BlowupGuard) {
+  const auto pi = problems::coloring(3, 2);
+  ReLimits limits;
+  limits.max_labels = 3;  // 2^3 - 1 = 7 > 3
+  EXPECT_THROW(apply_r(pi, limits), ReBlowupError);
+
+  ReLimits config_limits;
+  config_limits.max_configs = 5;
+  EXPECT_THROW(apply_r(pi, config_limits), ReBlowupError);
+}
+
+TEST(ApplyR, MeaningNamesAreReadable) {
+  const auto pi = problems::two_coloring(2);
+  const auto step = apply_r(pi);
+  bool found = false;
+  for (Label l = 0; l < step.problem.output_alphabet().size(); ++l) {
+    if (step.problem.output_alphabet().name(l) == "{c0,c1}") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Reduce, TrimsUnusableLabels) {
+  // A problem with a label that appears in no edge configuration.
+  Alphabet in({"-"});
+  Alphabet out({"x", "y", "dead"});
+  NodeEdgeCheckableLcl::Builder b("with-dead-label", in, out, 2);
+  b.allow_node({0, 0}).allow_node({1, 1}).allow_node({0}).allow_node({1});
+  b.allow_node({2, 2});  // dead appears in a node config...
+  b.allow_edge(0, 1);    // ...but has no edge partner
+  b.unrestricted_inputs();
+  const auto problem = b.build();
+
+  const auto red = reduce(problem);
+  EXPECT_EQ(red.problem.output_alphabet().size(), 2u);
+  EXPECT_EQ(red.old_to_new[2], Reduction::kDropped);
+  EXPECT_NE(red.old_to_new[0], Reduction::kDropped);
+  // Mapping round-trips.
+  for (Label l = 0; l < red.problem.output_alphabet().size(); ++l) {
+    EXPECT_EQ(red.old_to_new[red.new_to_old[l]], l);
+  }
+}
+
+TEST(Reduce, MergesEquivalentLabels) {
+  // Two interchangeable labels y1, y2: same partners, same node contexts.
+  Alphabet in({"-"});
+  Alphabet out({"x", "y1", "y2"});
+  NodeEdgeCheckableLcl::Builder b("mergeable", in, out, 2);
+  b.allow_node({0, 1}).allow_node({0, 2});  // x with either y
+  b.allow_node({0}).allow_node({1}).allow_node({2});
+  b.allow_edge(0, 1).allow_edge(0, 2);
+  b.unrestricted_inputs();
+  const auto problem = b.build();
+
+  const auto red = reduce(problem);
+  EXPECT_EQ(red.problem.output_alphabet().size(), 2u);
+  EXPECT_EQ(red.old_to_new[1], red.old_to_new[2]);
+  EXPECT_NE(red.old_to_new[0], red.old_to_new[1]);
+}
+
+TEST(Reduce, FixedProblemsUntouched) {
+  for (const auto& problem :
+       {problems::coloring(3, 3), problems::sinkless_orientation(3),
+        problems::mis(3)}) {
+    const auto red = reduce(problem);
+    EXPECT_EQ(red.problem.output_alphabet().size(),
+              problem.output_alphabet().size())
+        << problem.name();
+    EXPECT_EQ(red.problem.total_node_configs(), problem.total_node_configs());
+    EXPECT_EQ(red.problem.edge_configs().size(),
+              problem.edge_configs().size());
+  }
+}
+
+TEST(Reduce, ThrowsWhenNothingUsable) {
+  Alphabet in({"-"});
+  Alphabet out({"x", "y"});
+  NodeEdgeCheckableLcl::Builder b("hopeless", in, out, 2);
+  b.allow_node({0});   // only x at nodes
+  b.allow_edge(1, 1);  // only y at edges
+  b.unrestricted_inputs();
+  const auto problem = b.build();
+  EXPECT_THROW(reduce(problem), std::runtime_error);
+}
+
+TEST(Reduce, RApplicationShrinks) {
+  // R of 3-coloring at Delta=2 has 7 raw labels; reduction should shrink it
+  // (e.g. {c0,c1,c2} has no edge partner under the FORALL constraint).
+  const auto pi = problems::coloring(3, 2);
+  const auto step = apply_r(pi);
+  EXPECT_EQ(step.problem.output_alphabet().size(), 7u);
+  const auto red = reduce(step.problem);
+  EXPECT_LT(red.problem.output_alphabet().size(), 7u);
+}
+
+}  // namespace
+}  // namespace lcl

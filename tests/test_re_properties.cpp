@@ -1,0 +1,166 @@
+// Cross-cutting properties of the round-elimination machinery: the sound
+// reduction must preserve everything the theorems care about, and the
+// operator semantics must survive composition.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "re/lift.hpp"
+#include "re/operators.hpp"
+#include "re/reduce.hpp"
+#include "re/zero_round.hpp"
+
+namespace lcl {
+namespace {
+
+std::vector<NodeEdgeCheckableLcl> battery() {
+  std::vector<NodeEdgeCheckableLcl> problems;
+  problems.push_back(problems::trivial(3));
+  problems.push_back(problems::any_orientation(2));
+  problems.push_back(problems::two_coloring(2));
+  problems.push_back(problems::coloring(3, 2));
+  problems.push_back(problems::sinkless_orientation(3));
+  problems.push_back(problems::mis(2));
+  problems.push_back(problems::maximal_matching(2));
+  return problems;
+}
+
+TEST(ReProperties, ReductionPreservesZeroRoundSolvability) {
+  for (const auto& pi : battery()) {
+    const auto red = reduce(pi);
+    EXPECT_EQ(zero_round_solvable(pi), zero_round_solvable(red.problem))
+        << pi.name();
+  }
+}
+
+TEST(ReProperties, ReductionPreservesInstanceSolvability) {
+  // On a set of small instances, pi and reduce(pi) must be solvable on
+  // exactly the same graphs.
+  SplitRng rng(17);
+  for (const auto& pi : battery()) {
+    const auto red = reduce(pi);
+    for (int i = 0; i < 4; ++i) {
+      Graph g = make_random_tree(7 + 2 * i, pi.max_degree(), rng);
+      const auto input = uniform_labeling(g, 0);
+      EXPECT_EQ(brute_force_solvable(pi, g, input),
+                brute_force_solvable(red.problem, g, input))
+          << pi.name() << " instance " << i;
+    }
+  }
+}
+
+TEST(ReProperties, FaithfulAndReducedAgreeOnDerivedZeroRound) {
+  // One f = Rbar o R step computed faithfully vs with reduction interleaved
+  // must agree on 0-round solvability of the derived problem (the quantity
+  // the gap theorem machinery reads off).
+  for (const auto& pi : battery()) {
+    ReLimits limits;
+    limits.max_labels = 1u << 14;
+
+    ReStep psi_f = apply_r(pi, limits);
+    ReStep next_f = apply_rbar(psi_f.problem, limits);
+
+    ReStep psi_r = apply_r(pi, limits);
+    const auto red_psi = reduce(psi_r.problem);
+    ReStep next_r = apply_rbar(red_psi.problem, limits);
+    const auto red_next = reduce(next_r.problem);
+
+    EXPECT_EQ(zero_round_solvable(next_f.problem),
+              zero_round_solvable(red_next.problem))
+        << pi.name();
+  }
+}
+
+TEST(ReProperties, DerivedProblemSolvableExactlyWhereBaseIs) {
+  // Rbar(R(pi)) is solvable on an instance iff pi is: one direction is the
+  // Lemma 3.9 lifting, the other is the half-edge-wise singleton embedding
+  // ({{l}} solves Rbar(R(pi)) wherever l solves pi).
+  SplitRng rng(23);
+  for (const auto& pi : battery()) {
+    SequenceLevel level;
+    level.psi = apply_r(pi);
+    level.next = apply_rbar(level.psi.problem);
+    for (std::size_t n : {4u, 6u, 9u}) {
+      Graph g = make_random_tree(n, pi.max_degree(), rng);
+      const auto input = uniform_labeling(g, 0);
+      const bool base = brute_force_solvable(pi, g, input);
+      const bool derived =
+          brute_force_solvable(level.next.problem, g, input);
+      EXPECT_EQ(base, derived) << pi.name() << " n=" << n;
+      if (derived) {
+        const auto solution =
+            brute_force_solve(level.next.problem, g, input);
+        const auto lifted = lift_solution(pi, level, g, input, *solution);
+        EXPECT_TRUE(is_correct_solution(pi, g, input, lifted)) << pi.name();
+      }
+    }
+  }
+}
+
+TEST(ReProperties, ZeroRoundWitnessProducesCorrectSolutions) {
+  // Whenever the 0-round search succeeds, applying the witness at every
+  // node of a forest must satisfy the checker - for inputful problems too.
+  Alphabet in({"a", "b"});
+  Alphabet out({"u", "v", "w"});
+  NodeEdgeCheckableLcl::Builder b("inputful-zero-round", in, out, 3);
+  for (int d = 1; d <= 3; ++d) {
+    // Any multiset over {u, v} is fine around a node; w never allowed.
+    for (int i = 0; i <= d; ++i) {
+      std::vector<Label> config;
+      config.insert(config.end(), static_cast<std::size_t>(i), 0);
+      config.insert(config.end(), static_cast<std::size_t>(d - i), 1);
+      b.allow_node(config);
+    }
+  }
+  b.allow_edge(0, 0).allow_edge(0, 1).allow_edge(1, 1);
+  b.allow_output_for_input(0, 0);  // input a forces u
+  b.allow_output_for_input(1, 1);  // input b forces v
+  const auto problem = b.build();
+
+  const auto witness = find_zero_round_algorithm(problem);
+  ASSERT_TRUE(witness.has_value());
+
+  SplitRng rng(9);
+  for (int i = 0; i < 5; ++i) {
+    Graph g = make_random_forest(20, 4, 3, rng);
+    const auto input = random_labeling(g, 2, rng);
+    HalfEdgeLabeling output(g.half_edge_count(), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const int degree = g.degree(v);
+      if (degree == 0) continue;
+      std::vector<Label> node_inputs(static_cast<std::size_t>(degree));
+      for (int p = 0; p < degree; ++p) {
+        node_inputs[static_cast<std::size_t>(p)] = input[g.half_edge(v, p)];
+      }
+      const auto labels = witness->apply(node_inputs);
+      for (int p = 0; p < degree; ++p) {
+        output[g.half_edge(v, p)] = labels[static_cast<std::size_t>(p)];
+      }
+    }
+    const auto check = check_solution(problem, g, input, output);
+    EXPECT_TRUE(check.ok()) << check.to_string();
+  }
+}
+
+TEST(ReProperties, OperatorsPreserveInputAlphabet) {
+  for (const auto& pi : battery()) {
+    const auto r = apply_r(pi);
+    const auto rbar = apply_rbar(pi);
+    EXPECT_EQ(r.problem.input_alphabet().size(),
+              pi.input_alphabet().size());
+    EXPECT_EQ(rbar.problem.input_alphabet().size(),
+              pi.input_alphabet().size());
+    // Meanings are non-empty subsets of the base output alphabet.
+    for (const auto& m : r.meaning) {
+      EXPECT_FALSE(m.empty());
+      EXPECT_EQ(m.universe(), pi.output_alphabet().size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,220 @@
+#include "volume/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "local/cole_vishkin.hpp"
+#include "local/sync_engine.hpp"
+#include "util/math.hpp"
+#include "volume/algorithms.hpp"
+#include "volume/order_invariance.hpp"
+
+namespace lcl {
+namespace {
+
+std::uint64_t id_range_for(const IdAssignment& ids) {
+  std::uint64_t max_id = 0;
+  for (auto id : ids) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+TEST(VolumeQuery, TupleAccessAndProbes) {
+  Graph g = make_path(5);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = sequential_ids(g);
+  VolumeQuery q(g, 2, input, ids, /*budget=*/3, /*advertised_n=*/5);
+
+  EXPECT_EQ(q.known_count(), 1u);
+  EXPECT_EQ(q.id(0), 3u);
+  EXPECT_EQ(q.degree(0), 2);
+  EXPECT_EQ(q.input(0, 0), 0u);
+  EXPECT_THROW(q.id(1), std::out_of_range);
+
+  const std::size_t nb = q.probe(0, 0);
+  EXPECT_EQ(nb, 1u);
+  EXPECT_EQ(q.id(nb), 2u);  // node 1 has id 2
+  EXPECT_EQ(q.probes_used(), 1u);
+
+  // Re-probing yields a fresh index with the same id.
+  const std::size_t again = q.probe(0, 0);
+  EXPECT_EQ(q.id(again), 2u);
+  EXPECT_EQ(q.probes_used(), 2u);
+
+  q.probe(0, 1);
+  EXPECT_THROW(q.probe(0, 0), ProbeBudgetExceeded);
+}
+
+TEST(VolumeQuery, FarProbesGatedByMode) {
+  Graph g = make_path(4);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = sequential_ids(g);
+  VolumeQuery plain(g, 0, input, ids, 5, 4, /*allow_far_probes=*/false);
+  EXPECT_THROW(plain.far_probe(3), std::logic_error);
+
+  VolumeQuery lca(g, 0, input, ids, 5, 4, /*allow_far_probes=*/true);
+  const auto j = lca.far_probe(3);
+  EXPECT_EQ(lca.id(j), 3u);
+  EXPECT_EQ(lca.probes_used(), 1u);
+  EXPECT_THROW(lca.far_probe(99), std::out_of_range);
+}
+
+TEST(VolumeConstant, ZeroProbes) {
+  Graph g = make_cycle(8);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = sequential_ids(g);
+  const auto result = run_volume_algorithm(VolumeConstant{}, g, input, ids);
+  EXPECT_EQ(result.max_probes, 0u);
+  EXPECT_TRUE(is_correct_solution(problems::trivial(2), g, input,
+                                  result.output));
+}
+
+TEST(VolumeOrientByIds, CorrectConstantProbesOrderInvariant) {
+  SplitRng rng(31);
+  Graph g = make_random_tree(60, 3, rng);
+  const auto input = uniform_labeling(g, 0);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const VolumeOrientByIds algo;
+  const auto result = run_volume_algorithm(algo, g, input, ids);
+  EXPECT_TRUE(is_correct_solution(problems::any_orientation(3), g, input,
+                                  result.output));
+  EXPECT_LE(result.max_probes, 3u);
+  EXPECT_TRUE(check_volume_order_invariance(algo, g, input, ids, 5, rng));
+}
+
+class VolumeCvTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VolumeCvTest, MatchesLocalColeVishkinOnCycles) {
+  const std::size_t n = GetParam();
+  Graph g = make_cycle(n);
+  SplitRng rng(n * 3 + 1);
+  const auto ids = random_distinct_ids(g, 3, rng);
+  const auto input = chain_orientation_input(g, true);
+  const std::uint64_t range = id_range_for(ids);
+
+  const VolumeColeVishkin volume_algo(range);
+  const auto volume_result =
+      run_volume_algorithm(volume_algo, g, input, ids);
+
+  // The volume implementation simulates the LOCAL one, so the outputs must
+  // agree exactly.
+  const ColeVishkin local_algo(range);
+  const auto local_result = run_synchronous(local_algo, g, input, ids, 1);
+  EXPECT_EQ(volume_result.output, local_result.output);
+
+  const auto dummy = uniform_labeling(g, 0);
+  EXPECT_TRUE(is_correct_solution(problems::coloring(3, 2), g, dummy,
+                                  volume_result.output))
+      << "n=" << n;
+  // Probe complexity ~ log* of the id range.
+  EXPECT_LE(volume_result.max_probes,
+            static_cast<std::uint64_t>(volume_algo.shrink_rounds()) + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VolumeCvTest,
+                         ::testing::Values(3, 4, 7, 16, 100, 1024));
+
+TEST(VolumeColeVishkin, WorksOnPathsIncludingTiny) {
+  for (std::size_t n : {2u, 3u, 5u, 40u, 300u}) {
+    Graph g = make_path(n);
+    SplitRng rng(n);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    const auto input = chain_orientation_input(g, false);
+    const VolumeColeVishkin algo(id_range_for(ids));
+    const auto result = run_volume_algorithm(algo, g, input, ids);
+    const auto dummy = uniform_labeling(g, 0);
+    EXPECT_TRUE(is_correct_solution(problems::coloring(3, 2), g, dummy,
+                                    result.output))
+        << "n=" << n;
+  }
+}
+
+TEST(VolumeColeVishkin, NotOrderInvariant) {
+  Graph g = make_cycle(64);
+  SplitRng rng(5);
+  const auto ids = random_distinct_ids(g, 2, rng);
+  const auto input = chain_orientation_input(g, true);
+  // Huge id range so that order-preserving remaps (which draw fresh, larger
+  // identifier values) stay inside it.
+  const VolumeColeVishkin algo(std::uint64_t{1} << 62);
+  // Order-preserving remaps change identifier *bits*, which Cole-Vishkin
+  // reads; with a large id range some remap must change the output.
+  EXPECT_FALSE(check_volume_order_invariance(algo, g, input, ids, 25, rng));
+}
+
+TEST(VolumeTwoColoring, ProperAndLinearProbes) {
+  for (std::size_t n : {2u, 9u, 50u, 200u}) {
+    Graph g = make_path(n);
+    SplitRng rng(n + 7);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    const auto input = chain_orientation_input(g, false);
+    const VolumeTwoColoring algo;
+    const auto result = run_volume_algorithm(algo, g, input, ids);
+    const auto dummy = uniform_labeling(g, 0);
+    EXPECT_TRUE(is_correct_solution(problems::two_coloring(2), g, dummy,
+                                    result.output))
+        << "n=" << n;
+    EXPECT_EQ(result.max_probes, n - 1);  // the right endpoint walks home
+  }
+}
+
+TEST(FrozenVolume, CollapsesProbeBudgetAndStaysCorrect) {
+  const WastefulVolumeOrient wasteful;
+  EXPECT_GT(wasteful.probe_budget(std::size_t{1} << 40),
+            wasteful.probe_budget(16));
+
+  const FrozenVolumeAlgorithm frozen(wasteful, /*n0=*/64);
+  EXPECT_EQ(frozen.probe_budget(std::size_t{1} << 40),
+            frozen.probe_budget(64));
+
+  SplitRng rng(77);
+  for (std::size_t n : {16u, 500u, 5000u}) {
+    Graph g = make_random_tree(n, 3, rng);
+    const auto input = uniform_labeling(g, 0);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    const auto result = run_volume_algorithm(frozen, g, input, ids);
+    EXPECT_TRUE(is_correct_solution(problems::any_orientation(3), g, input,
+                                    result.output))
+        << "n=" << n;
+    // Probes bounded by the frozen (constant) budget.
+    EXPECT_LE(result.max_probes, frozen.probe_budget(n));
+  }
+}
+
+TEST(FrozenVolume, WastefulBudgetGrowsUnfrozen) {
+  // Sanity for the ablation: unfrozen, the wasteful algorithm's measured
+  // probes grow with n.
+  SplitRng rng(78);
+  std::uint64_t small_probes = 0, large_probes = 0;
+  {
+    Graph g = make_random_tree(16, 3, rng);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    small_probes = run_volume_algorithm(WastefulVolumeOrient{}, g,
+                                        uniform_labeling(g, 0), ids)
+                       .max_probes;
+  }
+  {
+    Graph g = make_random_tree(40000, 3, rng);
+    const auto ids = random_distinct_ids(g, 3, rng);
+    large_probes = run_volume_algorithm(WastefulVolumeOrient{}, g,
+                                        uniform_labeling(g, 0), ids)
+                       .max_probes;
+  }
+  EXPECT_GT(large_probes, small_probes);
+}
+
+TEST(RunVolume, ValidatesArguments) {
+  Graph g = make_path(3);
+  const auto ids = sequential_ids(g);
+  EXPECT_THROW(run_volume_algorithm(VolumeConstant{}, g,
+                                    HalfEdgeLabeling(2, 0), ids),
+               std::invalid_argument);
+  EXPECT_THROW(run_volume_algorithm(VolumeConstant{}, g,
+                                    uniform_labeling(g, 0), IdAssignment(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcl
