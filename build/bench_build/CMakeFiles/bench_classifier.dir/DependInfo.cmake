@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_classifier.cpp" "bench_build/CMakeFiles/bench_classifier.dir/bench_classifier.cpp.o" "gcc" "bench_build/CMakeFiles/bench_classifier.dir/bench_classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/lcl_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/re/CMakeFiles/lcl_re.dir/DependInfo.cmake"
+  "/root/repo/build/src/volume/CMakeFiles/lcl_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/lcl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/local/CMakeFiles/lcl_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_classifier"
+  "../bench/bench_classifier.pdb"
+  "CMakeFiles/bench_classifier.dir/bench_classifier.cpp.o"
+  "CMakeFiles/bench_classifier.dir/bench_classifier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

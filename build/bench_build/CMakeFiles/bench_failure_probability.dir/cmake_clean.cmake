@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_failure_probability"
+  "../bench/bench_failure_probability.pdb"
+  "CMakeFiles/bench_failure_probability.dir/bench_failure_probability.cpp.o"
+  "CMakeFiles/bench_failure_probability.dir/bench_failure_probability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_general"
+  "../bench/bench_fig1_general.pdb"
+  "CMakeFiles/bench_fig1_general.dir/bench_fig1_general.cpp.o"
+  "CMakeFiles/bench_fig1_general.dir/bench_fig1_general.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_grids"
+  "../bench/bench_fig1_grids.pdb"
+  "CMakeFiles/bench_fig1_grids.dir/bench_fig1_grids.cpp.o"
+  "CMakeFiles/bench_fig1_grids.dir/bench_fig1_grids.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_grids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

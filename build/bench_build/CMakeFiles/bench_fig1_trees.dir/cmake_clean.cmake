@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_trees"
+  "../bench/bench_fig1_trees.pdb"
+  "CMakeFiles/bench_fig1_trees.dir/bench_fig1_trees.cpp.o"
+  "CMakeFiles/bench_fig1_trees.dir/bench_fig1_trees.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_volume"
+  "../bench/bench_fig1_volume.pdb"
+  "CMakeFiles/bench_fig1_volume.dir/bench_fig1_volume.cpp.o"
+  "CMakeFiles/bench_fig1_volume.dir/bench_fig1_volume.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_forest_transformer"
+  "../bench/bench_forest_transformer.pdb"
+  "CMakeFiles/bench_forest_transformer.dir/bench_forest_transformer.cpp.o"
+  "CMakeFiles/bench_forest_transformer.dir/bench_forest_transformer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forest_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_volume_orderinv"
+  "../bench/bench_volume_orderinv.pdb"
+  "CMakeFiles/bench_volume_orderinv.dir/bench_volume_orderinv.cpp.o"
+  "CMakeFiles/bench_volume_orderinv.dir/bench_volume_orderinv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volume_orderinv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

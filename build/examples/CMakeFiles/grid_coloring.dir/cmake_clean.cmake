@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_coloring.dir/grid_coloring.cpp.o"
+  "CMakeFiles/grid_coloring.dir/grid_coloring.cpp.o.d"
+  "grid_coloring"
+  "grid_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape_tour.dir/landscape_tour.cpp.o"
+  "CMakeFiles/landscape_tour.dir/landscape_tour.cpp.o.d"
+  "landscape_tour"
+  "landscape_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

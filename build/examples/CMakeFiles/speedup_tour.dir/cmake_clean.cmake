@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_tour.dir/speedup_tour.cpp.o"
+  "CMakeFiles/speedup_tour.dir/speedup_tour.cpp.o.d"
+  "speedup_tour"
+  "speedup_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_probes.dir/volume_probes.cpp.o"
+  "CMakeFiles/volume_probes.dir/volume_probes.cpp.o.d"
+  "volume_probes"
+  "volume_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

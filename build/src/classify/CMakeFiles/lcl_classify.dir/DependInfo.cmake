@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/automaton.cpp" "src/classify/CMakeFiles/lcl_classify.dir/automaton.cpp.o" "gcc" "src/classify/CMakeFiles/lcl_classify.dir/automaton.cpp.o.d"
+  "/root/repo/src/classify/cycle_classifier.cpp" "src/classify/CMakeFiles/lcl_classify.dir/cycle_classifier.cpp.o" "gcc" "src/classify/CMakeFiles/lcl_classify.dir/cycle_classifier.cpp.o.d"
+  "/root/repo/src/classify/path_classifier.cpp" "src/classify/CMakeFiles/lcl_classify.dir/path_classifier.cpp.o" "gcc" "src/classify/CMakeFiles/lcl_classify.dir/path_classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/re/CMakeFiles/lcl_re.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/local/CMakeFiles/lcl_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

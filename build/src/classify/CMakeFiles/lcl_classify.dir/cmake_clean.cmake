@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_classify.dir/automaton.cpp.o"
+  "CMakeFiles/lcl_classify.dir/automaton.cpp.o.d"
+  "CMakeFiles/lcl_classify.dir/cycle_classifier.cpp.o"
+  "CMakeFiles/lcl_classify.dir/cycle_classifier.cpp.o.d"
+  "CMakeFiles/lcl_classify.dir/path_classifier.cpp.o"
+  "CMakeFiles/lcl_classify.dir/path_classifier.cpp.o.d"
+  "liblcl_classify.a"
+  "liblcl_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

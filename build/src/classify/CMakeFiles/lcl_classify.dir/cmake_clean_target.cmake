@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcl_classify.a"
+)

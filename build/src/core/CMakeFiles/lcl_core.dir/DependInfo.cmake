@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alphabet.cpp" "src/core/CMakeFiles/lcl_core.dir/alphabet.cpp.o" "gcc" "src/core/CMakeFiles/lcl_core.dir/alphabet.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/lcl_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/lcl_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/checker.cpp" "src/core/CMakeFiles/lcl_core.dir/checker.cpp.o" "gcc" "src/core/CMakeFiles/lcl_core.dir/checker.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "src/core/CMakeFiles/lcl_core.dir/configuration.cpp.o" "gcc" "src/core/CMakeFiles/lcl_core.dir/configuration.cpp.o.d"
+  "/root/repo/src/core/lcl.cpp" "src/core/CMakeFiles/lcl_core.dir/lcl.cpp.o" "gcc" "src/core/CMakeFiles/lcl_core.dir/lcl.cpp.o.d"
+  "/root/repo/src/core/problems.cpp" "src/core/CMakeFiles/lcl_core.dir/problems.cpp.o" "gcc" "src/core/CMakeFiles/lcl_core.dir/problems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lcl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_core.dir/alphabet.cpp.o"
+  "CMakeFiles/lcl_core.dir/alphabet.cpp.o.d"
+  "CMakeFiles/lcl_core.dir/brute_force.cpp.o"
+  "CMakeFiles/lcl_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/lcl_core.dir/checker.cpp.o"
+  "CMakeFiles/lcl_core.dir/checker.cpp.o.d"
+  "CMakeFiles/lcl_core.dir/configuration.cpp.o"
+  "CMakeFiles/lcl_core.dir/configuration.cpp.o.d"
+  "CMakeFiles/lcl_core.dir/lcl.cpp.o"
+  "CMakeFiles/lcl_core.dir/lcl.cpp.o.d"
+  "CMakeFiles/lcl_core.dir/problems.cpp.o"
+  "CMakeFiles/lcl_core.dir/problems.cpp.o.d"
+  "liblcl_core.a"
+  "liblcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_graph.dir/generators.cpp.o"
+  "CMakeFiles/lcl_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/lcl_graph.dir/graph.cpp.o"
+  "CMakeFiles/lcl_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/lcl_graph.dir/labeling.cpp.o"
+  "CMakeFiles/lcl_graph.dir/labeling.cpp.o.d"
+  "liblcl_graph.a"
+  "liblcl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

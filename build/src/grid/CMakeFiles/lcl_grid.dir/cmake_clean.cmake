@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_grid.dir/algorithms.cpp.o"
+  "CMakeFiles/lcl_grid.dir/algorithms.cpp.o.d"
+  "CMakeFiles/lcl_grid.dir/torus.cpp.o"
+  "CMakeFiles/lcl_grid.dir/torus.cpp.o.d"
+  "liblcl_grid.a"
+  "liblcl_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/local/cole_vishkin.cpp" "src/local/CMakeFiles/lcl_local.dir/cole_vishkin.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/cole_vishkin.cpp.o.d"
+  "/root/repo/src/local/failure.cpp" "src/local/CMakeFiles/lcl_local.dir/failure.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/failure.cpp.o.d"
+  "/root/repo/src/local/forest_transform.cpp" "src/local/CMakeFiles/lcl_local.dir/forest_transform.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/forest_transform.cpp.o.d"
+  "/root/repo/src/local/global_algorithms.cpp" "src/local/CMakeFiles/lcl_local.dir/global_algorithms.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/global_algorithms.cpp.o.d"
+  "/root/repo/src/local/greedy_from_coloring.cpp" "src/local/CMakeFiles/lcl_local.dir/greedy_from_coloring.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/greedy_from_coloring.cpp.o.d"
+  "/root/repo/src/local/linial.cpp" "src/local/CMakeFiles/lcl_local.dir/linial.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/linial.cpp.o.d"
+  "/root/repo/src/local/order_invariant.cpp" "src/local/CMakeFiles/lcl_local.dir/order_invariant.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/order_invariant.cpp.o.d"
+  "/root/repo/src/local/rand_coloring.cpp" "src/local/CMakeFiles/lcl_local.dir/rand_coloring.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/rand_coloring.cpp.o.d"
+  "/root/repo/src/local/rooted_tree.cpp" "src/local/CMakeFiles/lcl_local.dir/rooted_tree.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/rooted_tree.cpp.o.d"
+  "/root/repo/src/local/sinkless.cpp" "src/local/CMakeFiles/lcl_local.dir/sinkless.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/sinkless.cpp.o.d"
+  "/root/repo/src/local/sync_engine.cpp" "src/local/CMakeFiles/lcl_local.dir/sync_engine.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/sync_engine.cpp.o.d"
+  "/root/repo/src/local/view.cpp" "src/local/CMakeFiles/lcl_local.dir/view.cpp.o" "gcc" "src/local/CMakeFiles/lcl_local.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

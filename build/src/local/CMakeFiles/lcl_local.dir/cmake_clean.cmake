@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_local.dir/cole_vishkin.cpp.o"
+  "CMakeFiles/lcl_local.dir/cole_vishkin.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/failure.cpp.o"
+  "CMakeFiles/lcl_local.dir/failure.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/forest_transform.cpp.o"
+  "CMakeFiles/lcl_local.dir/forest_transform.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/global_algorithms.cpp.o"
+  "CMakeFiles/lcl_local.dir/global_algorithms.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/greedy_from_coloring.cpp.o"
+  "CMakeFiles/lcl_local.dir/greedy_from_coloring.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/linial.cpp.o"
+  "CMakeFiles/lcl_local.dir/linial.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/order_invariant.cpp.o"
+  "CMakeFiles/lcl_local.dir/order_invariant.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/rand_coloring.cpp.o"
+  "CMakeFiles/lcl_local.dir/rand_coloring.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/rooted_tree.cpp.o"
+  "CMakeFiles/lcl_local.dir/rooted_tree.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/sinkless.cpp.o"
+  "CMakeFiles/lcl_local.dir/sinkless.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/sync_engine.cpp.o"
+  "CMakeFiles/lcl_local.dir/sync_engine.cpp.o.d"
+  "CMakeFiles/lcl_local.dir/view.cpp.o"
+  "CMakeFiles/lcl_local.dir/view.cpp.o.d"
+  "liblcl_local.a"
+  "liblcl_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/re/engine.cpp" "src/re/CMakeFiles/lcl_re.dir/engine.cpp.o" "gcc" "src/re/CMakeFiles/lcl_re.dir/engine.cpp.o.d"
+  "/root/repo/src/re/lift.cpp" "src/re/CMakeFiles/lcl_re.dir/lift.cpp.o" "gcc" "src/re/CMakeFiles/lcl_re.dir/lift.cpp.o.d"
+  "/root/repo/src/re/operators.cpp" "src/re/CMakeFiles/lcl_re.dir/operators.cpp.o" "gcc" "src/re/CMakeFiles/lcl_re.dir/operators.cpp.o.d"
+  "/root/repo/src/re/reduce.cpp" "src/re/CMakeFiles/lcl_re.dir/reduce.cpp.o" "gcc" "src/re/CMakeFiles/lcl_re.dir/reduce.cpp.o.d"
+  "/root/repo/src/re/zero_round.cpp" "src/re/CMakeFiles/lcl_re.dir/zero_round.cpp.o" "gcc" "src/re/CMakeFiles/lcl_re.dir/zero_round.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/local/CMakeFiles/lcl_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

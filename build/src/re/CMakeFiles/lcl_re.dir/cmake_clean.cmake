@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_re.dir/engine.cpp.o"
+  "CMakeFiles/lcl_re.dir/engine.cpp.o.d"
+  "CMakeFiles/lcl_re.dir/lift.cpp.o"
+  "CMakeFiles/lcl_re.dir/lift.cpp.o.d"
+  "CMakeFiles/lcl_re.dir/operators.cpp.o"
+  "CMakeFiles/lcl_re.dir/operators.cpp.o.d"
+  "CMakeFiles/lcl_re.dir/reduce.cpp.o"
+  "CMakeFiles/lcl_re.dir/reduce.cpp.o.d"
+  "CMakeFiles/lcl_re.dir/zero_round.cpp.o"
+  "CMakeFiles/lcl_re.dir/zero_round.cpp.o.d"
+  "liblcl_re.a"
+  "liblcl_re.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_re.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lcl_re.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_util.dir/combinatorics.cpp.o"
+  "CMakeFiles/lcl_util.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/lcl_util.dir/label_set.cpp.o"
+  "CMakeFiles/lcl_util.dir/label_set.cpp.o.d"
+  "CMakeFiles/lcl_util.dir/math.cpp.o"
+  "CMakeFiles/lcl_util.dir/math.cpp.o.d"
+  "liblcl_util.a"
+  "liblcl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_volume.dir/algorithms.cpp.o"
+  "CMakeFiles/lcl_volume.dir/algorithms.cpp.o.d"
+  "CMakeFiles/lcl_volume.dir/model.cpp.o"
+  "CMakeFiles/lcl_volume.dir/model.cpp.o.d"
+  "CMakeFiles/lcl_volume.dir/order_invariance.cpp.o"
+  "CMakeFiles/lcl_volume.dir/order_invariance.cpp.o.d"
+  "liblcl_volume.a"
+  "liblcl_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_checker.dir/test_core_checker.cpp.o"
+  "CMakeFiles/test_core_checker.dir/test_core_checker.cpp.o.d"
+  "test_core_checker"
+  "test_core_checker.pdb"
+  "test_core_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_lcl.dir/test_core_lcl.cpp.o"
+  "CMakeFiles/test_core_lcl.dir/test_core_lcl.cpp.o.d"
+  "test_core_lcl"
+  "test_core_lcl.pdb"
+  "test_core_lcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_algorithms.dir/test_local_algorithms.cpp.o"
+  "CMakeFiles/test_local_algorithms.dir/test_local_algorithms.cpp.o.d"
+  "test_local_algorithms"
+  "test_local_algorithms.pdb"
+  "test_local_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_failure.dir/test_local_failure.cpp.o"
+  "CMakeFiles/test_local_failure.dir/test_local_failure.cpp.o.d"
+  "test_local_failure"
+  "test_local_failure.pdb"
+  "test_local_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

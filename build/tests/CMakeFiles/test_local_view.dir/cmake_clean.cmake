@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_view.dir/test_local_view.cpp.o"
+  "CMakeFiles/test_local_view.dir/test_local_view.cpp.o.d"
+  "test_local_view"
+  "test_local_view.pdb"
+  "test_local_view[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_re_engine.dir/test_re_engine.cpp.o"
+  "CMakeFiles/test_re_engine.dir/test_re_engine.cpp.o.d"
+  "test_re_engine"
+  "test_re_engine.pdb"
+  "test_re_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_re_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

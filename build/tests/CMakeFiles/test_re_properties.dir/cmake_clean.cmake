@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_re_properties.dir/test_re_properties.cpp.o"
+  "CMakeFiles/test_re_properties.dir/test_re_properties.cpp.o.d"
+  "test_re_properties"
+  "test_re_properties.pdb"
+  "test_re_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_re_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_label_set.dir/test_util_label_set.cpp.o"
+  "CMakeFiles/test_util_label_set.dir/test_util_label_set.cpp.o.d"
+  "test_util_label_set"
+  "test_util_label_set.pdb"
+  "test_util_label_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_label_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_volume.cpp" "tests/CMakeFiles/test_volume.dir/test_volume.cpp.o" "gcc" "tests/CMakeFiles/test_volume.dir/test_volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/volume/CMakeFiles/lcl_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/local/CMakeFiles/lcl_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

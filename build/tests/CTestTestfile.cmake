@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_label_set[1]_include.cmake")
+include("/root/repo/build/tests/test_util_math[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_core_lcl[1]_include.cmake")
+include("/root/repo/build/tests/test_core_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_checker_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_local_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_local_view[1]_include.cmake")
+include("/root/repo/build/tests/test_local_failure[1]_include.cmake")
+include("/root/repo/build/tests/test_re_operators[1]_include.cmake")
+include("/root/repo/build/tests/test_re_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_re_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_volume[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_classify[1]_include.cmake")
+include("/root/repo/build/tests/test_classify_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_model[1]_include.cmake")
