@@ -23,6 +23,7 @@ namespace {
 void run_classifier(benchmark::State& state,
                     const NodeEdgeCheckableLcl& problem) {
   CycleClassification result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = classify_on_cycles(problem, /*max_speedup_steps=*/2);
     lcl::bench::keep(result.complexity);
@@ -59,6 +60,7 @@ CLASSIFIER_BENCH(PerfectMatching, problems::perfect_matching(2))
 void run_path_classifier(benchmark::State& state,
                          const NodeEdgeCheckableLcl& problem) {
   PathClassification result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = classify_on_paths(problem, /*max_speedup_steps=*/2);
     lcl::bench::keep(result.complexity);
@@ -89,4 +91,4 @@ PATH_BENCH(PerfectMatching, problems::perfect_matching(2))
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

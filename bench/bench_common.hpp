@@ -4,9 +4,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "graph/labeling.hpp"
+#include "obs/obs.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 
@@ -39,4 +44,129 @@ inline void report_scales(benchmark::State& state, std::size_t n) {
       n >= 1 ? static_cast<double>(floor_log2(n)) : 0.0;
 }
 
+/// Snapshot of the observability counters the Figure-1 series care about.
+/// Construct before the measurement loop, `report` after it: the deltas -
+/// per iteration - land in the bench JSON as `probes`, `rounds`, `re_steps`
+/// columns. In LCL_OBS=0 builds the registry never moves and the columns
+/// read 0.
+class ObsCounters {
+ public:
+  ObsCounters() { read(probes_, rounds_, re_steps_); }
+
+  void report(benchmark::State& state) const {
+    std::uint64_t probes = 0, rounds = 0, re_steps = 0;
+    read(probes, rounds, re_steps);
+    const double iters =
+        std::max<double>(1.0, static_cast<double>(state.iterations()));
+    state.counters["probes"] =
+        static_cast<double>(probes - probes_) / iters;
+    state.counters["rounds"] =
+        static_cast<double>(rounds - rounds_) / iters;
+    state.counters["re_steps"] =
+        static_cast<double>(re_steps - re_steps_) / iters;
+  }
+
+ private:
+  static void read(std::uint64_t& probes, std::uint64_t& rounds,
+                   std::uint64_t& re_steps) {
+    auto& reg = obs::registry();
+    probes = reg.counter("volume.probes").value();
+    rounds = reg.counter("local.rounds").value();
+    re_steps = reg.counter("re.steps").value();
+  }
+
+  std::uint64_t probes_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t re_steps_ = 0;
+};
+
+/// The bench-wide trace session opened by `--trace` (null when tracing is
+/// off). Kept alive until after benchmark shutdown so every span lands in
+/// the file.
+inline std::unique_ptr<obs::TraceSession>& global_trace_session() {
+  static std::unique_ptr<obs::TraceSession> session;
+  return session;
+}
+
+/// Consumes the lclscape-specific argv flags before google-benchmark sees
+/// them:
+///   --trace=<path> | --trace <path>   dump a trace next to the bench JSON
+///                                     (.json => Chrome format, else JSONL)
+///   --trace-format=chrome|jsonl       override the extension heuristic
+/// Also turns runtime metrics on, so bench JSON gains the observability
+/// columns even without tracing.
+inline void init_obs(int* argc, char** argv) {
+  std::string trace_path;
+  std::string trace_format;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < *argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(arg, "--trace-format=", 15) == 0) {
+      trace_format = arg + 15;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+
+  obs::set_metrics_enabled(true);
+  if (trace_path.empty()) return;
+  obs::TraceFormat format = obs::TraceFormat::kJsonl;
+  if (trace_format == "chrome") {
+    format = obs::TraceFormat::kChromeJson;
+  } else if (trace_format.empty() && trace_path.size() >= 5 &&
+             trace_path.compare(trace_path.size() - 5, 5, ".json") == 0) {
+    format = obs::TraceFormat::kChromeJson;
+  } else if (!trace_format.empty() && trace_format != "jsonl") {
+    std::fprintf(stderr,
+                 "lclscape: unknown --trace-format '%s' (expected "
+                 "'chrome' or 'jsonl'), using jsonl\n",
+                 trace_format.c_str());
+  }
+  auto& session = global_trace_session();
+  try {
+    session = std::make_unique<obs::TraceSession>(trace_path, format);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lclscape: %s\n", e.what());
+    std::exit(1);
+  }
+  obs::TraceSession::set_current(session.get());
+  std::fprintf(stderr, "lclscape: tracing to %s (%s)\n", trace_path.c_str(),
+               format == obs::TraceFormat::kChromeJson ? "chrome" : "jsonl");
+#if !LCL_OBS
+  std::fprintf(stderr,
+               "lclscape: note: built with LCL_OBS=0 - engine "
+               "instrumentation is compiled out, the trace will only "
+               "contain harness records\n");
+#endif
+}
+
+inline void finish_obs() {
+  auto& session = global_trace_session();
+  if (session != nullptr) {
+    obs::TraceSession::set_current(nullptr);
+    session->close();
+    session.reset();
+  }
+}
+
 }  // namespace lcl::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that installs the lclscape
+/// observability harness: strips `--trace*` flags, enables metrics, and
+/// finalizes the trace (with the metrics footer) after the run.
+#define LCL_BENCH_MAIN()                                                \
+  int main(int argc, char** argv) {                                     \
+    ::lcl::bench::init_obs(&argc, argv);                                \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    ::lcl::bench::finish_obs();                                         \
+    return 0;                                                           \
+  }                                                                     \
+  int main(int, char**)

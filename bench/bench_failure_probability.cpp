@@ -28,12 +28,14 @@ void BM_LocalFailureVsRoundCap(benchmark::State& state) {
   const CappedRandomColoring algo(3, cap);
 
   LocalFailureEstimate estimate;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     estimate = estimate_local_failure(algo, problem, g, input, ids,
                                       /*trials=*/200, /*seed_base=*/1000);
     lcl::bench::keep(estimate.local_failure);
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["round_cap"] = cap;
   state.counters["local_failure_p"] = estimate.local_failure;
   state.counters["global_failure"] = estimate.global_failure;
@@ -43,4 +45,4 @@ BENCHMARK(BM_LocalFailureVsRoundCap)->DenseRange(0, 14, 2);
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

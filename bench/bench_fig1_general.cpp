@@ -93,10 +93,12 @@ void BM_ShortcutRadiusVsVolume(benchmark::State& state) {
     state.SkipWithError("spine coloring failed");
   }
 
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     lcl::bench::keep(radius_shortcut);
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["window_w"] = static_cast<double>(w);
   state.counters["radius_path"] = radius_path;
   state.counters["radius_shortcut"] = radius_shortcut;
@@ -121,9 +123,11 @@ void BM_ShortcutRadiusByWindow(benchmark::State& state) {
   const auto [rs, vs] = radius_to_cover_spine(shortcut, center, n, w);
   const auto [rp, vp] = radius_to_cover_spine(path, center, n, w);
   (void)vp;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     lcl::bench::keep(rs);
   }
+  obs_counters.report(state);
   state.counters["window_w"] = static_cast<double>(w);
   state.counters["radius_path"] = rp;
   state.counters["radius_shortcut"] = rs;
@@ -136,4 +140,4 @@ BENCHMARK(BM_ShortcutRadiusByWindow)->RangeMultiplier(4)->Range(8, 2048);
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

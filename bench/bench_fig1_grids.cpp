@@ -31,6 +31,7 @@ void BM_GridO1_OrientationEcho(benchmark::State& state) {
   IdAssignment ids(torus.node_count());
   for (NodeId v = 0; v < torus.node_count(); ++v) ids[v] = v + 1;
   SyncResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_synchronous(OrientationEcho{}, torus.graph(), input, ids, 1);
     lcl::bench::keep(result.rounds);
@@ -40,6 +41,7 @@ void BM_GridO1_OrientationEcho(benchmark::State& state) {
     state.SkipWithError("invalid echo");
   }
   bench::report_scales(state, torus.node_count());
+  obs_counters.report(state);
   state.counters["rounds"] = result.rounds;
   state.counters["d"] = d;
 }
@@ -63,6 +65,7 @@ void BM_GridLogStar_ProductColoring(benchmark::State& state) {
   const auto input = torus.orientation_input();
   const GridColoring algo(d, prod_id_range(prod));
   SyncResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_synchronous(algo, torus.graph(), input, ids, 1, 0,
                              1'000'000, &aux);
@@ -74,6 +77,7 @@ void BM_GridLogStar_ProductColoring(benchmark::State& state) {
     state.SkipWithError("invalid grid coloring");
   }
   bench::report_scales(state, torus.node_count());
+  obs_counters.report(state);
   state.counters["rounds"] = result.rounds;
   state.counters["cv_rounds"] = algo.cole_vishkin_rounds();
   state.counters["d"] = d;
@@ -96,6 +100,7 @@ void BM_GridGlobal_Checkerboard(benchmark::State& state) {
   for (NodeId v = 0; v < torus.node_count(); ++v) ids[v] = v + 1;
   const auto dummy = uniform_labeling(torus.graph(), 0);
   SyncResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_synchronous(BfsTwoColoring{}, torus.graph(), dummy, ids, 1);
     lcl::bench::keep(result.rounds);
@@ -105,6 +110,7 @@ void BM_GridGlobal_Checkerboard(benchmark::State& state) {
     state.SkipWithError("invalid checkerboard");
   }
   bench::report_scales(state, torus.node_count());
+  obs_counters.report(state);
   state.counters["rounds"] = result.rounds;
   state.counters["side"] = static_cast<double>(side);
   state.counters["d"] = d;
@@ -123,4 +129,4 @@ BENCHMARK(BM_GridGlobal_Checkerboard)
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

@@ -35,6 +35,7 @@ void BM_ClassO1_OrientByIds(benchmark::State& state) {
   const auto ids = random_distinct_ids(g, 3, rng);
   const OrientByIdOrder algo;
   HalfEdgeLabeling output;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     output = run_ball_algorithm(algo, g, input, ids);
     lcl::bench::keep(output);
@@ -43,6 +44,7 @@ void BM_ClassO1_OrientByIds(benchmark::State& state) {
     state.SkipWithError("invalid orientation");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["rounds"] = algo.radius(n);
 }
 BENCHMARK(BM_ClassO1_OrientByIds)->RangeMultiplier(4)->Range(64, 1 << 14);
@@ -55,6 +57,7 @@ void BM_ClassLogStar_LinialColoring(benchmark::State& state) {
   const auto ids = random_distinct_ids(g, 3, rng);
   const LinialColoring algo(3, bench::id_range_for(ids));
   SyncResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_synchronous(algo, g, input, ids, 1);
     lcl::bench::keep(result.rounds);
@@ -64,6 +67,7 @@ void BM_ClassLogStar_LinialColoring(benchmark::State& state) {
     state.SkipWithError("invalid coloring");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["rounds"] = result.rounds;
   state.counters["log_star_stage_rounds"] = algo.schedule_rounds();
 }
@@ -82,6 +86,7 @@ void BM_ClassLogStar_RootedThreeColoring(benchmark::State& state) {
   const auto input = root_tree_input(g, 0);
   const RootedTreeColoring algo(bench::id_range_for(ids));
   SyncResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_synchronous(algo, g, input, ids, 1);
     lcl::bench::keep(result.rounds);
@@ -92,6 +97,7 @@ void BM_ClassLogStar_RootedThreeColoring(benchmark::State& state) {
     state.SkipWithError("invalid rooted coloring");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["rounds"] = result.rounds;
 }
 BENCHMARK(BM_ClassLogStar_RootedThreeColoring)
@@ -108,6 +114,7 @@ void BM_ClassLogDet_SinklessOrientation(benchmark::State& state) {
   const auto ids = random_distinct_ids(g, 3, rng);
   const SinklessOrientationTree algo(3);
   SyncResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_synchronous(algo, g, input, ids, 1);
     lcl::bench::keep(result.rounds);
@@ -117,6 +124,7 @@ void BM_ClassLogDet_SinklessOrientation(benchmark::State& state) {
     state.SkipWithError("sink found");
   }
   bench::report_scales(state, g.node_count());
+  obs_counters.report(state);
   state.counters["rounds"] = result.rounds;
   state.counters["depth"] = depth;
 }
@@ -130,6 +138,7 @@ void BM_ClassGlobal_TwoColoring(benchmark::State& state) {
   const auto ids = shuffled_sequential_ids(g, rng);
   const BfsTwoColoring algo;
   SyncResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_synchronous(algo, g, input, ids, 1);
     lcl::bench::keep(result.rounds);
@@ -139,6 +148,7 @@ void BM_ClassGlobal_TwoColoring(benchmark::State& state) {
     state.SkipWithError("invalid 2-coloring");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["rounds"] = result.rounds;
 }
 BENCHMARK(BM_ClassGlobal_TwoColoring)->RangeMultiplier(4)->Range(64, 4096);
@@ -154,6 +164,7 @@ void BM_Randomized_GreedyColoring(benchmark::State& state) {
   const RandomGreedyColoring algo(3);
   SyncResult result;
   std::uint64_t seed = 1;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_synchronous(algo, g, input, ids, seed++);
     lcl::bench::keep(result.rounds);
@@ -163,6 +174,7 @@ void BM_Randomized_GreedyColoring(benchmark::State& state) {
     state.SkipWithError("invalid coloring");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["rounds"] = result.rounds;
 }
 BENCHMARK(BM_Randomized_GreedyColoring)->RangeMultiplier(4)->Range(64, 1 << 14);
@@ -170,4 +182,4 @@ BENCHMARK(BM_Randomized_GreedyColoring)->RangeMultiplier(4)->Range(64, 1 << 14);
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

@@ -22,6 +22,7 @@ void BM_VolumeO1_Constant(benchmark::State& state) {
   const auto input = uniform_labeling(g, 0);
   const auto ids = sequential_ids(g);
   VolumeRunResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_volume_algorithm(VolumeConstant{}, g, input, ids);
     lcl::bench::keep(result.max_probes);
@@ -30,7 +31,8 @@ void BM_VolumeO1_Constant(benchmark::State& state) {
     state.SkipWithError("invalid output");
   }
   bench::report_scales(state, n);
-  state.counters["probes"] = static_cast<double>(result.max_probes);
+  obs_counters.report(state);
+  state.counters["max_probes"] = static_cast<double>(result.max_probes);
 }
 BENCHMARK(BM_VolumeO1_Constant)->RangeMultiplier(8)->Range(64, 1 << 15);
 
@@ -41,6 +43,7 @@ void BM_VolumeO1_Orientation(benchmark::State& state) {
   const auto input = uniform_labeling(g, 0);
   const auto ids = random_distinct_ids(g, 3, rng);
   VolumeRunResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_volume_algorithm(VolumeOrientByIds{}, g, input, ids);
     lcl::bench::keep(result.max_probes);
@@ -50,7 +53,8 @@ void BM_VolumeO1_Orientation(benchmark::State& state) {
     state.SkipWithError("invalid orientation");
   }
   bench::report_scales(state, n);
-  state.counters["probes"] = static_cast<double>(result.max_probes);
+  obs_counters.report(state);
+  state.counters["max_probes"] = static_cast<double>(result.max_probes);
 }
 BENCHMARK(BM_VolumeO1_Orientation)->RangeMultiplier(8)->Range(64, 1 << 15);
 
@@ -62,6 +66,7 @@ void BM_VolumeLogStar_ColeVishkin(benchmark::State& state) {
   const auto input = chain_orientation_input(g, true);
   const VolumeColeVishkin algo(bench::id_range_for(ids));
   VolumeRunResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_volume_algorithm(algo, g, input, ids);
     lcl::bench::keep(result.max_probes);
@@ -72,7 +77,8 @@ void BM_VolumeLogStar_ColeVishkin(benchmark::State& state) {
     state.SkipWithError("invalid coloring");
   }
   bench::report_scales(state, n);
-  state.counters["probes"] = static_cast<double>(result.max_probes);
+  obs_counters.report(state);
+  state.counters["max_probes"] = static_cast<double>(result.max_probes);
 }
 BENCHMARK(BM_VolumeLogStar_ColeVishkin)
     ->RangeMultiplier(8)
@@ -85,6 +91,7 @@ void BM_VolumeGlobal_TwoColoring(benchmark::State& state) {
   const auto ids = random_distinct_ids(g, 3, rng);
   const auto input = chain_orientation_input(g, false);
   VolumeRunResult result;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     result = run_volume_algorithm(VolumeTwoColoring{}, g, input, ids);
     lcl::bench::keep(result.max_probes);
@@ -95,11 +102,12 @@ void BM_VolumeGlobal_TwoColoring(benchmark::State& state) {
     state.SkipWithError("invalid 2-coloring");
   }
   bench::report_scales(state, n);
-  state.counters["probes"] = static_cast<double>(result.max_probes);
+  obs_counters.report(state);
+  state.counters["max_probes"] = static_cast<double>(result.max_probes);
 }
 BENCHMARK(BM_VolumeGlobal_TwoColoring)->RangeMultiplier(4)->Range(64, 4096);
 
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

@@ -24,6 +24,7 @@ void BM_DirectTreeAlgorithm(benchmark::State& state) {
   const auto ids = random_distinct_ids(tree, 3, rng);
   const OrientByIdOrder algo;
   HalfEdgeLabeling output;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     output = run_ball_algorithm(algo, tree, input, ids);
     lcl::bench::keep(output);
@@ -33,6 +34,7 @@ void BM_DirectTreeAlgorithm(benchmark::State& state) {
     state.SkipWithError("invalid orientation");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["radius"] = algo.radius(n);
 }
 BENCHMARK(BM_DirectTreeAlgorithm)->RangeMultiplier(4)->Range(64, 4096);
@@ -48,6 +50,7 @@ void BM_TransformedForestAlgorithm(benchmark::State& state) {
   const auto problem = problems::any_orientation(3);
   const ForestTransformedAlgorithm algo(tree_algo, problem);
   HalfEdgeLabeling output;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     output = run_ball_algorithm(algo, forest, input, ids);
     lcl::bench::keep(output);
@@ -56,6 +59,7 @@ void BM_TransformedForestAlgorithm(benchmark::State& state) {
     state.SkipWithError("invalid forest orientation");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["radius"] = algo.radius(n);
   state.counters["tree_radius"] = tree_algo.radius(n * n);
 }
@@ -64,4 +68,4 @@ BENCHMARK(BM_TransformedForestAlgorithm)->RangeMultiplier(4)->Range(64, 4096);
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

@@ -24,6 +24,7 @@ namespace {
 void run_gap(benchmark::State& state, const NodeEdgeCheckableLcl& problem,
              int max_steps) {
   SpeedupEngine::Outcome outcome;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     SpeedupEngine engine(problem);
     SpeedupEngine::Options options;
@@ -47,6 +48,7 @@ void run_gap(benchmark::State& state, const NodeEdgeCheckableLcl& problem,
       }
     }
   }
+  obs_counters.report(state);
   state.counters["zero_round_step"] = outcome.zero_round_step;
   state.counters["steps_applied"] =
       static_cast<double>(outcome.steps.size());
@@ -101,4 +103,4 @@ BENCHMARK(BM_Gap_WeakColoring);
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

@@ -23,6 +23,7 @@ void run_ablation(benchmark::State& state,
   limits.max_configs = 8'000'000;
   std::size_t labels_psi = 0, labels_next = 0, configs_next = 0;
   bool blowup = false;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     try {
       ReStep psi = apply_r(problem, limits);
@@ -44,6 +45,7 @@ void run_ablation(benchmark::State& state,
       blowup = true;
     }
   }
+  obs_counters.report(state);
   state.counters["labels_psi"] = static_cast<double>(labels_psi);
   state.counters["labels_next"] = static_cast<double>(labels_next);
   state.counters["configs_next"] = static_cast<double>(configs_next);
@@ -72,4 +74,4 @@ ABLATION_BENCH(Mis, problems::mis(2))
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

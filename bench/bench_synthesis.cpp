@@ -18,6 +18,7 @@ namespace {
 void BM_SynthesizeOrientation(benchmark::State& state) {
   const auto problem = problems::any_orientation(2);
   int k = -1;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     SpeedupEngine engine(problem);
     SpeedupEngine::Options options;
@@ -26,6 +27,7 @@ void BM_SynthesizeOrientation(benchmark::State& state) {
     k = outcome.zero_round_step;
     lcl::bench::keep(k);
   }
+  obs_counters.report(state);
   state.counters["zero_round_step"] = k;
 }
 BENCHMARK(BM_SynthesizeOrientation);
@@ -49,6 +51,7 @@ void BM_RunSynthesizedOnForest(benchmark::State& state) {
   const auto input = uniform_labeling(forest, 0);
   const auto ids = random_distinct_ids(forest, 3, rng);
   HalfEdgeLabeling output;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     output = run_ball_algorithm(*algorithm, forest, input, ids);
     lcl::bench::keep(output);
@@ -57,6 +60,7 @@ void BM_RunSynthesizedOnForest(benchmark::State& state) {
     state.SkipWithError("invalid synthesized solution");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["radius"] = algorithm->radius(n);
 }
 BENCHMARK(BM_RunSynthesizedOnForest)->RangeMultiplier(4)->Range(64, 4096);
@@ -64,4 +68,4 @@ BENCHMARK(BM_RunSynthesizedOnForest)->RangeMultiplier(4)->Range(64, 4096);
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

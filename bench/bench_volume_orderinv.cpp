@@ -33,6 +33,7 @@ void BM_OrderInvarianceVerdicts(benchmark::State& state) {
   const VolumeColeVishkin cv(std::uint64_t{1} << 62);
 
   bool orient_oi = false, cv_oi = true;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     orient_oi = check_volume_order_invariance(VolumeOrientByIds{}, tree,
                                               tree_input, tree_ids, 8, rng);
@@ -40,6 +41,7 @@ void BM_OrderInvarianceVerdicts(benchmark::State& state) {
                                           20, rng);
     lcl::bench::keep(orient_oi);
   }
+  obs_counters.report(state);
   state.counters["orient_is_order_invariant"] = orient_oi ? 1 : 0;
   state.counters["cole_vishkin_is_order_invariant"] = cv_oi ? 1 : 0;
 }
@@ -55,6 +57,7 @@ void BM_FreezingPipeline(benchmark::State& state) {
   const WastefulVolumeOrient wasteful;
   const FrozenVolumeAlgorithm frozen(wasteful, /*n0=*/64);
   VolumeRunResult raw, cold;
+  const bench::ObsCounters obs_counters;
   for (auto _ : state) {
     raw = run_volume_algorithm(wasteful, g, input, ids);
     cold = run_volume_algorithm(frozen, g, input, ids);
@@ -66,6 +69,7 @@ void BM_FreezingPipeline(benchmark::State& state) {
     state.SkipWithError("freezing changed correctness");
   }
   bench::report_scales(state, n);
+  obs_counters.report(state);
   state.counters["probes_unfrozen"] = static_cast<double>(raw.max_probes);
   state.counters["probes_frozen"] = static_cast<double>(cold.max_probes);
 }
@@ -74,4 +78,4 @@ BENCHMARK(BM_FreezingPipeline)->RangeMultiplier(8)->Range(64, 1 << 15);
 }  // namespace
 }  // namespace lcl
 
-BENCHMARK_MAIN();
+LCL_BENCH_MAIN();

@@ -5,6 +5,7 @@
 
 #include "classify/automaton.hpp"
 #include "core/configuration.hpp"
+#include "obs/obs.hpp"
 #include "re/engine.hpp"
 
 namespace lcl {
@@ -61,9 +62,17 @@ std::vector<std::vector<Label>> walk_automaton(
 CycleClassification classify_on_cycles(const NodeEdgeCheckableLcl& problem,
                                        int max_speedup_steps) {
   validate(problem);
+  LCL_OBS_SPAN(span, "classify/cycles", "classify");
   CycleClassification result;
 
   const auto adj = walk_automaton(problem);
+  if (LCL_OBS_ENABLED()) {
+    std::size_t edges = 0;
+    for (const auto& row : adj) edges += row.size();
+    LCL_OBS_COUNTER_ADD("classify.automaton_states", adj.size());
+    LCL_OBS_COUNTER_ADD("classify.automaton_edges", edges);
+    LCL_OBS_HISTOGRAM_RECORD("classify.automaton_size", adj.size());
+  }
   const auto component = strongly_connected_components(adj);
   int components = 0;
   for (const int c : component) components = std::max(components, c + 1);
@@ -107,6 +116,7 @@ bool solvable_on_cycle_length(const NodeEdgeCheckableLcl& problem,
   if (n < 3) {
     throw std::invalid_argument("solvable_on_cycle_length: n >= 3");
   }
+  LCL_OBS_SPAN(span, "classify/cycle_length", "classify");
   const auto adj = walk_automaton(problem);
   const std::size_t k = adj.size();
   if (k > 64 * 64) {
@@ -126,6 +136,7 @@ bool solvable_on_cycle_length(const NodeEdgeCheckableLcl& problem,
   }
   const auto multiply = [&](const std::vector<Row>& a,
                             const std::vector<Row>& b) {
+    LCL_OBS_COUNTER_ADD("classify.matrix_mults", 1);
     auto out = make();
     for (std::size_t i = 0; i < k; ++i) {
       for (std::size_t j = 0; j < k; ++j) {

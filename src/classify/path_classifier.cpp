@@ -7,6 +7,7 @@
 
 #include "classify/automaton.hpp"
 #include "core/configuration.hpp"
+#include "obs/obs.hpp"
 #include "re/engine.hpp"
 #include "util/label_set.hpp"
 
@@ -108,6 +109,7 @@ bool solvable_on_path_length(const NodeEdgeCheckableLcl& problem,
   if (n < 2) {
     throw std::invalid_argument("solvable_on_path_length: n >= 2");
   }
+  LCL_OBS_SPAN(span, "classify/path_length", "classify");
   const auto a = build_automaton(problem);
   const auto seq = reach_sequence(a);
   return feasible_steps(a, seq, n - 2);
@@ -116,9 +118,21 @@ bool solvable_on_path_length(const NodeEdgeCheckableLcl& problem,
 PathClassification classify_on_paths(const NodeEdgeCheckableLcl& problem,
                                      int max_speedup_steps) {
   validate(problem);
+  LCL_OBS_SPAN(span, "classify/paths", "classify");
   PathClassification result;
   const auto a = build_automaton(problem);
+  if (LCL_OBS_ENABLED()) {
+    std::size_t edges = 0;
+    for (const auto& row : a.adjacency) edges += row.size();
+    LCL_OBS_COUNTER_ADD("classify.automaton_states", a.k);
+    LCL_OBS_COUNTER_ADD("classify.automaton_edges", edges);
+    LCL_OBS_HISTOGRAM_RECORD("classify.automaton_size", a.k);
+  }
   const auto seq = reach_sequence(a);
+  LCL_OBS_HISTOGRAM_RECORD("classify.reach_sequence_length",
+                           seq.sets.size());
+  LCL_OBS_SPAN_ARG(span, "states", a.k);
+  LCL_OBS_SPAN_ARG(span, "reach_sets", seq.sets.size());
 
   bool all = true, some_large = false;
   for (std::size_t j = 0; j < seq.sets.size(); ++j) {

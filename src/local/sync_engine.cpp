@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace lcl {
 
 SyncResult run_synchronous(const SynchronousAlgorithm& algorithm,
@@ -18,6 +20,9 @@ SyncResult run_synchronous(const SynchronousAlgorithm& algorithm,
     throw std::invalid_argument("run_synchronous: id assignment mismatch");
   }
   if (advertised_n == 0) advertised_n = graph.node_count();
+
+  LCL_OBS_SPAN(run_span, "local/run_synchronous", "local");
+  LCL_OBS_COUNTER_ADD("local.runs", 1);
 
   const std::size_t n = graph.node_count();
   const SplitRng root(seed);
@@ -72,7 +77,16 @@ SyncResult run_synchronous(const SynchronousAlgorithm& algorithm,
           "run_synchronous: round cap exceeded (algorithm did not halt)");
     }
 
+    LCL_OBS_SPAN(round_span, "local/round", "local");
+    LCL_OBS_SPAN_ARG(round_span, "round", round);
+    if (LCL_OBS_ENABLED()) {
+      std::size_t active = 0;
+      for (NodeId v = 0; v < n; ++v) active += halted[v] ? 0 : 1;
+      LCL_OBS_GAUGE_SET("local.active_nodes", active);
+      LCL_OBS_GAUGE_SET("local.halted_nodes", n - active);
+    }
     bool any_change = false;
+    std::size_t round_max_words = 0;
     for (NodeId v = 0; v < n; ++v) {
       if (halted[v]) {
         next[v] = current[v];
@@ -85,9 +99,13 @@ SyncResult run_synchronous(const SynchronousAlgorithm& algorithm,
       next[v] =
           algorithm.step(contexts[v], current[v], neighbor_states, round);
       if (next[v] != current[v]) any_change = true;
-      result.max_message_words =
-          std::max(result.max_message_words, next[v].size());
+      round_max_words = std::max(round_max_words, next[v].size());
+      LCL_OBS_HISTOGRAM_RECORD("local.message_words", next[v].size());
     }
+    result.max_message_words =
+        std::max(result.max_message_words, round_max_words);
+    LCL_OBS_SPAN_ARG(round_span, "max_message_words", round_max_words);
+    LCL_OBS_COUNTER_ADD("local.rounds", 1);
     current.swap(next);
     result.rounds = round;
     for (NodeId v = 0; v < n; ++v) {

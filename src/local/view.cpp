@@ -3,6 +3,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace lcl {
 
 LocalView::LocalView(const Graph& graph, NodeId center, int radius,
@@ -120,6 +122,10 @@ HalfEdgeLabeling run_ball_algorithm(const BallAlgorithm& algorithm,
                                     std::size_t advertised_n) {
   if (advertised_n == 0) advertised_n = graph.node_count();
   const int radius = algorithm.radius(advertised_n);
+  LCL_OBS_SPAN(span, "local/run_ball_algorithm", "local");
+  LCL_OBS_SPAN_ARG(span, "radius", radius);
+  LCL_OBS_SPAN_ARG(span, "nodes", graph.node_count());
+  LCL_OBS_COUNTER_ADD("local.ball_queries", graph.node_count());
   HalfEdgeLabeling output(graph.half_edge_count(), 0);
   for (NodeId v = 0; v < graph.node_count(); ++v) {
     if (graph.degree(v) == 0) continue;

@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace lcl::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Lock-free monotone max/min update.
+template <typename Compare>
+void update_extreme(std::atomic<std::int64_t>& slot, std::int64_t v,
+                    Compare better) {
+  std::int64_t seen = slot.load(std::memory_order_relaxed);
+  while (better(v, seen) &&
+         !slot.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::set(std::int64_t v) noexcept {
+  value_.store(v, std::memory_order_relaxed);
+  if (!set_.exchange(true, std::memory_order_relaxed)) {
+    max_.store(v, std::memory_order_relaxed);
+    min_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  update_extreme(max_, v, [](std::int64_t a, std::int64_t b) { return a > b; });
+  update_extreme(min_, v, [](std::int64_t a, std::int64_t b) { return a < b; });
+}
+
+void Gauge::reset() noexcept {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  set_.store(false, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t bucket) noexcept {
+  return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+std::uint64_t Histogram::bucket_ceil(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= kBucketCount - 1) return UINT64_MAX;
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const auto m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t bucket) const {
+  return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const auto c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::size_t MetricsRegistry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!g->ever_set()) continue;
+    snap.gauges.emplace(name,
+                        Snapshot::GaugeValue{g->value(), g->min(), g->max()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramValue v;
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      const auto c = h->bucket_count(b);
+      if (c != 0) v.buckets.emplace_back(b, c);
+    }
+    snap.histograms.emplace(name, std::move(v));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "" : ",") << '"' << name << "\":" << value;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : snap.gauges) {
+    out << (first ? "" : ",") << '"' << name << "\":{\"value\":" << g.value
+        << ",\"min\":" << g.min << ",\"max\":" << g.max << '}';
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out << (first ? "" : ",") << '"' << name << "\":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"min\":" << h.min
+        << ",\"max\":" << h.max << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const auto& [bucket, count] : h.buckets) {
+      out << (first_bucket ? "" : ",") << "[" << bucket << "," << count
+          << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace lcl::obs

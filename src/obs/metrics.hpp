@@ -1,0 +1,162 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcl::obs {
+
+/// Monotone event count (probes issued, RE steps applied, labels trimmed).
+/// `add` is a single relaxed atomic increment - safe to call from hot loops.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level plus the extremes seen since the last reset (active
+/// node counts per round, current alphabet size along the RE sequence).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept;
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Largest / smallest value ever `set`; 0 if never set.
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::int64_t min() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  bool ever_set() const noexcept {
+    return set_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<bool> set_{false};
+};
+
+/// Log-scale (base-2) histogram for long-tailed quantities: probes per
+/// query, message words per round, configuration counts per RE step.
+///
+/// Bucket layout: bucket 0 holds the exact value 0; bucket `i >= 1` holds
+/// values in `[2^(i-1), 2^i - 1]`. 64-bit values therefore need buckets
+/// 0..64 inclusive.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 65;
+
+  /// Bucket index for a value (0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...).
+  static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Inclusive range [floor, ceil] of values a bucket covers.
+  static std::uint64_t bucket_floor(std::size_t bucket) noexcept;
+  static std::uint64_t bucket_ceil(std::size_t bucket) noexcept;
+
+  void record(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Min/max recorded value; 0 if the histogram is empty.
+  std::uint64_t min() const noexcept;
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(std::size_t bucket) const;
+  double mean() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Name-addressed home of all instruments. Instruments are created on first
+/// use and never removed, so references returned by `counter`/`gauge`/
+/// `histogram` stay valid for the registry's lifetime (`reset()` zeroes
+/// values but keeps registrations - the caching done by the `LCL_OBS_*`
+/// macros depends on this).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Lookup without creation; nullptr when the instrument does not exist.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  std::size_t instrument_count() const;
+
+  /// Zeroes every instrument; registrations (and references) survive.
+  void reset();
+
+  /// Point-in-time copy, ordered by name - what trace footers and bench
+  /// reporters consume.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    struct GaugeValue {
+      std::int64_t value = 0;
+      std::int64_t min = 0;
+      std::int64_t max = 0;
+    };
+    std::map<std::string, GaugeValue> gauges;
+    struct HistogramValue {
+      std::uint64_t count = 0;
+      std::uint64_t sum = 0;
+      std::uint64_t min = 0;
+      std::uint64_t max = 0;
+      /// (bucket index, count) for non-empty buckets only.
+      std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+    };
+    std::map<std::string, HistogramValue> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Snapshot rendered as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry all instrumentation macros write to.
+MetricsRegistry& registry();
+
+/// Runtime kill switch for metrics. Off by default: a disabled check is one
+/// relaxed atomic load, so instrumented hot paths stay cheap even in
+/// LCL_OBS=1 builds.
+bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+}  // namespace lcl::obs

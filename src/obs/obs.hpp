@@ -1,0 +1,102 @@
+#pragma once
+
+/// lclscape observability: typed metrics (obs/metrics.hpp) + structured
+/// tracing (obs/trace.hpp) behind a two-stage kill switch.
+///
+/// Stage 1 - compile time: build with LCL_OBS=0 (CMake `-DLCL_OBS=OFF`) and
+/// every `LCL_OBS_*` macro below expands to nothing; instrumented hot paths
+/// carry zero code. The obs library itself still builds, so non-macro uses
+/// (bench harness trace plumbing, tools) keep compiling.
+///
+/// Stage 2 - run time (LCL_OBS=1 builds): metrics are gated on one relaxed
+/// atomic bool (`set_metrics_enabled`), tracing on one pointer
+/// (`TraceSession::set_current`); both default to off (the null sink), so
+/// an instrumented binary that never opts in pays one predictable branch
+/// per site.
+///
+/// Usage at a call site:
+///
+///   LCL_OBS_SPAN(span, "re/R", "re");            // RAII timer
+///   LCL_OBS_SPAN_ARG(span, "labels", count);     // annotate it
+///   LCL_OBS_COUNTER_ADD("re.steps", 1);
+///   LCL_OBS_GAUGE_SET("local.active_nodes", active);
+///   LCL_OBS_HISTOGRAM_RECORD("volume.probes_per_query", probes);
+///   LCL_OBS_EVENT1("volume/budget_exhausted", "volume", "probes", n);
+///
+/// Counter/gauge/histogram names must be string literals: the macros cache
+/// the registry lookup in a function-local static, so each site resolves
+/// its instrument exactly once.
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export
+
+#ifndef LCL_OBS
+#define LCL_OBS 1
+#endif
+
+#if LCL_OBS
+
+/// True when metrics collection is on; use to guard computations performed
+/// only to feed an instrument (e.g. counting active nodes for a gauge).
+/// Constant-false in LCL_OBS=0 builds, so guarded blocks dead-code away.
+#define LCL_OBS_ENABLED() (::lcl::obs::metrics_enabled())
+
+#define LCL_OBS_SPAN(var, name, category) \
+  ::lcl::obs::ScopedSpan var((name), (category))
+
+#define LCL_OBS_SPAN_ARG(var, key, value) \
+  (var).arg((key), static_cast<std::int64_t>(value))
+
+#define LCL_OBS_COUNTER_ADD(name, delta)                               \
+  do {                                                                 \
+    if (::lcl::obs::metrics_enabled()) {                               \
+      static ::lcl::obs::Counter& lcl_obs_cached_counter =             \
+          ::lcl::obs::registry().counter(name);                        \
+      lcl_obs_cached_counter.add(static_cast<std::uint64_t>(delta));   \
+    }                                                                  \
+  } while (0)
+
+#define LCL_OBS_GAUGE_SET(name, value)                                 \
+  do {                                                                 \
+    if (::lcl::obs::metrics_enabled()) {                               \
+      static ::lcl::obs::Gauge& lcl_obs_cached_gauge =                 \
+          ::lcl::obs::registry().gauge(name);                          \
+      lcl_obs_cached_gauge.set(static_cast<std::int64_t>(value));      \
+    }                                                                  \
+  } while (0)
+
+#define LCL_OBS_HISTOGRAM_RECORD(name, value)                          \
+  do {                                                                 \
+    if (::lcl::obs::metrics_enabled()) {                               \
+      static ::lcl::obs::Histogram& lcl_obs_cached_histogram =         \
+          ::lcl::obs::registry().histogram(name);                      \
+      lcl_obs_cached_histogram.record(                                 \
+          static_cast<std::uint64_t>(value));                          \
+    }                                                                  \
+  } while (0)
+
+/// Instant trace event with one integer argument.
+#define LCL_OBS_EVENT1(name, category, key, value)                      \
+  do {                                                                  \
+    if (::lcl::obs::TraceSession* lcl_obs_session =                     \
+            ::lcl::obs::TraceSession::current();                        \
+        lcl_obs_session != nullptr) {                                   \
+      const ::lcl::obs::TraceArg lcl_obs_event_arg{                     \
+          (key), static_cast<std::int64_t>(value)};                     \
+      lcl_obs_session->emit_instant((name), (category),                 \
+                                    &lcl_obs_event_arg, 1);             \
+    }                                                                   \
+  } while (0)
+
+#else  // !LCL_OBS
+
+#define LCL_OBS_ENABLED() (false)
+#define LCL_OBS_SPAN(var, name, category) \
+  [[maybe_unused]] ::lcl::obs::NullSpan var
+#define LCL_OBS_SPAN_ARG(var, key, value) ((void)0)
+#define LCL_OBS_COUNTER_ADD(name, delta) ((void)0)
+#define LCL_OBS_GAUGE_SET(name, value) ((void)0)
+#define LCL_OBS_HISTOGRAM_RECORD(name, value) ((void)0)
+#define LCL_OBS_EVENT1(name, category, key, value) ((void)0)
+
+#endif  // LCL_OBS

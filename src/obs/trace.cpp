@@ -1,0 +1,147 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace lcl::obs {
+
+namespace {
+
+std::atomic<TraceSession*> g_current{nullptr};
+
+/// Serializes the registry snapshot for the trace footer.
+std::string metrics_footer_body() { return registry().to_json(); }
+
+}  // namespace
+
+TraceSession::TraceSession(const std::string& path, TraceFormat format)
+    : path_(path), format_(format), start_(std::chrono::steady_clock::now()) {
+  if (path_.empty()) {
+    discard_ = true;
+  } else {
+    file_.open(path_, std::ios::out | std::ios::trunc);
+    if (!file_.is_open()) {
+      throw std::runtime_error("TraceSession: cannot open '" + path_ +
+                               "' for writing");
+    }
+  }
+  if (format_ == TraceFormat::kChromeJson) {
+    if (!discard_) file_ << "[\n";
+  } else {
+    write_record(
+        "{\"t\":\"meta\",\"version\":1,\"clock\":\"us\",\"producer\":"
+        "\"lclscape\"}");
+  }
+}
+
+TraceSession::~TraceSession() {
+  close();
+  if (TraceSession::current() == this) TraceSession::set_current(nullptr);
+}
+
+std::int64_t TraceSession::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::string TraceSession::format_args_object(const TraceArg* args,
+                                             std::size_t arg_count) const {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < arg_count; ++i) {
+    if (i != 0) out << ',';
+    out << json::quote(args[i].key) << ':' << args[i].value;
+  }
+  out << '}';
+  return out.str();
+}
+
+void TraceSession::write_record(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++records_;
+  if (discard_) return;
+  if (format_ == TraceFormat::kChromeJson) {
+    if (!first_chrome_record_) file_ << ",\n";
+    first_chrome_record_ = false;
+    file_ << line;
+  } else {
+    file_ << line << '\n';
+  }
+}
+
+void TraceSession::emit_span(std::string_view name, std::string_view category,
+                             std::int64_t ts_us, std::int64_t dur_us,
+                             const TraceArg* args, std::size_t arg_count) {
+  if (closed_) return;
+  std::ostringstream out;
+  if (format_ == TraceFormat::kChromeJson) {
+    out << "{\"name\":" << json::quote(name)
+        << ",\"cat\":" << json::quote(category)
+        << ",\"ph\":\"X\",\"ts\":" << ts_us << ",\"dur\":" << dur_us
+        << ",\"pid\":1,\"tid\":1,\"args\":"
+        << format_args_object(args, arg_count) << '}';
+  } else {
+    out << "{\"t\":\"span\",\"name\":" << json::quote(name)
+        << ",\"cat\":" << json::quote(category) << ",\"ts\":" << ts_us
+        << ",\"dur\":" << dur_us
+        << ",\"args\":" << format_args_object(args, arg_count) << '}';
+  }
+  write_record(out.str());
+}
+
+void TraceSession::emit_instant(std::string_view name,
+                                std::string_view category,
+                                const TraceArg* args, std::size_t arg_count) {
+  if (closed_) return;
+  const std::int64_t ts = now_us();
+  std::ostringstream out;
+  if (format_ == TraceFormat::kChromeJson) {
+    out << "{\"name\":" << json::quote(name)
+        << ",\"cat\":" << json::quote(category)
+        << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts
+        << ",\"pid\":1,\"tid\":1,\"args\":"
+        << format_args_object(args, arg_count) << '}';
+  } else {
+    out << "{\"t\":\"event\",\"name\":" << json::quote(name)
+        << ",\"cat\":" << json::quote(category) << ",\"ts\":" << ts
+        << ",\"args\":" << format_args_object(args, arg_count) << '}';
+  }
+  write_record(out.str());
+}
+
+void TraceSession::close() {
+  if (closed_) return;
+  if (format_ == TraceFormat::kJsonl) {
+    write_record("{\"t\":\"metrics\",\"registry\":" + metrics_footer_body() +
+                 ",\"ts\":" + std::to_string(now_us()) + "}");
+  } else {
+    // Chrome format has no natural footer record; attach the registry as a
+    // metadata event so the data survives in the same file.
+    write_record(
+        "{\"name\":\"lclscape_metrics\",\"cat\":\"obs\",\"ph\":\"i\",\"s\":"
+        "\"g\",\"ts\":" +
+        std::to_string(now_us()) +
+        ",\"pid\":1,\"tid\":1,\"args\":{\"registry\":" +
+        metrics_footer_body() + "}}");
+  }
+  closed_ = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (discard_) return;
+  if (format_ == TraceFormat::kChromeJson) file_ << "\n]\n";
+  file_.close();
+}
+
+TraceSession* TraceSession::current() noexcept {
+  return g_current.load(std::memory_order_acquire);
+}
+
+TraceSession* TraceSession::set_current(TraceSession* session) noexcept {
+  return g_current.exchange(session, std::memory_order_acq_rel);
+}
+
+}  // namespace lcl::obs

@@ -1,0 +1,372 @@
+#include "obs/trace_reader.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace lcl::obs {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+  return false;
+}
+
+bool read_string_field(const json::Value& record, const char* key,
+                       std::string* out, std::string* error,
+                       const std::string& where) {
+  const json::Value* v = record.find(key);
+  if (v == nullptr || !v->is_string()) {
+    return fail(error, where + ": missing or non-string field '" + key + "'");
+  }
+  *out = v->as_string();
+  return true;
+}
+
+bool read_int_field(const json::Value& record, const char* key,
+                    std::int64_t* out, std::string* error,
+                    const std::string& where) {
+  const json::Value* v = record.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return fail(error, where + ": missing or non-numeric field '" + key + "'");
+  }
+  *out = v->as_int();
+  return true;
+}
+
+bool read_args(const json::Value& record, TraceRecord* out,
+               std::string* error, const std::string& where) {
+  const json::Value* args = record.find("args");
+  if (args == nullptr) return true;  // args are optional on read
+  if (!args->is_object()) {
+    return fail(error, where + ": 'args' is not an object");
+  }
+  for (const auto& [key, value] : args->as_object()) {
+    if (!value.is_number()) continue;  // non-numeric args are ignored
+    out->args.emplace(key, value.as_int());
+  }
+  return true;
+}
+
+/// One JSONL record (detected by the "t" discriminator).
+bool parse_jsonl_record(const json::Value& record, ParsedTrace* out,
+                        std::string* error, const std::string& where) {
+  const json::Value* t = record.find("t");
+  if (t == nullptr || !t->is_string()) {
+    return fail(error, where + ": missing record type field 't'");
+  }
+  const std::string& type = t->as_string();
+  TraceRecord parsed;
+  if (type == "meta") {
+    parsed.kind = TraceRecord::Kind::kMeta;
+    std::int64_t version = 0;
+    if (!read_int_field(record, "version", &version, error, where)) {
+      return false;
+    }
+  } else if (type == "span") {
+    parsed.kind = TraceRecord::Kind::kSpan;
+    if (!read_string_field(record, "name", &parsed.name, error, where) ||
+        !read_string_field(record, "cat", &parsed.category, error, where) ||
+        !read_int_field(record, "ts", &parsed.ts_us, error, where) ||
+        !read_int_field(record, "dur", &parsed.dur_us, error, where) ||
+        !read_args(record, &parsed, error, where)) {
+      return false;
+    }
+    if (parsed.dur_us < 0) {
+      return fail(error, where + ": negative span duration");
+    }
+  } else if (type == "event") {
+    parsed.kind = TraceRecord::Kind::kEvent;
+    if (!read_string_field(record, "name", &parsed.name, error, where) ||
+        !read_string_field(record, "cat", &parsed.category, error, where) ||
+        !read_int_field(record, "ts", &parsed.ts_us, error, where) ||
+        !read_args(record, &parsed, error, where)) {
+      return false;
+    }
+  } else if (type == "metrics") {
+    parsed.kind = TraceRecord::Kind::kMetrics;
+    const json::Value* reg = record.find("registry");
+    if (reg == nullptr || !reg->is_object()) {
+      return fail(error, where + ": 'metrics' record without registry");
+    }
+    parsed.registry_json = json::dump(*reg);
+    out->has_metrics_footer = true;
+  } else {
+    return fail(error, where + ": unknown record type '" + type + "'");
+  }
+  out->records.push_back(std::move(parsed));
+  return true;
+}
+
+/// One Chrome trace_event object.
+bool parse_chrome_record(const json::Value& record, ParsedTrace* out,
+                         std::string* error, const std::string& where) {
+  std::string ph;
+  if (!read_string_field(record, "ph", &ph, error, where)) return false;
+  TraceRecord parsed;
+  if (ph == "X") {
+    parsed.kind = TraceRecord::Kind::kSpan;
+    if (!read_string_field(record, "name", &parsed.name, error, where) ||
+        !read_string_field(record, "cat", &parsed.category, error, where) ||
+        !read_int_field(record, "ts", &parsed.ts_us, error, where) ||
+        !read_int_field(record, "dur", &parsed.dur_us, error, where) ||
+        !read_args(record, &parsed, error, where)) {
+      return false;
+    }
+    if (parsed.dur_us < 0) {
+      return fail(error, where + ": negative span duration");
+    }
+  } else if (ph == "i" || ph == "I") {
+    if (!read_string_field(record, "name", &parsed.name, error, where) ||
+        !read_string_field(record, "cat", &parsed.category, error, where) ||
+        !read_int_field(record, "ts", &parsed.ts_us, error, where)) {
+      return false;
+    }
+    // The registry footer travels as a global instant with an object arg.
+    const json::Value* args = record.find("args");
+    const json::Value* reg =
+        args != nullptr ? args->find("registry") : nullptr;
+    if (parsed.name == "lclscape_metrics" && reg != nullptr &&
+        reg->is_object()) {
+      parsed.kind = TraceRecord::Kind::kMetrics;
+      parsed.registry_json = json::dump(*reg);
+      out->has_metrics_footer = true;
+    } else {
+      parsed.kind = TraceRecord::Kind::kEvent;
+      if (!read_args(record, &parsed, error, where)) return false;
+    }
+  } else {
+    return fail(error, where + ": unsupported event phase '" + ph + "'");
+  }
+  out->records.push_back(std::move(parsed));
+  return true;
+}
+
+}  // namespace
+
+bool parse_trace(const std::string& text, ParsedTrace* out,
+                 std::string* error) {
+  out->records.clear();
+  out->has_metrics_footer = false;
+
+  const auto first_nonspace = text.find_first_not_of(" \t\r\n");
+  if (first_nonspace == std::string::npos) {
+    return fail(error, "empty trace");
+  }
+
+  if (text[first_nonspace] == '[') {
+    // Chrome trace_event JSON array.
+    std::string parse_error;
+    const auto doc = json::parse(text, &parse_error);
+    if (doc == nullptr) {
+      return fail(error, "invalid Chrome trace JSON: " + parse_error);
+    }
+    if (!doc->is_array()) {
+      return fail(error, "Chrome trace: top-level value is not an array");
+    }
+    std::size_t index = 0;
+    for (const auto& record : doc->as_array()) {
+      const std::string where = "event " + std::to_string(index);
+      if (!record.is_object()) {
+        return fail(error, where + ": not an object");
+      }
+      if (!parse_chrome_record(record, out, error, where)) return false;
+      ++index;
+    }
+    return true;
+  }
+
+  // JSONL: one record per line.
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::string where = "line " + std::to_string(line_number);
+    std::string parse_error;
+    const auto record = json::parse(line, &parse_error);
+    if (record == nullptr) {
+      return fail(error, where + ": invalid JSON: " + parse_error);
+    }
+    if (!record->is_object()) {
+      return fail(error, where + ": record is not an object");
+    }
+    if (!parse_jsonl_record(*record, out, error, where)) return false;
+  }
+  if (out->records.empty()) return fail(error, "empty trace");
+  return true;
+}
+
+TraceSummary summarize(const ParsedTrace& trace) {
+  TraceSummary summary;
+
+  // Collect spans in start order; ties broken longest-first so a parent
+  // starting at the same microsecond as its child sorts before it.
+  std::vector<const TraceRecord*> spans;
+  for (const auto& record : trace.records) {
+    switch (record.kind) {
+      case TraceRecord::Kind::kSpan:
+        spans.push_back(&record);
+        break;
+      case TraceRecord::Kind::kEvent:
+        summary.events.push_back(record);
+        break;
+      case TraceRecord::Kind::kMetrics:
+        summary.registry_json = record.registry_json;
+        break;
+      case TraceRecord::Kind::kMeta:
+        break;
+    }
+  }
+  std::sort(summary.events.begin(), summary.events.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.ts_us < b.ts_us;
+            });
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceRecord* a, const TraceRecord* b) {
+              if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+              return a->dur_us > b->dur_us;
+            });
+
+  std::map<std::string, PhaseSummary> by_name;
+  std::vector<std::int64_t> self_us(spans.size());
+
+  // Single-threaded nesting: a stack of currently open spans. A span is a
+  // child of the innermost span whose interval contains it.
+  struct Open {
+    std::int64_t end_us;
+    std::size_t index;
+  };
+  std::vector<Open> stack;
+  std::int64_t min_ts = 0, max_end = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceRecord& span = *spans[i];
+    const std::int64_t end = span.ts_us + span.dur_us;
+    if (i == 0) {
+      min_ts = span.ts_us;
+      max_end = end;
+    } else {
+      min_ts = std::min(min_ts, span.ts_us);
+      max_end = std::max(max_end, end);
+    }
+    self_us[i] = span.dur_us;
+    while (!stack.empty() && stack.back().end_us <= span.ts_us) {
+      stack.pop_back();
+    }
+    if (stack.empty() || stack.back().end_us < end) {
+      // Top level (or overlapping-but-not-contained, treated the same).
+      stack.clear();
+      summary.top_level_us += span.dur_us;
+    } else {
+      self_us[stack.back().index] -= span.dur_us;
+    }
+    stack.push_back(Open{end, i});
+  }
+  summary.wall_us = spans.empty() ? 0 : max_end - min_ts;
+
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceRecord& span = *spans[i];
+    PhaseSummary& phase = by_name[span.name];
+    if (phase.count == 0) {
+      phase.name = span.name;
+      phase.category = span.category;
+    }
+    ++phase.count;
+    phase.total_us += span.dur_us;
+    phase.self_us += self_us[i];
+    phase.max_us = std::max(phase.max_us, span.dur_us);
+    for (const auto& [key, value] : span.args) {
+      phase.args_total[key] += value;
+    }
+  }
+  summary.phases.reserve(by_name.size());
+  for (auto& [name, phase] : by_name) {
+    summary.phases.push_back(std::move(phase));
+  }
+  std::sort(summary.phases.begin(), summary.phases.end(),
+            [](const PhaseSummary& a, const PhaseSummary& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.name < b.name;
+            });
+  return summary;
+}
+
+namespace {
+
+std::string format_us(std::int64_t us) {
+  char buffer[32];
+  if (us >= 1'000'000) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f s",
+                  static_cast<double>(us) / 1e6);
+  } else if (us >= 1'000) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f ms",
+                  static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lld us",
+                  static_cast<long long>(us));
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string format_summary(const TraceSummary& summary) {
+  std::ostringstream out;
+  const double coverage =
+      summary.wall_us > 0
+          ? 100.0 * static_cast<double>(summary.top_level_us) /
+                static_cast<double>(summary.wall_us)
+          : 0.0;
+  out << "trace wall time: " << format_us(summary.wall_us)
+      << "   top-level span coverage: ";
+  char pct[16];
+  std::snprintf(pct, sizeof(pct), "%.1f%%", coverage);
+  out << pct << "\n\n";
+
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-34s %8s %12s %12s %7s\n", "phase",
+                "count", "total", "self", "%wall");
+  out << line;
+  for (const auto& phase : summary.phases) {
+    const double share =
+        summary.wall_us > 0 ? 100.0 * static_cast<double>(phase.total_us) /
+                                  static_cast<double>(summary.wall_us)
+                            : 0.0;
+    std::snprintf(line, sizeof(line), "%-34s %8llu %12s %12s %6.1f%%",
+                  phase.name.c_str(),
+                  static_cast<unsigned long long>(phase.count),
+                  format_us(phase.total_us).c_str(),
+                  format_us(phase.self_us).c_str(), share);
+    out << line;
+    if (!phase.args_total.empty()) {
+      out << "  ";
+      bool first = true;
+      for (const auto& [key, value] : phase.args_total) {
+        out << (first ? "" : " ") << key << "=" << value;
+        first = false;
+      }
+    }
+    out << '\n';
+  }
+
+  if (!summary.events.empty()) {
+    out << "\nevents:\n";
+    for (const auto& event : summary.events) {
+      out << "  " << event.ts_us << " us  " << event.name;
+      for (const auto& [key, value] : event.args) {
+        out << "  " << key << "=" << value;
+      }
+      out << '\n';
+    }
+  }
+
+  out << "\nmetrics footer: "
+      << (summary.registry_json.empty() ? "absent" : "present") << '\n';
+  return out.str();
+}
+
+}  // namespace lcl::obs

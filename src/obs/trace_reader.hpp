@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lcl::obs {
+
+/// A parsed trace record - the reader-side mirror of what `TraceSession`
+/// writes, for both the JSONL and the Chrome `trace_event` formats.
+struct TraceRecord {
+  enum class Kind { kMeta, kSpan, kEvent, kMetrics };
+  Kind kind = Kind::kSpan;
+  std::string name;
+  std::string category;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;  // spans only
+  std::map<std::string, std::int64_t> args;
+  /// Raw registry JSON for kMetrics records.
+  std::string registry_json;
+};
+
+struct ParsedTrace {
+  std::vector<TraceRecord> records;
+  bool has_metrics_footer = false;
+};
+
+/// Parses a trace file's contents. Detects the format (a leading '[' means
+/// Chrome JSON, otherwise JSONL). Returns false and sets `error` (with a
+/// line number for JSONL input) on the first malformed record: unparseable
+/// JSON, unknown record type, missing/mistyped required fields, negative
+/// durations.
+bool parse_trace(const std::string& text, ParsedTrace* out,
+                 std::string* error);
+
+/// Per-name aggregation of a trace's spans.
+struct PhaseSummary {
+  std::string name;
+  std::string category;
+  std::uint64_t count = 0;
+  std::int64_t total_us = 0;  // sum of span durations
+  std::int64_t self_us = 0;   // total minus time in nested spans
+  std::int64_t max_us = 0;
+  /// Sum of every integer span arg, keyed by arg name (configuration
+  /// counts, label counts, probe totals ... whatever the span recorded).
+  std::map<std::string, std::int64_t> args_total;
+};
+
+struct TraceSummary {
+  std::vector<PhaseSummary> phases;  // sorted by total_us descending
+  std::vector<TraceRecord> events;   // instant events in timestamp order
+  /// Wall-clock window of the trace: [first span start, last span end].
+  std::int64_t wall_us = 0;
+  /// Total duration of *top-level* spans (spans not nested inside another
+  /// span). coverage = top_level_us / wall_us measures how much of the
+  /// run's wall time the instrumentation explains.
+  std::int64_t top_level_us = 0;
+  std::string registry_json;  // metrics footer, if present
+};
+
+/// Aggregates spans by name, computing self-times via the single-threaded
+/// nesting structure (spans are nested iff their intervals are contained).
+TraceSummary summarize(const ParsedTrace& trace);
+
+/// Renders the summary as the human-readable table `tools/trace_summary`
+/// prints: wall time, coverage, and a per-phase breakdown with self/total
+/// times, counts and aggregated args.
+std::string format_summary(const TraceSummary& summary);
+
+}  // namespace lcl::obs

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "re/operators.hpp"
 #include "re/reduce.hpp"
 
@@ -160,6 +161,8 @@ const NodeEdgeCheckableLcl& SpeedupEngine::problem_at(std::size_t i) const {
 }
 
 SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
+  LCL_OBS_SPAN(run_span, "re/run", "re");
+  LCL_OBS_COUNTER_ADD("re.runs", 1);
   Outcome outcome;
   levels_.clear();
   witness_.reset();
@@ -175,6 +178,8 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
   auto previous_signature = signature(base_);
   for (int step = 0; step < options.max_steps; ++step) {
     const auto start = std::chrono::steady_clock::now();
+    LCL_OBS_SPAN(step_span, "re/step", "re");
+    LCL_OBS_SPAN_ARG(step_span, "index", step);
     StepStats stats;
     stats.index = step;
     try {
@@ -199,6 +204,12 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
       outcome.blowup_message = e.what();
       return outcome;
     }
+    LCL_OBS_COUNTER_ADD("re.steps", 1);
+    LCL_OBS_HISTOGRAM_RECORD("re.labels_per_step", stats.labels_next);
+    LCL_OBS_HISTOGRAM_RECORD("re.node_configs_per_step", stats.node_configs);
+    LCL_OBS_GAUGE_SET("re.current_labels", stats.labels_next);
+    LCL_OBS_SPAN_ARG(step_span, "labels", stats.labels_next);
+    LCL_OBS_SPAN_ARG(step_span, "node_configs", stats.node_configs);
 
     const NodeEdgeCheckableLcl& latest = levels_.back().next.problem;
     if (auto w = find_zero_round_algorithm(latest, options.degrees)) {
@@ -216,6 +227,7 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
     const auto sig = signature(latest);
     if (sig == previous_signature) {
       outcome.fixed_point = true;
+      LCL_OBS_EVENT1("re/fixed_point", "re", "step", step);
       return outcome;
     }
     previous_signature = sig;
@@ -224,6 +236,7 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
 }
 
 std::unique_ptr<BallAlgorithm> SpeedupEngine::synthesize() const {
+  LCL_OBS_SPAN(span, "re/synthesize", "re");
   if (!witness_) {
     throw std::logic_error(
         "SpeedupEngine::synthesize: no 0-round witness found; run() must "

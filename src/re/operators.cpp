@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/combinatorics.hpp"
 
 namespace lcl {
@@ -83,6 +84,9 @@ enum class Quantifier { kExists, kForAll };
 
 ReStep apply_operator(const NodeEdgeCheckableLcl& pi, const ReLimits& limits,
                       Quantifier node_quantifier, const char* name_prefix) {
+  LCL_OBS_SPAN(span, node_quantifier == Quantifier::kExists ? "re/R"
+                                                            : "re/Rbar",
+               "re");
   auto derived = derive_alphabet(pi, limits);
   const std::size_t label_count = derived.labels.size();
   const std::size_t base = pi.output_alphabet().size();
@@ -95,12 +99,21 @@ ReStep apply_operator(const NodeEdgeCheckableLcl& pi, const ReLimits& limits,
                                                  : candidates + c;
   }
   if (candidates > limits.max_configs) {
+    LCL_OBS_COUNTER_ADD("re.blowups", 1);
+    LCL_OBS_EVENT1("re/blowup", "re", "candidates",
+                   static_cast<std::int64_t>(candidates));
     throw ReBlowupError("round elimination: '" + std::string(name_prefix) +
                         "(" + pi.name() + ")' would need " +
                         std::to_string(candidates) +
                         " candidate configurations, exceeding the limit of " +
                         std::to_string(limits.max_configs));
   }
+  LCL_OBS_COUNTER_ADD("re.operator_applications", 1);
+  LCL_OBS_COUNTER_ADD("re.configs_enumerated", candidates);
+  LCL_OBS_COUNTER_ADD("re.labels_derived", label_count);
+  LCL_OBS_HISTOGRAM_RECORD("re.configs_per_operator", candidates);
+  LCL_OBS_SPAN_ARG(span, "labels", label_count);
+  LCL_OBS_SPAN_ARG(span, "configs", candidates);
 
   NodeEdgeCheckableLcl::Builder builder(
       std::string(name_prefix) + "(" + pi.name() + ")", pi.input_alphabet(),

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/label_set.hpp"
 
 namespace lcl {
@@ -271,6 +272,7 @@ bool drop_dominated_once(NodeEdgeCheckableLcl& p,
 }  // namespace
 
 Reduction reduce(const NodeEdgeCheckableLcl& problem) {
+  LCL_OBS_SPAN(span, "re/reduce", "re");
   Reduction result;
   const std::size_t n = problem.output_alphabet().size();
   result.old_to_new.resize(n);
@@ -289,13 +291,27 @@ Reduction reduce(const NodeEdgeCheckableLcl& problem) {
   bool changed = true;
   while (changed) {
     changed = false;
-    if (trim_once(result.problem, result.old_to_new, reps)) changed = true;
-    if (merge_once(result.problem, result.old_to_new, reps)) changed = true;
+    [[maybe_unused]] std::size_t before =
+        result.problem.output_alphabet().size();
+    if (trim_once(result.problem, result.old_to_new, reps)) {
+      LCL_OBS_COUNTER_ADD("re.labels_trimmed",
+                          before - result.problem.output_alphabet().size());
+      changed = true;
+    }
+    before = result.problem.output_alphabet().size();
+    if (merge_once(result.problem, result.old_to_new, reps)) {
+      LCL_OBS_COUNTER_ADD("re.labels_merged",
+                          before - result.problem.output_alphabet().size());
+      changed = true;
+    }
     if (drop_dominated_once(result.problem, result.old_to_new, reps)) {
+      LCL_OBS_COUNTER_ADD("re.labels_dominated", 1);
       changed = true;
     }
   }
 
+  LCL_OBS_SPAN_ARG(span, "labels_in", n);
+  LCL_OBS_SPAN_ARG(span, "labels_out", result.problem.output_alphabet().size());
   result.new_to_old = std::move(reps);
   return result;
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/combinatorics.hpp"
 #include "util/label_set.hpp"
 
@@ -72,6 +73,8 @@ std::vector<std::vector<Label>> candidate_answers(
 
 std::optional<ZeroRoundAlgorithm> find_zero_round_algorithm(
     const NodeEdgeCheckableLcl& problem, const std::vector<int>& degrees) {
+  LCL_OBS_SPAN(span, "re/zero_round", "re");
+  LCL_OBS_COUNTER_ADD("re.zero_round_tests", 1);
   std::vector<int> degree_list = degrees;
   if (degree_list.empty()) {
     for (int d = 1; d <= problem.max_degree(); ++d) degree_list.push_back(d);

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/obs.hpp"
+
 namespace lcl {
 
 VolumeQuery::VolumeQuery(const Graph& graph, NodeId start,
@@ -40,11 +42,21 @@ Label VolumeQuery::input(std::size_t j, int port) const {
 }
 
 std::size_t VolumeQuery::reveal(NodeId v) {
-  if (++probes_ > budget_) {
+  if (probes_ >= budget_) {
+    // Record the partial probe count before unwinding: the metrics stay
+    // consistent (`volume.probes` counts exactly the successful probes, the
+    // exhaustion histogram the per-query totals at failure) even when the
+    // caller catches the exception and abandons the query.
+    LCL_OBS_COUNTER_ADD("volume.budget_exhausted", 1);
+    LCL_OBS_HISTOGRAM_RECORD("volume.probes_at_exhaustion", probes_);
+    LCL_OBS_EVENT1("volume/budget_exhausted", "volume", "probes",
+                   static_cast<std::int64_t>(probes_));
     throw ProbeBudgetExceeded(
         "VolumeQuery: probe budget of " + std::to_string(budget_) +
         " exhausted");
   }
+  ++probes_;
+  LCL_OBS_COUNTER_ADD("volume.probes", 1);
   known_.push_back(v);
   return known_.size() - 1;
 }
@@ -60,6 +72,7 @@ std::size_t VolumeQuery::far_probe(std::uint64_t target_id) {
         "VolumeQuery: far probes are an LCA-model feature; this query runs "
         "in the plain VOLUME model");
   }
+  LCL_OBS_COUNTER_ADD("volume.far_probes", 1);
   for (NodeId v = 0; v < graph_->node_count(); ++v) {
     if ((*ids_)[v] == target_id) return reveal(v);
   }
@@ -82,6 +95,10 @@ VolumeRunResult run_volume_algorithm(const VolumeAlgorithm& algorithm,
   if (advertised_n == 0) advertised_n = graph.node_count();
   const std::uint64_t budget = algorithm.probe_budget(advertised_n);
 
+  LCL_OBS_SPAN(span, "volume/run", "volume");
+  LCL_OBS_SPAN_ARG(span, "nodes", graph.node_count());
+  LCL_OBS_SPAN_ARG(span, "budget", budget);
+
   VolumeRunResult result;
   result.output.assign(graph.half_edge_count(), 0);
   for (NodeId v = 0; v < graph.node_count(); ++v) {
@@ -98,9 +115,12 @@ VolumeRunResult run_volume_algorithm(const VolumeAlgorithm& algorithm,
       result.output[graph.half_edge(v, p)] =
           labels[static_cast<std::size_t>(p)];
     }
+    LCL_OBS_COUNTER_ADD("volume.queries", 1);
+    LCL_OBS_HISTOGRAM_RECORD("volume.probes_per_query", query.probes_used());
     result.max_probes = std::max(result.max_probes, query.probes_used());
     result.total_probes += query.probes_used();
   }
+  LCL_OBS_SPAN_ARG(span, "total_probes", result.total_probes);
   return result;
 }
 

@@ -43,6 +43,8 @@ class VolumeQuery {
   void clamp_advertised(std::size_t n0) {
     advertised_n_ = std::min(advertised_n_, n0);
   }
+  /// Probes actually performed. After a `ProbeBudgetExceeded` this equals
+  /// the budget: the rejected probe revealed nothing and is not counted.
   std::uint64_t probes_used() const noexcept { return probes_; }
   std::uint64_t budget() const noexcept { return budget_; }
 

@@ -1,0 +1,69 @@
+// Compiled with LCL_OBS=0 (see tests/CMakeLists.txt) while the rest of the
+// test binary uses the build's default - proving the two modes coexist in
+// one program and that disabled-mode macros are true no-ops. Declarations
+// are identical in both modes (only the macros change), so mixing the
+// modes across translation units is ODR-safe by construction.
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace lcl {
+namespace {
+
+static_assert(LCL_OBS == 0, "this TU must build in disabled mode");
+
+/// Runtime switch state is process-global; restore it so enabled-mode
+/// tests in the sibling TU are unaffected by ordering.
+class RestoreMetricsSwitch {
+ public:
+  RestoreMetricsSwitch() : previous_(obs::metrics_enabled()) {}
+  ~RestoreMetricsSwitch() { obs::set_metrics_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(ObsDisabled, EnabledMacroIsConstantFalse) {
+  RestoreMetricsSwitch restore;
+  // Even with the runtime switch on, the compile-time gate wins.
+  obs::set_metrics_enabled(true);
+  EXPECT_FALSE(LCL_OBS_ENABLED());
+}
+
+TEST(ObsDisabled, MetricsMacrosDoNotTouchTheRegistry) {
+  RestoreMetricsSwitch restore;
+  obs::set_metrics_enabled(true);
+
+  LCL_OBS_COUNTER_ADD("disabled.counter", 7);
+  LCL_OBS_GAUGE_SET("disabled.gauge", 3);
+  LCL_OBS_HISTOGRAM_RECORD("disabled.histogram", 11);
+
+  const auto& reg = obs::registry();
+  EXPECT_EQ(reg.find_counter("disabled.counter"), nullptr);
+  EXPECT_EQ(reg.find_gauge("disabled.gauge"), nullptr);
+  EXPECT_EQ(reg.find_histogram("disabled.histogram"), nullptr);
+}
+
+TEST(ObsDisabled, SpanMacroIsAnInertNullSpan) {
+  LCL_OBS_SPAN(span, "disabled/span", "test");
+  LCL_OBS_SPAN_ARG(span, "labels", 42);
+  EXPECT_FALSE(span.active());
+}
+
+TEST(ObsDisabled, EventMacroWritesNothingToTheCurrentSession) {
+  // A discarding session still counts records it formats; the disabled
+  // macro must not reach it at all.
+  obs::TraceSession session("", obs::TraceFormat::kJsonl);
+  obs::TraceSession* previous = obs::TraceSession::set_current(&session);
+  const std::uint64_t records_before = session.records_written();
+  LCL_OBS_EVENT1("disabled/event", "test", "value", 1);
+  obs::TraceSession::set_current(previous);
+  EXPECT_EQ(session.records_written(), records_before);
+  session.close();
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,69 @@
+// trace_summary: reads a trace produced by `lcl::obs::TraceSession` (the
+// compact JSONL form or the Chrome trace_event JSON array) and prints a
+// per-phase wall-time breakdown: total/self time per span name, top-level
+// span coverage of wall time, instant events, and whether the metrics
+// footer is present.
+//
+//   trace_summary out.jsonl
+//   trace_summary --validate out.jsonl   # parse only; exit status is the
+//                                        # well-formedness verdict
+//
+// Exit codes: 0 ok, 1 usage/IO error, 2 malformed trace.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_reader.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--validate] <trace.jsonl | trace.json>\n", argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool validate_only = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--validate") == 0) {
+      validate_only = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path == nullptr) return usage(argv[0]);
+
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    std::fprintf(stderr, "trace_summary: cannot open '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  lcl::obs::ParsedTrace trace;
+  std::string error;
+  if (!lcl::obs::parse_trace(buffer.str(), &trace, &error)) {
+    std::fprintf(stderr, "trace_summary: malformed trace: %s\n",
+                 error.c_str());
+    return 2;
+  }
+  if (validate_only) {
+    std::printf("ok: %zu records, metrics footer %s\n", trace.records.size(),
+                trace.has_metrics_footer ? "present" : "absent");
+    return 0;
+  }
+
+  const auto summary = lcl::obs::summarize(trace);
+  std::fputs(lcl::obs::format_summary(summary).c_str(), stdout);
+  return 0;
+}
