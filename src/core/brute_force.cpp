@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace lcl {
+
+StepBudgetExceeded::StepBudgetExceeded(std::uint64_t budget)
+    : std::runtime_error("brute_force_solve: step budget of " +
+                         std::to_string(budget) +
+                         " exhausted (instance too hard)"),
+      budget_(budget) {}
 
 namespace {
 
@@ -75,8 +82,7 @@ std::optional<HalfEdgeLabeling> brute_force_solve(
   std::size_t pos = 0;
   while (pos < h_count) {
     if (++steps > max_steps) {
-      throw std::runtime_error(
-          "brute_force_solve: step budget exhausted (instance too hard)");
+      throw StepBudgetExceeded(max_steps);
     }
     const HalfEdgeId h = static_cast<HalfEdgeId>(pos);
     bool placed = false;

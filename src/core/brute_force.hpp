@@ -2,12 +2,27 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 
 #include "core/lcl.hpp"
 #include "graph/graph.hpp"
 #include "graph/labeling.hpp"
 
 namespace lcl {
+
+/// Thrown when the brute-force search exhausts its step budget - the
+/// instance is "too hard", as opposed to "unsolvable" (which returns
+/// nullopt). Carries the budget that was in force so callers (and error
+/// messages) can distinguish a deliberately tight budget (the fuzzer runs
+/// with small ones to stay fast) from the default.
+class StepBudgetExceeded : public std::runtime_error {
+ public:
+  explicit StepBudgetExceeded(std::uint64_t budget);
+  std::uint64_t budget() const noexcept { return budget_; }
+
+ private:
+  std::uint64_t budget_;
+};
 
 /// Exhaustive backtracking solver: finds a correct solution of `problem` on
 /// `(graph, input)` or proves none exists.
@@ -20,7 +35,7 @@ namespace lcl {
 /// increasing `HalfEdgeId` order, labels tried in increasing order).
 ///
 /// The search is exponential in the worst case; `max_steps` bounds the
-/// number of backtracking steps (throws `std::runtime_error` when
+/// number of backtracking steps (throws `StepBudgetExceeded` when
 /// exhausted, which distinguishes "too hard" from "unsolvable").
 std::optional<HalfEdgeLabeling> brute_force_solve(
     const NodeEdgeCheckableLcl& problem, const Graph& graph,

@@ -69,6 +69,122 @@ std::string NodeEdgeCheckableLcl::to_string() const {
   return os.str();
 }
 
+bool same_constraints(const NodeEdgeCheckableLcl& a,
+                      const NodeEdgeCheckableLcl& b) {
+  if (a.input_alphabet().size() != b.input_alphabet().size() ||
+      a.output_alphabet().size() != b.output_alphabet().size() ||
+      a.max_degree() != b.max_degree()) {
+    return false;
+  }
+  for (int d = 1; d <= a.max_degree(); ++d) {
+    if (a.node_configs(d) != b.node_configs(d)) return false;
+  }
+  if (a.edge_configs() != b.edge_configs()) return false;
+  for (Label in = 0; in < a.input_alphabet().size(); ++in) {
+    if (a.allowed_outputs(in) != b.allowed_outputs(in)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Per-output-label invariant preserved by any constraint isomorphism:
+/// edge-partner count, self-edge flag, g-membership per input, and the
+/// number of node configurations per degree the label occurs in (counted
+/// with multiplicity).
+std::vector<std::uint64_t> label_invariant(const NodeEdgeCheckableLcl& p,
+                                           Label l) {
+  std::vector<std::uint64_t> inv;
+  inv.push_back(p.edge_partners(l).size());
+  inv.push_back(p.edge_allows(l, l) ? 1 : 0);
+  for (Label in = 0; in < p.input_alphabet().size(); ++in) {
+    inv.push_back(p.allowed_outputs(in).contains(l) ? 1 : 0);
+  }
+  for (int d = 1; d <= p.max_degree(); ++d) {
+    std::uint64_t occurrences = 0;
+    for (const auto& config : p.node_configs(d)) {
+      for (const auto c : config.labels()) {
+        if (c == l) ++occurrences;
+      }
+    }
+    inv.push_back(occurrences);
+  }
+  return inv;
+}
+
+/// True iff relabeling `a` through `perm` (old label -> new label) yields
+/// exactly `b`'s constraint system.
+bool permutation_matches(const NodeEdgeCheckableLcl& a,
+                         const NodeEdgeCheckableLcl& b,
+                         const std::vector<Label>& perm) {
+  for (int d = 1; d <= a.max_degree(); ++d) {
+    if (a.node_configs(d).size() != b.node_configs(d).size()) return false;
+    for (const auto& config : a.node_configs(d)) {
+      std::vector<Label> mapped;
+      mapped.reserve(config.size());
+      for (const auto l : config.labels()) mapped.push_back(perm[l]);
+      if (!b.node_allows(Configuration(std::move(mapped)))) return false;
+    }
+  }
+  if (a.edge_configs().size() != b.edge_configs().size()) return false;
+  for (const auto& config : a.edge_configs()) {
+    if (!b.edge_allows(perm[config[0]], perm[config[1]])) return false;
+  }
+  for (Label in = 0; in < a.input_alphabet().size(); ++in) {
+    const auto& ga = a.allowed_outputs(in);
+    const auto& gb = b.allowed_outputs(in);
+    if (ga.size() != gb.size()) return false;
+    for (const auto l : ga.to_vector()) {
+      if (!gb.contains(perm[l])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool isomorphic_constraints(const NodeEdgeCheckableLcl& a,
+                            const NodeEdgeCheckableLcl& b,
+                            std::uint64_t max_attempts) {
+  if (a.input_alphabet().size() != b.input_alphabet().size() ||
+      a.output_alphabet().size() != b.output_alphabet().size() ||
+      a.max_degree() != b.max_degree()) {
+    return false;
+  }
+  const std::size_t n = a.output_alphabet().size();
+
+  // Candidate images of each a-label: the b-labels sharing its invariant.
+  std::vector<std::vector<Label>> candidates(n);
+  {
+    std::vector<std::vector<std::uint64_t>> b_inv(n);
+    for (Label l = 0; l < n; ++l) b_inv[l] = label_invariant(b, l);
+    for (Label l = 0; l < n; ++l) {
+      const auto inv = label_invariant(a, l);
+      for (Label m = 0; m < n; ++m) {
+        if (inv == b_inv[m]) candidates[l].push_back(m);
+      }
+      if (candidates[l].empty()) return false;
+    }
+  }
+
+  std::vector<Label> perm(n, 0);
+  std::vector<char> taken(n, 0);
+  std::uint64_t attempts = 0;
+  const auto search = [&](auto&& self, std::size_t pos) -> bool {
+    if (pos == n) return permutation_matches(a, b, perm);
+    for (const auto m : candidates[pos]) {
+      if (taken[m]) continue;
+      if (++attempts > max_attempts) return false;
+      taken[m] = 1;
+      perm[pos] = m;
+      if (self(self, pos + 1)) return true;
+      taken[m] = 0;
+    }
+    return false;
+  };
+  return search(search, 0);
+}
+
 NodeEdgeCheckableLcl::Builder::Builder(std::string name, Alphabet input,
                                        Alphabet output, int max_degree) {
   if (max_degree < 1) {

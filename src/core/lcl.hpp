@@ -81,6 +81,27 @@ class NodeEdgeCheckableLcl {
   std::set<Configuration> empty_;        // returned for out-of-range degrees
 };
 
+/// Structural equality of two problems' constraint systems: same alphabet
+/// sizes, same max degree, identical node/edge configuration sets and
+/// identical `g` sets, all compared label-index by label-index. Names (of
+/// the problems and of the labels) are ignored: two problems that differ
+/// only in naming behave identically everywhere.
+///
+/// This is the exact confirmation behind the engine's cheap fixed-point
+/// signature: a matching signature is necessary but not sufficient.
+bool same_constraints(const NodeEdgeCheckableLcl& a,
+                      const NodeEdgeCheckableLcl& b);
+
+/// True iff some permutation of the *output* labels (identity on inputs)
+/// maps `a`'s constraint system exactly onto `b`'s - i.e. the problems are
+/// equal up to renaming output labels. Backtracking over permutations,
+/// pruned by per-label invariants; `max_attempts` bounds the number of
+/// candidate assignments examined (returns false when exhausted, so a
+/// `false` from huge pathological alphabets is conservative).
+bool isomorphic_constraints(const NodeEdgeCheckableLcl& a,
+                            const NodeEdgeCheckableLcl& b,
+                            std::uint64_t max_attempts = 1'000'000);
+
 /// Incremental builder for `NodeEdgeCheckableLcl`. All label arguments are
 /// validated eagerly; `build()` additionally checks structural sanity (every
 /// referenced degree has a constraint table, `g` covers all input labels).

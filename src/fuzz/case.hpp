@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/lcl.hpp"
+#include "graph/graph.hpp"
+#include "graph/labeling.hpp"
+
+namespace lcl::fuzz {
+
+/// One differential-testing case: a problem, a concrete instance, and the
+/// oracle it is checked against. Everything an oracle needs is stored
+/// explicitly (not as generator seeds), so a saved case replays bit-for-bit
+/// even after the generator evolves.
+struct FuzzCase {
+  /// Oracle id from the bank (`oracles.hpp`), e.g. "lift-soundness".
+  std::string oracle;
+  /// Generator seed the case came from (0 for hand-written cases).
+  std::uint64_t seed = 0;
+  /// Free-form provenance ("shrunk from seed 17", "regression for #42").
+  std::string note;
+  /// Instance family the graph was drawn from ("path", "tree", ...).
+  std::string family;
+
+  NodeEdgeCheckableLcl problem;
+  Graph graph;
+  HalfEdgeLabeling input;  // one label per half-edge, in the input alphabet
+};
+
+}  // namespace lcl::fuzz

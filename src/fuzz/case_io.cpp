@@ -1,0 +1,274 @@
+#include "fuzz/case_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lcl::fuzz {
+
+namespace json = lcl::obs::json;
+
+namespace {
+
+json::Value labels_array(const std::vector<Label>& labels) {
+  json::Value arr = json::Value::make_array();
+  for (const auto l : labels) {
+    arr.array().push_back(json::Value(static_cast<std::int64_t>(l)));
+  }
+  return arr;
+}
+
+json::Value problem_to_value(const NodeEdgeCheckableLcl& p) {
+  json::Value obj = json::Value::make_object();
+  obj.object()["name"] = json::Value(p.name());
+  obj.object()["max_degree"] =
+      json::Value(static_cast<std::int64_t>(p.max_degree()));
+
+  json::Value inputs = json::Value::make_array();
+  for (Label l = 0; l < p.input_alphabet().size(); ++l) {
+    inputs.array().push_back(json::Value(p.input_alphabet().name(l)));
+  }
+  obj.object()["inputs"] = std::move(inputs);
+
+  json::Value outputs = json::Value::make_array();
+  for (Label l = 0; l < p.output_alphabet().size(); ++l) {
+    outputs.array().push_back(json::Value(p.output_alphabet().name(l)));
+  }
+  obj.object()["outputs"] = std::move(outputs);
+
+  json::Value node = json::Value::make_array();
+  for (int d = 1; d <= p.max_degree(); ++d) {
+    for (const auto& config : p.node_configs(d)) {
+      node.array().push_back(labels_array(config.labels()));
+    }
+  }
+  obj.object()["node_configs"] = std::move(node);
+
+  json::Value edge = json::Value::make_array();
+  for (const auto& config : p.edge_configs()) {
+    edge.array().push_back(labels_array(config.labels()));
+  }
+  obj.object()["edge_configs"] = std::move(edge);
+
+  json::Value g = json::Value::make_array();
+  for (Label in = 0; in < p.input_alphabet().size(); ++in) {
+    json::Value row = json::Value::make_array();
+    for (const auto out : p.allowed_outputs(in).to_vector()) {
+      row.array().push_back(json::Value(static_cast<std::int64_t>(out)));
+    }
+    g.array().push_back(std::move(row));
+  }
+  obj.object()["g"] = std::move(g);
+  return obj;
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("fuzz case: malformed JSON: " + what);
+}
+
+const json::Value& require(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) malformed(std::string("missing field '") + key + "'");
+  return *v;
+}
+
+std::vector<Label> parse_labels(const json::Value& arr, std::size_t bound,
+                                const char* context) {
+  if (!arr.is_array()) malformed(std::string(context) + ": expected array");
+  std::vector<Label> labels;
+  labels.reserve(arr.as_array().size());
+  for (const auto& v : arr.as_array()) {
+    if (!v.is_number()) malformed(std::string(context) + ": expected number");
+    const auto raw = v.as_int();
+    if (raw < 0 || static_cast<std::size_t>(raw) >= bound) {
+      malformed(std::string(context) + ": label " + std::to_string(raw) +
+                " out of range [0, " + std::to_string(bound) + ")");
+    }
+    labels.push_back(static_cast<Label>(raw));
+  }
+  return labels;
+}
+
+NodeEdgeCheckableLcl problem_from_value(const json::Value& obj) {
+  if (!obj.is_object()) malformed("'problem' must be an object");
+  const auto& name = require(obj, "name");
+  const auto& max_degree = require(obj, "max_degree");
+  if (!name.is_string() || !max_degree.is_number()) {
+    malformed("'problem.name' / 'problem.max_degree' types");
+  }
+
+  const auto parse_alphabet = [&obj](const char* key) {
+    const auto& arr = require(obj, key);
+    if (!arr.is_array()) malformed(std::string(key) + ": expected array");
+    Alphabet alphabet;
+    for (const auto& v : arr.as_array()) {
+      if (!v.is_string()) malformed(std::string(key) + ": expected strings");
+      alphabet.add(v.as_string());
+    }
+    return alphabet;
+  };
+  Alphabet input = parse_alphabet("inputs");
+  Alphabet output = parse_alphabet("outputs");
+  const std::size_t in_size = input.size();
+  const std::size_t out_size = output.size();
+
+  NodeEdgeCheckableLcl::Builder builder(
+      name.as_string(), std::move(input), std::move(output),
+      static_cast<int>(max_degree.as_int()));
+  builder.allow_unsatisfiable_inputs();  // shrunk cases may have empty g rows
+
+  const auto& node = require(obj, "node_configs");
+  if (!node.is_array()) malformed("'node_configs': expected array");
+  for (const auto& config : node.as_array()) {
+    builder.allow_node(parse_labels(config, out_size, "node config"));
+  }
+
+  const auto& edge = require(obj, "edge_configs");
+  if (!edge.is_array()) malformed("'edge_configs': expected array");
+  for (const auto& config : edge.as_array()) {
+    const auto labels = parse_labels(config, out_size, "edge config");
+    if (labels.size() != 2) malformed("edge config must have 2 labels");
+    builder.allow_edge(labels[0], labels[1]);
+  }
+
+  const auto& g = require(obj, "g");
+  if (!g.is_array() || g.as_array().size() != in_size) {
+    malformed("'g' must be an array with one row per input label");
+  }
+  for (std::size_t in_label = 0; in_label < in_size; ++in_label) {
+    for (const auto out :
+         parse_labels(g.as_array()[in_label], out_size, "g row")) {
+      builder.allow_output_for_input(static_cast<Label>(in_label), out);
+    }
+  }
+  return builder.build();
+}
+
+Graph graph_from_value(const json::Value& obj) {
+  if (!obj.is_object()) malformed("'graph' must be an object");
+  const auto& nodes = require(obj, "nodes");
+  const auto& edges = require(obj, "edges");
+  if (!nodes.is_number() || nodes.as_int() < 0) malformed("'graph.nodes'");
+  if (!edges.is_array()) malformed("'graph.edges': expected array");
+  Graph::Builder builder(static_cast<std::size_t>(nodes.as_int()));
+  for (const auto& e : edges.as_array()) {
+    if (!e.is_array() || e.as_array().size() != 2 ||
+        !e.as_array()[0].is_number() || !e.as_array()[1].is_number()) {
+      malformed("graph edge must be [u, v]");
+    }
+    const auto u = e.as_array()[0].as_int();
+    const auto v = e.as_array()[1].as_int();
+    if (u < 0 || v < 0 || u >= nodes.as_int() || v >= nodes.as_int()) {
+      malformed("graph edge endpoint out of range");
+    }
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+std::string to_json(const FuzzCase& fuzz_case) {
+  json::Value root = json::Value::make_object();
+  root.object()["version"] = json::Value(std::int64_t{1});
+  root.object()["oracle"] = json::Value(fuzz_case.oracle);
+  root.object()["seed"] =
+      json::Value(static_cast<std::int64_t>(fuzz_case.seed));
+  root.object()["note"] = json::Value(fuzz_case.note);
+  root.object()["family"] = json::Value(fuzz_case.family);
+  root.object()["problem"] = problem_to_value(fuzz_case.problem);
+
+  json::Value graph = json::Value::make_object();
+  graph.object()["nodes"] =
+      json::Value(static_cast<std::int64_t>(fuzz_case.graph.node_count()));
+  json::Value edges = json::Value::make_array();
+  for (EdgeId e = 0; e < fuzz_case.graph.edge_count(); ++e) {
+    const auto [u, v] = fuzz_case.graph.endpoints(e);
+    json::Value pair = json::Value::make_array();
+    pair.array().push_back(json::Value(static_cast<std::int64_t>(u)));
+    pair.array().push_back(json::Value(static_cast<std::int64_t>(v)));
+    edges.array().push_back(std::move(pair));
+  }
+  graph.object()["edges"] = std::move(edges);
+  root.object()["graph"] = std::move(graph);
+
+  json::Value input = json::Value::make_array();
+  for (const auto l : fuzz_case.input) {
+    input.array().push_back(json::Value(static_cast<std::int64_t>(l)));
+  }
+  root.object()["input"] = std::move(input);
+  return json::dump(root);
+}
+
+FuzzCase from_json(std::string_view text) {
+  std::string error;
+  const auto root = json::parse(text, &error);
+  if (root == nullptr) malformed(error);
+  if (!root->is_object()) malformed("top level must be an object");
+  const auto& version = require(*root, "version");
+  if (!version.is_number() || version.as_int() != 1) {
+    malformed("unsupported version");
+  }
+
+  FuzzCase out;
+  const auto& oracle = require(*root, "oracle");
+  if (!oracle.is_string()) malformed("'oracle' must be a string");
+  out.oracle = oracle.as_string();
+  if (const auto* seed = root->find("seed"); seed && seed->is_number()) {
+    out.seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  if (const auto* note = root->find("note"); note && note->is_string()) {
+    out.note = note->as_string();
+  }
+  if (const auto* family = root->find("family");
+      family && family->is_string()) {
+    out.family = family->as_string();
+  }
+  out.problem = problem_from_value(require(*root, "problem"));
+  out.graph = graph_from_value(require(*root, "graph"));
+  out.input = parse_labels(require(*root, "input"),
+                           out.problem.input_alphabet().size(), "input");
+  if (out.input.size() != out.graph.half_edge_count()) {
+    malformed("input labeling length != half-edge count");
+  }
+  if (out.graph.max_degree() > out.problem.max_degree()) {
+    malformed("graph max degree exceeds problem max degree");
+  }
+  return out;
+}
+
+void save_case(const std::string& path, const FuzzCase& fuzz_case) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream file(p);
+  if (!file) {
+    throw std::runtime_error("fuzz case: cannot open '" + path +
+                             "' for writing");
+  }
+  file << to_json(fuzz_case) << '\n';
+  if (!file.good()) {
+    throw std::runtime_error("fuzz case: write to '" + path + "' failed");
+  }
+}
+
+FuzzCase load_case(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("fuzz case: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  try {
+    return from_json(buffer.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " (file: " + path + ")");
+  }
+}
+
+}  // namespace lcl::fuzz

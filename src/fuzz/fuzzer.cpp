@@ -1,0 +1,85 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+#include "fuzz/case_io.hpp"
+#include "fuzz/shrink.hpp"
+#include "obs/obs.hpp"
+
+namespace lcl::fuzz {
+
+FuzzReport run_fuzz(const FuzzRunOptions& options) {
+  FuzzReport report;
+  const auto started = std::chrono::steady_clock::now();
+  const auto over_budget = [&]() {
+    if (options.budget_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    return elapsed.count() >= options.budget_seconds;
+  };
+
+  for (std::uint64_t i = 0; i < options.seeds; ++i) {
+    if (over_budget()) {
+      report.budget_exhausted = true;
+      break;
+    }
+    const std::uint64_t seed = options.seed_start + i;
+    FuzzCase base = random_case(options.generator, seed);
+    ++report.seeds_run;
+
+    for (const auto& entry : oracle_bank()) {
+      if (!options.only_oracle.empty() && options.only_oracle != entry.id) {
+        continue;
+      }
+      FuzzCase c = base;
+      c.oracle = entry.id;
+      auto& tally = report.per_oracle[entry.id];
+      const OracleResult result = entry.run(c, options.oracle);
+      if (!result.applicable) {
+        ++tally.skipped;
+        ++report.skipped;
+        continue;
+      }
+      ++tally.checks;
+      ++report.checks;
+      if (!result.failed) continue;
+
+      ++tally.failures;
+      ++report.failures;
+      LCL_OBS_EVENT1("fuzz/failure", "fuzz", "seed",
+                     static_cast<std::int64_t>(seed));
+
+      FuzzCase minimal = c;
+      if (options.shrink) {
+        ShrinkStats stats;
+        minimal = shrink_case(c, options.oracle, &stats);
+        minimal.note = "shrunk from seed " + std::to_string(seed) + " (" +
+                       std::to_string(stats.accepted) + "/" +
+                       std::to_string(stats.attempts) +
+                       " deletions accepted)";
+      }
+      const OracleResult final_result =
+          run_oracle(minimal.oracle, minimal, options.oracle);
+      report.failure_messages.push_back(
+          std::string(entry.id) + " seed " + std::to_string(seed) + ": " +
+          (final_result.message.empty() ? result.message
+                                        : final_result.message));
+      if (!options.corpus_dir.empty()) {
+        const auto path = std::filesystem::path(options.corpus_dir) /
+                          (std::string(entry.id) + "-seed" +
+                           std::to_string(seed) + ".json");
+        save_case(path.string(), minimal);
+        report.corpus_files.push_back(path.string());
+      }
+    }
+  }
+  return report;
+}
+
+OracleResult replay_case(const FuzzCase& fuzz_case,
+                         const OracleOptions& options) {
+  return run_oracle(fuzz_case.oracle, fuzz_case, options);
+}
+
+}  // namespace lcl::fuzz

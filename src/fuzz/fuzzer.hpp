@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/case.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace lcl::fuzz {
+
+/// One fuzzing campaign: seeds `seed_start .. seed_start + seeds - 1`, each
+/// expanded into one case per bank oracle.
+struct FuzzRunOptions {
+  std::uint64_t seed_start = 1;
+  std::uint64_t seeds = 100;
+  /// Wall-clock budget in seconds; 0 = unlimited. Checked between seeds, so
+  /// the run always finishes the seed it is on.
+  double budget_seconds = 0.0;
+  /// Where shrunk failing cases are written (one JSON file per failure,
+  /// named `<oracle>-seed<N>.json`). Empty = don't write corpus files.
+  std::string corpus_dir;
+  /// Shrink failing cases before reporting/saving them.
+  bool shrink = true;
+  /// Restrict the run to a single oracle id; empty = the whole bank.
+  std::string only_oracle;
+
+  GeneratorOptions generator;
+  OracleOptions oracle;
+};
+
+/// Per-oracle outcome counts across a campaign.
+struct OracleTally {
+  std::uint64_t checks = 0;   // oracle ran to a verdict (pass or fail)
+  std::uint64_t skipped = 0;  // preconditions unmet or budget exhausted
+  std::uint64_t failures = 0;
+};
+
+/// Aggregate result of `run_fuzz`.
+struct FuzzReport {
+  std::uint64_t seeds_run = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t failures = 0;
+  /// True when `budget_seconds` expired before all seeds were run.
+  bool budget_exhausted = false;
+  /// Corpus files written for (shrunk) failing cases, in discovery order.
+  std::vector<std::string> corpus_files;
+  /// One human-readable line per failure, in discovery order.
+  std::vector<std::string> failure_messages;
+  std::map<std::string, OracleTally> per_oracle;
+
+  bool ok() const noexcept { return failures == 0; }
+};
+
+/// Runs the campaign. Deterministic in `options` (except for the wall-clock
+/// budget cutoff): seed N always produces the same case and verdicts.
+FuzzReport run_fuzz(const FuzzRunOptions& options);
+
+/// Replays one saved case against its recorded oracle. Returns the raw
+/// oracle result; a replayed counterexample whose bug has since been fixed
+/// reports `applicable && !failed`.
+OracleResult replay_case(const FuzzCase& fuzz_case,
+                         const OracleOptions& options);
+
+}  // namespace lcl::fuzz

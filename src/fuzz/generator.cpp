@@ -1,0 +1,184 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "grid/torus.hpp"
+#include "util/combinatorics.hpp"
+
+namespace lcl::fuzz {
+
+namespace {
+
+std::size_t pick_in_range(std::size_t lo, std::size_t hi, SplitRng& rng) {
+  if (hi <= lo) return lo;
+  return lo + rng.next_below(hi - lo + 1);
+}
+
+bool flip(double probability, SplitRng& rng) {
+  return rng.next_double() < probability;
+}
+
+}  // namespace
+
+NodeEdgeCheckableLcl random_problem(const GeneratorOptions& options,
+                                    SplitRng& rng) {
+  const int delta = static_cast<int>(
+      pick_in_range(static_cast<std::size_t>(options.min_degree),
+                    static_cast<std::size_t>(options.max_degree), rng));
+  const std::size_t out_size =
+      pick_in_range(options.min_labels, options.max_labels, rng);
+  const std::size_t in_size = pick_in_range(1, options.max_input_labels, rng);
+
+  Alphabet output;
+  for (std::size_t l = 0; l < out_size; ++l) {
+    std::string name = "x";
+    name += std::to_string(l);
+    output.add(name);
+  }
+  Alphabet input;
+  if (in_size == 1) {
+    input.add("-");
+  } else {
+    for (std::size_t l = 0; l < in_size; ++l) {
+      std::string name = "i";
+      name += std::to_string(l);
+      input.add(name);
+    }
+  }
+
+  NodeEdgeCheckableLcl::Builder builder("fuzz", std::move(input),
+                                        std::move(output), delta);
+
+  // Node constraint: each candidate multiset independently, with a forced
+  // fallback so the problem always builds.
+  std::size_t node_total = 0;
+  for (int d = 1; d <= delta; ++d) {
+    for (const auto& multiset :
+         enumerate_multisets(out_size, static_cast<std::size_t>(d))) {
+      if (flip(options.node_density, rng)) {
+        builder.allow_node(std::vector<Label>(multiset.begin(),
+                                              multiset.end()));
+        ++node_total;
+      }
+    }
+  }
+  if (node_total == 0) {
+    const int d = 1 + static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(delta)));
+    const auto label = static_cast<Label>(rng.next_below(out_size));
+    builder.allow_node(std::vector<Label>(static_cast<std::size_t>(d),
+                                          label));
+  }
+
+  // Edge constraint.
+  std::size_t edge_total = 0;
+  for (Label a = 0; a < static_cast<Label>(out_size); ++a) {
+    for (Label b = a; b < static_cast<Label>(out_size); ++b) {
+      if (flip(options.edge_density, rng)) {
+        builder.allow_edge(a, b);
+        ++edge_total;
+      }
+    }
+  }
+  if (edge_total == 0) {
+    const auto a = static_cast<Label>(rng.next_below(out_size));
+    const auto b = static_cast<Label>(rng.next_below(out_size));
+    builder.allow_edge(a, b);
+  }
+
+  // g: dense by default, with one guaranteed output per input label. A
+  // 1-input problem gets the full row: "no inputs" means g is trivial, and
+  // the walk-automaton classifiers rely on that.
+  for (Label in = 0; in < static_cast<Label>(in_size); ++in) {
+    bool any = false;
+    for (Label out = 0; out < static_cast<Label>(out_size); ++out) {
+      if (in_size == 1 || flip(options.g_density, rng)) {
+        builder.allow_output_for_input(in, out);
+        any = true;
+      }
+    }
+    if (!any) {
+      builder.allow_output_for_input(
+          in, static_cast<Label>(rng.next_below(out_size)));
+    }
+  }
+
+  return builder.build();
+}
+
+Instance random_instance(const NodeEdgeCheckableLcl& problem,
+                         const GeneratorOptions& options, SplitRng& rng) {
+  const int delta = problem.max_degree();
+  const std::size_t n = pick_in_range(
+      std::max<std::size_t>(options.min_instance_nodes, 3),
+      std::max(options.max_instance_nodes, options.min_instance_nodes), rng);
+
+  // Families applicable at this degree bound; trees/forests need Delta >= 2
+  // (a tree with >= 3 nodes has an internal node), so Delta = 1 instances
+  // degrade to a single edge.
+  std::vector<std::string> families;
+  if (delta >= 2) {
+    families.insert(families.end(), {"path", "cycle", "tree", "forest"});
+  }
+  if (delta >= 3) {
+    families.push_back("star");
+    families.push_back("caterpillar");
+  }
+  if (delta >= 4) families.push_back("grid");
+
+  Instance instance;
+  if (families.empty()) {
+    instance.family = "edge";
+    instance.graph = make_path(2);
+  } else {
+    instance.family = families[rng.next_below(families.size())];
+    if (instance.family == "path") {
+      instance.graph = make_path(std::max<std::size_t>(n, 2));
+    } else if (instance.family == "cycle") {
+      instance.graph = make_cycle(std::max<std::size_t>(n, 3));
+    } else if (instance.family == "tree") {
+      SplitRng child = rng.fork(1);
+      instance.graph = make_random_tree(n, delta, child);
+    } else if (instance.family == "forest") {
+      SplitRng child = rng.fork(2);
+      const std::size_t components = 1 + rng.next_below(3);
+      instance.graph = make_random_forest(std::max(n, components), components,
+                                          delta, child);
+    } else if (instance.family == "star") {
+      instance.graph = make_star(static_cast<std::size_t>(delta));
+    } else if (instance.family == "caterpillar") {
+      // Spine nodes have degree legs + 2; keep within Delta.
+      const int legs = std::max(1, delta - 2);
+      instance.graph = make_caterpillar(std::max<std::size_t>(n / 2, 2), legs);
+    } else {  // grid
+      const std::size_t w = 3 + rng.next_below(2);
+      const std::size_t h = 3 + rng.next_below(2);
+      instance.graph = OrientedTorus({w, h}).graph();
+    }
+  }
+
+  const std::size_t in_size = problem.input_alphabet().size();
+  if (in_size == 1) {
+    instance.input = uniform_labeling(instance.graph, 0);
+  } else {
+    SplitRng child = rng.fork(3);
+    instance.input = random_labeling(instance.graph, in_size, child);
+  }
+  return instance;
+}
+
+FuzzCase random_case(const GeneratorOptions& options, std::uint64_t seed) {
+  SplitRng rng(seed);
+  FuzzCase out;
+  out.seed = seed;
+  out.problem = random_problem(options, rng);
+  Instance instance = random_instance(out.problem, options, rng);
+  out.family = std::move(instance.family);
+  out.graph = std::move(instance.graph);
+  out.input = std::move(instance.input);
+  return out;
+}
+
+}  // namespace lcl::fuzz

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/lcl.hpp"
+#include "fuzz/case.hpp"
+#include "graph/graph.hpp"
+#include "graph/labeling.hpp"
+#include "util/rng.hpp"
+
+namespace lcl::fuzz {
+
+/// Knobs of the random problem/instance generator. The defaults keep every
+/// generated problem small enough that a brute-force reference and two
+/// round-elimination steps stay affordable per seed.
+struct GeneratorOptions {
+  /// Range for the problem's max degree `Delta`.
+  int min_degree = 2;
+  int max_degree = 3;
+  /// Range for the output alphabet size.
+  std::size_t min_labels = 2;
+  std::size_t max_labels = 3;
+  /// Maximum input alphabet size; 1 generates problems "without inputs"
+  /// (the classifier oracles only apply to those).
+  std::size_t max_input_labels = 2;
+  /// Probability that a candidate node / edge configuration is allowed.
+  double node_density = 0.6;
+  double edge_density = 0.6;
+  /// Probability that `g` permits a given (input, output) pair (each input
+  /// is always granted at least one output, so generated problems build).
+  double g_density = 0.8;
+  /// Node count range for generated instances.
+  std::size_t min_instance_nodes = 3;
+  std::size_t max_instance_nodes = 12;
+};
+
+/// Draws a random node-edge-checkable LCL. Deterministic in (options, rng
+/// state). The problem always builds: at least one node configuration, at
+/// least one edge configuration, and a non-empty `g` row per input label.
+NodeEdgeCheckableLcl random_problem(const GeneratorOptions& options,
+                                    SplitRng& rng);
+
+/// Draws a random instance whose max degree fits `problem`: a path, cycle,
+/// star, caterpillar, random tree, random forest or (for Delta >= 4) a 2-d
+/// toroidal grid, plus a uniform random input labeling over the problem's
+/// input alphabet. `family` records which generator was used.
+struct Instance {
+  std::string family;
+  Graph graph;
+  HalfEdgeLabeling input;
+};
+
+Instance random_instance(const NodeEdgeCheckableLcl& problem,
+                         const GeneratorOptions& options, SplitRng& rng);
+
+/// Convenience: problem + instance + metadata assembled into a `FuzzCase`
+/// (with `oracle` left empty; the fuzz loop fills it per bank entry).
+FuzzCase random_case(const GeneratorOptions& options, std::uint64_t seed);
+
+}  // namespace lcl::fuzz

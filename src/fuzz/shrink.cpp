@@ -1,0 +1,210 @@
+#include "fuzz/shrink.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace lcl::fuzz {
+
+namespace {
+
+constexpr Label kNone = static_cast<Label>(-1);
+
+/// Rebuilds `p` keeping only the masked labels and skipping at most one
+/// node/edge configuration (by global index; -1 = none). Returns nullopt
+/// when the result would be unbuildable (no output label, no input label,
+/// no node configuration, or no edge configuration left).
+std::optional<NodeEdgeCheckableLcl> rebuild_problem(
+    const NodeEdgeCheckableLcl& p, const std::vector<char>& keep_out,
+    const std::vector<char>& keep_in, std::ptrdiff_t skip_node_config,
+    std::ptrdiff_t skip_edge_config, std::vector<Label>* in_map_out) {
+  const std::size_t out_size = p.output_alphabet().size();
+  const std::size_t in_size = p.input_alphabet().size();
+
+  std::vector<Label> out_map(out_size, kNone);
+  Alphabet output;
+  for (std::size_t l = 0; l < out_size; ++l) {
+    if (keep_out[l]) {
+      out_map[l] = output.add(p.output_alphabet().name(static_cast<Label>(l)));
+    }
+  }
+  std::vector<Label> in_map(in_size, kNone);
+  Alphabet input;
+  for (std::size_t l = 0; l < in_size; ++l) {
+    if (keep_in[l]) {
+      in_map[l] = input.add(p.input_alphabet().name(static_cast<Label>(l)));
+    }
+  }
+  if (output.empty() || input.empty()) return std::nullopt;
+
+  NodeEdgeCheckableLcl::Builder builder(p.name(), std::move(input),
+                                        std::move(output), p.max_degree());
+  builder.allow_unsatisfiable_inputs();
+
+  std::size_t node_total = 0;
+  std::ptrdiff_t index = 0;
+  for (int d = 1; d <= p.max_degree(); ++d) {
+    for (const auto& config : p.node_configs(d)) {
+      const bool skipped = index++ == skip_node_config;
+      if (skipped) continue;
+      std::vector<Label> mapped;
+      mapped.reserve(config.size());
+      bool ok = true;
+      for (const auto l : config.labels()) {
+        if (out_map[l] == kNone) {
+          ok = false;
+          break;
+        }
+        mapped.push_back(out_map[l]);
+      }
+      if (!ok) continue;
+      builder.allow_node(mapped);
+      ++node_total;
+    }
+  }
+  if (node_total == 0) return std::nullopt;
+
+  std::size_t edge_total = 0;
+  index = 0;
+  for (const auto& config : p.edge_configs()) {
+    const bool skipped = index++ == skip_edge_config;
+    if (skipped) continue;
+    if (out_map[config[0]] == kNone || out_map[config[1]] == kNone) continue;
+    builder.allow_edge(out_map[config[0]], out_map[config[1]]);
+    ++edge_total;
+  }
+  if (edge_total == 0) return std::nullopt;
+
+  for (std::size_t in_label = 0; in_label < in_size; ++in_label) {
+    if (!keep_in[in_label]) continue;
+    for (const auto out :
+         p.allowed_outputs(static_cast<Label>(in_label)).to_vector()) {
+      if (out_map[out] != kNone) {
+        builder.allow_output_for_input(in_map[in_label], out_map[out]);
+      }
+    }
+  }
+  if (in_map_out != nullptr) *in_map_out = std::move(in_map);
+  return builder.build();
+}
+
+std::optional<FuzzCase> without_node(const FuzzCase& c, NodeId victim) {
+  if (c.graph.node_count() <= 1) return std::nullopt;
+  FuzzCase out = c;
+  Graph::Builder builder(c.graph.node_count() - 1);
+  HalfEdgeLabeling input;
+  const auto remap = [victim](NodeId v) {
+    return v > victim ? v - 1 : v;
+  };
+  for (EdgeId e = 0; e < c.graph.edge_count(); ++e) {
+    const auto [u, v] = c.graph.endpoints(e);
+    if (u == victim || v == victim) continue;
+    builder.add_edge(remap(u), remap(v));
+    input.push_back(c.input[2 * e]);
+    input.push_back(c.input[2 * e + 1]);
+  }
+  out.graph = builder.build();
+  out.input = std::move(input);
+  return out;
+}
+
+std::optional<FuzzCase> without_output_label(const FuzzCase& c,
+                                             Label victim) {
+  std::vector<char> keep_out(c.problem.output_alphabet().size(), 1);
+  keep_out[victim] = 0;
+  std::vector<char> keep_in(c.problem.input_alphabet().size(), 1);
+  auto problem = rebuild_problem(c.problem, keep_out, keep_in, -1, -1,
+                                 nullptr);
+  if (!problem) return std::nullopt;
+  FuzzCase out = c;
+  out.problem = std::move(*problem);
+  return out;
+}
+
+std::optional<FuzzCase> without_config(const FuzzCase& c,
+                                       std::ptrdiff_t node_index,
+                                       std::ptrdiff_t edge_index) {
+  const std::vector<char> keep_out(c.problem.output_alphabet().size(), 1);
+  const std::vector<char> keep_in(c.problem.input_alphabet().size(), 1);
+  auto problem = rebuild_problem(c.problem, keep_out, keep_in, node_index,
+                                 edge_index, nullptr);
+  if (!problem) return std::nullopt;
+  FuzzCase out = c;
+  out.problem = std::move(*problem);
+  return out;
+}
+
+std::optional<FuzzCase> without_input_label(const FuzzCase& c, Label victim) {
+  if (c.problem.input_alphabet().size() <= 1) return std::nullopt;
+  for (const auto l : c.input) {
+    if (l == victim) return std::nullopt;  // in use by the instance
+  }
+  const std::vector<char> keep_out(c.problem.output_alphabet().size(), 1);
+  std::vector<char> keep_in(c.problem.input_alphabet().size(), 1);
+  keep_in[victim] = 0;
+  std::vector<Label> in_map;
+  auto problem =
+      rebuild_problem(c.problem, keep_out, keep_in, -1, -1, &in_map);
+  if (!problem) return std::nullopt;
+  FuzzCase out = c;
+  out.problem = std::move(*problem);
+  for (auto& l : out.input) l = in_map[l];
+  return out;
+}
+
+}  // namespace
+
+FuzzCase shrink_case(const FuzzCase& failing, const OracleOptions& options,
+                     ShrinkStats* stats, std::size_t max_attempts) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+
+  const auto still_fails = [&options](const FuzzCase& candidate) {
+    try {
+      const auto result =
+          run_oracle(candidate.oracle, candidate, options);
+      return result.applicable && result.failed;
+    } catch (...) {
+      // A shrunk candidate that crashes the oracle is not a valid smaller
+      // counterexample for the *original* disagreement - discard it.
+      return false;
+    }
+  };
+
+  FuzzCase best = failing;
+  bool changed = true;
+  while (changed && s.attempts < max_attempts) {
+    changed = false;
+    ++s.rounds;
+
+    const auto try_candidate = [&](std::optional<FuzzCase> candidate) {
+      if (!candidate || s.attempts >= max_attempts) return;
+      ++s.attempts;
+      if (still_fails(*candidate)) {
+        best = std::move(*candidate);
+        ++s.accepted;
+        changed = true;
+      }
+    };
+
+    for (std::size_t v = best.graph.node_count(); v-- > 0;) {
+      try_candidate(without_node(best, static_cast<NodeId>(v)));
+    }
+    for (std::size_t l = best.problem.output_alphabet().size(); l-- > 0;) {
+      try_candidate(without_output_label(best, static_cast<Label>(l)));
+    }
+    for (std::size_t i = best.problem.total_node_configs(); i-- > 0;) {
+      try_candidate(
+          without_config(best, static_cast<std::ptrdiff_t>(i), -1));
+    }
+    for (std::size_t i = best.problem.edge_configs().size(); i-- > 0;) {
+      try_candidate(
+          without_config(best, -1, static_cast<std::ptrdiff_t>(i)));
+    }
+    for (std::size_t l = best.problem.input_alphabet().size(); l-- > 0;) {
+      try_candidate(without_input_label(best, static_cast<Label>(l)));
+    }
+  }
+  return best;
+}
+
+}  // namespace lcl::fuzz

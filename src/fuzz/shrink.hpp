@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/case.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace lcl::fuzz {
+
+/// Bookkeeping of one shrink run.
+struct ShrinkStats {
+  std::size_t attempts = 0;  // candidate cases whose oracle was re-run
+  std::size_t accepted = 0;  // candidates that kept failing (and were kept)
+  std::size_t rounds = 0;    // full passes until a pass changed nothing
+};
+
+/// Greedily minimizes a failing case while its oracle keeps failing (same
+/// `options`, including any fault injection - the counterexample must
+/// reproduce under the exact conditions that found it).
+///
+/// Deletion passes, iterated to a fixed point:
+///  - graph nodes (highest id first; incident edges go with the node),
+///  - output labels (with every configuration and `g` entry naming them),
+///  - individual node configurations and edge configurations,
+///  - input labels unused by the instance labeling.
+///
+/// Every candidate is validated by re-running the oracle: a candidate that
+/// stops failing (or stops being applicable) is discarded. `max_attempts`
+/// bounds total oracle re-runs so shrinking stays cheap even when every
+/// deletion keeps failing.
+FuzzCase shrink_case(const FuzzCase& failing, const OracleOptions& options,
+                     ShrinkStats* stats = nullptr,
+                     std::size_t max_attempts = 2000);
+
+}  // namespace lcl::fuzz

@@ -12,22 +12,10 @@ namespace lcl {
 
 namespace {
 
-/// Composes an operator step with a label reduction: the reduced problem's
-/// label `l` means whatever the representative pre-reduction label meant.
-ReStep reduce_step(ReStep step) {
-  Reduction red = reduce(step.problem);
-  ReStep out;
-  out.meaning.reserve(red.new_to_old.size());
-  for (const auto rep : red.new_to_old) {
-    out.meaning.push_back(step.meaning[rep]);
-  }
-  out.problem = std::move(red.problem);
-  return out;
-}
-
 /// Cheap structural signature for fixed-point detection: label count and
-/// per-degree configuration counts. Two isomorphic problems share it; a
-/// matching signature is reported as a *likely* fixed point.
+/// per-degree configuration counts. A matching signature alone is only a
+/// *likely* fixed point - it is confirmed by an exact (up to output-label
+/// renaming) constraint comparison before being reported.
 std::vector<std::size_t> signature(const NodeEdgeCheckableLcl& p) {
   std::vector<std::size_t> sig{p.output_alphabet().size(),
                                p.edge_configs().size()};
@@ -226,9 +214,15 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
 
     const auto sig = signature(latest);
     if (sig == previous_signature) {
-      outcome.fixed_point = true;
-      LCL_OBS_EVENT1("re/fixed_point", "re", "step", step);
-      return outcome;
+      // The signature can collide for genuinely different problems; only an
+      // exact match (up to relabeling outputs) certifies the fixed point.
+      const NodeEdgeCheckableLcl& prior = problem_at(levels_.size() - 1);
+      if (same_constraints(latest, prior) ||
+          isomorphic_constraints(latest, prior)) {
+        outcome.fixed_point = true;
+        LCL_OBS_EVENT1("re/fixed_point", "re", "step", step);
+        return outcome;
+      }
     }
     previous_signature = sig;
   }

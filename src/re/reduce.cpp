@@ -316,4 +316,15 @@ Reduction reduce(const NodeEdgeCheckableLcl& problem) {
   return result;
 }
 
+ReStep reduce_step(ReStep step) {
+  Reduction red = reduce(step.problem);
+  ReStep out;
+  out.meaning.reserve(red.new_to_old.size());
+  for (const auto rep : red.new_to_old) {
+    out.meaning.push_back(step.meaning[rep]);
+  }
+  out.problem = std::move(red.problem);
+  return out;
+}
+
 }  // namespace lcl

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/lcl.hpp"
+#include "re/step.hpp"
 
 namespace lcl {
 
@@ -38,5 +39,11 @@ struct Reduction {
 /// faithful sequence computable for a few extra steps. The ablation bench
 /// `bench_re_ablation` quantifies the difference.
 Reduction reduce(const NodeEdgeCheckableLcl& problem);
+
+/// Composes an operator step with a label reduction: the reduced problem's
+/// label `l` means whatever the representative pre-reduction label meant.
+/// This is how the engine (and the fuzzer's differential oracles) keep the
+/// sequence computable while preserving the Lemma 3.9 lifting data.
+ReStep reduce_step(ReStep step);
 
 }  // namespace lcl

@@ -149,5 +149,31 @@ TEST(CheckerFuzz, RandomLabelingsAlmostNeverPass) {
   EXPECT_EQ(passes, 0);
 }
 
+TEST(BruteForceBudget, TinyBudgetThrowsWithBudgetInMessage) {
+  // 3-coloring a 12-node cycle needs far more than 3 backtracking steps.
+  const auto problem = problems::coloring(3, 2);
+  const Graph g = make_cycle(12);
+  const auto input = uniform_labeling(g, 0);
+  try {
+    brute_force_solve(problem, g, input, /*max_steps=*/3);
+    FAIL() << "expected StepBudgetExceeded";
+  } catch (const StepBudgetExceeded& e) {
+    EXPECT_EQ(e.budget(), 3u);
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos)
+        << "message must state the budget in force: " << e.what();
+  }
+  EXPECT_THROW(brute_force_solvable(problem, g, input, 3),
+               StepBudgetExceeded);
+}
+
+TEST(BruteForceBudget, GenerousBudgetSolvesTheSameInstance) {
+  const auto problem = problems::coloring(3, 2);
+  const Graph g = make_cycle(12);
+  const auto input = uniform_labeling(g, 0);
+  const auto solution = brute_force_solve(problem, g, input, 1'000'000);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(is_correct_solution(problem, g, input, *solution));
+}
+
 }  // namespace
 }  // namespace lcl

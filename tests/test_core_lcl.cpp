@@ -223,5 +223,70 @@ TEST(Problems, ArgumentValidation) {
   EXPECT_THROW(problems::forbidden_color(1, 3), std::invalid_argument);
 }
 
+TEST(ProblemEquality, SameConstraintsIgnoresNames) {
+  const auto a = problems::coloring(3, 2);
+  auto b = problems::coloring(3, 2);
+  EXPECT_TRUE(same_constraints(a, b));
+  EXPECT_TRUE(isomorphic_constraints(a, b));
+}
+
+TEST(ProblemEquality, DetectsDifferingConstraints) {
+  const auto a = problems::coloring(3, 3);
+  const auto b = problems::mis(3);
+  EXPECT_FALSE(same_constraints(a, b));
+}
+
+TEST(ProblemEquality, IsomorphicUnderLabelRenaming) {
+  // 2-coloring with the color indices swapped: not equal index-by-index,
+  // but isomorphic via the transposition.
+  NodeEdgeCheckableLcl::Builder builder("swapped", Alphabet({"-"}),
+                                        Alphabet({"B", "W"}), 2);
+  for (Label l = 0; l < 2; ++l) {
+    builder.allow_node({l});
+    builder.allow_node({l, l});
+    builder.allow_output_for_input(0, l);
+  }
+  builder.allow_edge(0, 1);
+  const auto swapped = builder.build();
+  const auto canonical = problems::two_coloring(2);
+  EXPECT_TRUE(same_constraints(canonical, swapped));  // symmetric problem
+  EXPECT_TRUE(isomorphic_constraints(canonical, swapped));
+}
+
+/// Two problems the cheap engine signature cannot tell apart (same label
+/// count, same number of configurations per degree, same edge count) that
+/// are NOT equal up to output renaming - the exact confirmation behind
+/// `SpeedupEngine`'s fixed-point check must separate them.
+TEST(ProblemEquality, CollidingSignaturesAreNotIsomorphic) {
+  NodeEdgeCheckableLcl::Builder a_b("a", Alphabet({"-"}),
+                                    Alphabet({"x", "y"}), 2);
+  a_b.allow_node({0});
+  a_b.allow_node({0, 0});  // repeated label
+  a_b.allow_edge(0, 0);
+  a_b.allow_output_for_input(0, 0);
+  a_b.allow_output_for_input(0, 1);
+  const auto a = a_b.build();
+
+  NodeEdgeCheckableLcl::Builder b_b("b", Alphabet({"-"}),
+                                    Alphabet({"x", "y"}), 2);
+  b_b.allow_node({0});
+  b_b.allow_node({0, 1});  // two distinct labels
+  b_b.allow_edge(0, 1);
+  b_b.allow_output_for_input(0, 0);
+  b_b.allow_output_for_input(0, 1);
+  const auto b = b_b.build();
+
+  // The signature components agree...
+  EXPECT_EQ(a.output_alphabet().size(), b.output_alphabet().size());
+  EXPECT_EQ(a.edge_configs().size(), b.edge_configs().size());
+  for (int d = 1; d <= 2; ++d) {
+    EXPECT_EQ(a.node_configs(d).size(), b.node_configs(d).size());
+  }
+  // ...yet no output-label permutation maps one onto the other.
+  EXPECT_FALSE(same_constraints(a, b));
+  EXPECT_FALSE(isomorphic_constraints(a, b));
+  EXPECT_FALSE(isomorphic_constraints(b, a));
+}
+
 }  // namespace
 }  // namespace lcl

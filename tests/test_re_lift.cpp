@@ -1,0 +1,194 @@
+// Direct unit tests for the Lemma 3.9 lift (`lift_solution`), previously
+// covered only indirectly through the speedup engine.
+
+#include "re/lift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/brute_force.hpp"
+#include "core/checker.hpp"
+#include "core/problems.hpp"
+#include "graph/generators.hpp"
+#include "re/operators.hpp"
+#include "re/reduce.hpp"
+
+namespace lcl {
+namespace {
+
+SequenceLevel one_level(const NodeEdgeCheckableLcl& pi) {
+  SequenceLevel level;
+  level.psi = reduce_step(apply_r(pi));
+  level.next = reduce_step(apply_rbar(level.psi.problem));
+  return level;
+}
+
+/// 2-coloring on a path: the canonical hand-checkable lift. A solution of
+/// `Rbar(R(pi))` on the 4-node path lifts to a proper 2-coloring: every
+/// node writes one color on all its half-edges, adjacent nodes differ.
+TEST(Lift, TwoColoringOnPathIsProper) {
+  const auto pi = problems::two_coloring(2);
+  const auto level = one_level(pi);
+
+  const Graph g = make_path(4);  // includes two degree-1 endpoints
+  const auto input = uniform_labeling(g, 0);
+  const auto next_solution =
+      brute_force_solve(level.next.problem, g, input);
+  ASSERT_TRUE(next_solution.has_value());
+
+  const auto lifted = lift_solution(pi, level, g, input, *next_solution);
+  EXPECT_TRUE(check_solution(pi, g, input, lifted).ok());
+
+  // Hand-check the structure, not just the checker verdict: per node a
+  // single color, alternating along the path.
+  std::vector<Label> color(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    color[v] = lifted[g.half_edge(v, 0)];
+    for (int p = 1; p < g.degree(v); ++p) {
+      EXPECT_EQ(lifted[g.half_edge(v, p)], color[v]) << "node " << v;
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    EXPECT_NE(color[u], color[v]) << "edge " << e;
+  }
+}
+
+/// A single edge: both nodes have degree 1, the smallest graph the lemma
+/// applies to.
+TEST(Lift, DegreeOneOnlyGraph) {
+  const auto pi = problems::two_coloring(2);
+  const auto level = one_level(pi);
+
+  const Graph g = make_path(2);
+  const auto input = uniform_labeling(g, 0);
+  const auto next_solution =
+      brute_force_solve(level.next.problem, g, input);
+  ASSERT_TRUE(next_solution.has_value());
+
+  const auto lifted = lift_solution(pi, level, g, input, *next_solution);
+  EXPECT_TRUE(check_solution(pi, g, input, lifted).ok());
+  EXPECT_NE(lifted[0], lifted[1]);  // the two endpoints differ
+}
+
+/// "All nodes agree" problem: node configurations and edges only allow a
+/// single repeated label per component - the lift must handle repeated
+/// labels in node configurations and produce a uniform labeling.
+TEST(Lift, RepeatedLabelsLiftUniformly) {
+  NodeEdgeCheckableLcl::Builder builder("agree", Alphabet({"-"}),
+                                        Alphabet({"a", "b"}), 2);
+  for (Label l = 0; l < 2; ++l) {
+    builder.allow_node({l});
+    builder.allow_node({l, l});
+    builder.allow_edge(l, l);
+    builder.allow_output_for_input(0, l);
+  }
+  const auto pi = builder.build();
+  const auto level = one_level(pi);
+
+  const Graph g = make_path(5);
+  const auto input = uniform_labeling(g, 0);
+  const auto next_solution =
+      brute_force_solve(level.next.problem, g, input);
+  ASSERT_TRUE(next_solution.has_value());
+
+  const auto lifted = lift_solution(pi, level, g, input, *next_solution);
+  EXPECT_TRUE(check_solution(pi, g, input, lifted).ok());
+  for (const auto l : lifted) {
+    EXPECT_EQ(l, lifted[0]);  // one connected component => one label
+  }
+}
+
+TEST(Lift, RejectsSizeMismatch) {
+  const auto pi = problems::two_coloring(2);
+  const auto level = one_level(pi);
+  const Graph g = make_path(3);
+  EXPECT_THROW(lift_solution(pi, level, g, uniform_labeling(g, 0),
+                             HalfEdgeLabeling{0}),
+               std::invalid_argument);
+}
+
+/// Hand-built level whose edge meaning admits no psi-compatible pair: the
+/// step-1 choice of Lemma 3.9 must fail loudly, not fabricate labels.
+TEST(Lift, ThrowsWhenEdgeChoiceImpossible) {
+  NodeEdgeCheckableLcl::Builder pi_b("pi", Alphabet({"-"}),
+                                     Alphabet({"a", "b"}), 1);
+  pi_b.allow_node({0});
+  pi_b.allow_node({1});
+  pi_b.allow_edge(0, 1);
+  pi_b.allow_output_for_input(0, 0);
+  pi_b.allow_output_for_input(0, 1);
+  const auto pi = pi_b.build();
+
+  // psi: edge constraint only {A, B}.
+  NodeEdgeCheckableLcl::Builder psi_b("psi", Alphabet({"-"}),
+                                      Alphabet({"A", "B"}), 1);
+  psi_b.allow_node({0});
+  psi_b.allow_node({1});
+  psi_b.allow_edge(0, 1);
+  psi_b.allow_output_for_input(0, 0);
+  psi_b.allow_output_for_input(0, 1);
+
+  // next: single label X whose meaning is {A} alone - the edge (X, X) only
+  // offers the pair (A, A), which psi forbids.
+  NodeEdgeCheckableLcl::Builder next_b("next", Alphabet({"-"}),
+                                       Alphabet({"X"}), 1);
+  next_b.allow_node({0});
+  next_b.allow_edge(0, 0);
+  next_b.allow_output_for_input(0, 0);
+
+  SequenceLevel level;
+  level.psi.problem = psi_b.build();
+  level.psi.meaning = {LabelSet(2, {0}), LabelSet(2, {1})};
+  level.next.problem = next_b.build();
+  level.next.meaning = {LabelSet(2, {0})};
+
+  const Graph g = make_path(2);
+  const HalfEdgeLabeling solution{0, 0};
+  EXPECT_THROW(
+      lift_solution(pi, level, g, uniform_labeling(g, 0), solution),
+      std::logic_error);
+}
+
+/// Hand-built level where the edge choice succeeds but no selection from
+/// the psi meanings satisfies pi's node constraint: the step-2 choice must
+/// throw.
+TEST(Lift, ThrowsWhenNodeChoiceImpossible) {
+  // pi only allows the label "b" at degree-1 nodes...
+  NodeEdgeCheckableLcl::Builder pi_b("pi", Alphabet({"-"}),
+                                     Alphabet({"a", "b"}), 1);
+  pi_b.allow_node({1});
+  pi_b.allow_edge(0, 0);
+  pi_b.allow_edge(1, 1);
+  pi_b.allow_output_for_input(0, 0);
+  pi_b.allow_output_for_input(0, 1);
+  const auto pi = pi_b.build();
+
+  NodeEdgeCheckableLcl::Builder psi_b("psi", Alphabet({"-"}),
+                                      Alphabet({"A"}), 1);
+  psi_b.allow_node({0});
+  psi_b.allow_edge(0, 0);
+  psi_b.allow_output_for_input(0, 0);
+
+  NodeEdgeCheckableLcl::Builder next_b("next", Alphabet({"-"}),
+                                       Alphabet({"X"}), 1);
+  next_b.allow_node({0});
+  next_b.allow_edge(0, 0);
+  next_b.allow_output_for_input(0, 0);
+
+  SequenceLevel level;
+  level.psi.problem = psi_b.build();
+  level.psi.meaning = {LabelSet(2, {0})};  // ...but A only means "a".
+  level.next.problem = next_b.build();
+  level.next.meaning = {LabelSet(1, {0})};
+
+  const Graph g = make_path(2);
+  const HalfEdgeLabeling solution{0, 0};
+  EXPECT_THROW(
+      lift_solution(pi, level, g, uniform_labeling(g, 0), solution),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace lcl

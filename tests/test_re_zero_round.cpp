@@ -1,0 +1,97 @@
+// Unit tests for the 0-round machinery: `ZeroRoundAlgorithm::apply` on
+// tuples with duplicate input labels, and the `ReBlowupError` boundary of
+// the derived-alphabet enumeration in the R / Rbar operators.
+
+#include "re/zero_round.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/problems.hpp"
+#include "re/operators.hpp"
+
+namespace lcl {
+namespace {
+
+TEST(ZeroRoundApply, DuplicateInputsKeepPortOrder) {
+  ZeroRoundAlgorithm algo;
+  // For the sorted tuple (0, 0, 1): the two smallest inputs answer 5 then
+  // 6 (in port order, by stability), the largest answers 7.
+  algo.outputs[{0, 0, 1}] = {5, 6, 7};
+
+  EXPECT_EQ(algo.apply({0, 0, 1}), (std::vector<Label>{5, 6, 7}));
+  EXPECT_EQ(algo.apply({1, 0, 0}), (std::vector<Label>{7, 5, 6}));
+  EXPECT_EQ(algo.apply({0, 1, 0}), (std::vector<Label>{5, 7, 6}));
+}
+
+TEST(ZeroRoundApply, AllInputsEqual) {
+  ZeroRoundAlgorithm algo;
+  algo.outputs[{2, 2}] = {4, 9};
+  // Equal inputs are tied; stable sort keeps ports in place.
+  EXPECT_EQ(algo.apply({2, 2}), (std::vector<Label>{4, 9}));
+}
+
+TEST(ZeroRoundApply, UnknownTupleThrows) {
+  ZeroRoundAlgorithm algo;
+  algo.outputs[{0}] = {1};
+  EXPECT_THROW(algo.apply({1}), std::out_of_range);
+  EXPECT_THROW(algo.apply({0, 0}), std::out_of_range);
+}
+
+/// A problem that genuinely is 0-round solvable and one that is not - the
+/// witness returned must agree with the decision procedure.
+TEST(ZeroRound, WitnessMatchesDecision) {
+  const auto trivial = problems::trivial(3);
+  EXPECT_TRUE(zero_round_solvable(trivial));
+  const auto witness = find_zero_round_algorithm(trivial);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(witness->outputs.empty());
+
+  const auto coloring = problems::coloring(3, 3);
+  EXPECT_FALSE(zero_round_solvable(coloring));
+  EXPECT_FALSE(find_zero_round_algorithm(coloring).has_value());
+}
+
+/// `R(Pi)`'s output alphabet is `2^k - 1` labels for `k` base labels; the
+/// limit boundary must be exact: passing at exactly `2^k - 1`, throwing one
+/// below.
+TEST(ReLimitsBoundary, ExactAlphabetLimitPasses) {
+  const auto pi = problems::coloring(3, 2);  // k = 3 output labels
+  ReLimits limits;
+  limits.max_labels = 7;  // 2^3 - 1
+  const auto step = apply_r(pi, limits);
+  EXPECT_EQ(step.problem.output_alphabet().size(), 7u);
+}
+
+TEST(ReLimitsBoundary, OneBelowAlphabetLimitThrows) {
+  const auto pi = problems::coloring(3, 2);
+  ReLimits limits;
+  limits.max_labels = 6;  // one below 2^3 - 1
+  EXPECT_THROW(apply_r(pi, limits), ReBlowupError);
+  EXPECT_THROW(apply_rbar(pi, limits), ReBlowupError);
+}
+
+TEST(ReLimitsBoundary, HugeBaseAlphabetThrowsRegardlessOfLimit) {
+  // `derive_alphabet` refuses base alphabets of >= 63 labels outright
+  // (the subset count no longer fits the bitset universe).
+  Alphabet wide;
+  for (int i = 0; i < 63; ++i) {
+    std::string name = "l";
+    name += std::to_string(i);
+    wide.add(name);
+  }
+  NodeEdgeCheckableLcl::Builder b2("wide", Alphabet({"-"}), std::move(wide),
+                                   2);
+  b2.allow_node({0});
+  b2.allow_node({0, 0});
+  b2.allow_edge(0, 0);
+  for (Label l = 0; l < 63; ++l) b2.allow_output_for_input(0, l);
+  const auto pi = b2.build();
+  ReLimits limits;
+  limits.max_labels = static_cast<std::size_t>(-1);
+  EXPECT_THROW(apply_r(pi, limits), ReBlowupError);
+}
+
+}  // namespace
+}  // namespace lcl
