@@ -5,6 +5,7 @@
 
 #include "classify/automaton.hpp"
 #include "core/configuration.hpp"
+#include "lint/analyzer.hpp"
 #include "obs/obs.hpp"
 #include "re/engine.hpp"
 
@@ -65,7 +66,20 @@ CycleClassification classify_on_cycles(const NodeEdgeCheckableLcl& problem,
   LCL_OBS_SPAN(span, "classify/cycles", "classify");
   CycleClassification result;
 
-  const auto adj = walk_automaton(problem);
+  // Lint pre-flight: an L020 verdict settles the classification outright,
+  // and dead-label pruning shrinks the walk automaton (and the speedup
+  // engine's power-set base) without changing the complexity class.
+  lint::LintOptions lint_options;
+  lint_options.zero_round = false;
+  auto preflight = lint::prune_problem(problem, lint_options);
+  result.pruned_labels = preflight.report.dead_labels;
+  if (preflight.report.trivially_unsolvable) {
+    result.complexity = CycleComplexity::kUnsolvable;
+    return result;
+  }
+  const NodeEdgeCheckableLcl& effective = preflight.problem;
+
+  const auto adj = walk_automaton(effective);
   if (LCL_OBS_ENABLED()) {
     std::size_t edges = 0;
     for (const auto& row : adj) edges += row.size();
@@ -96,7 +110,7 @@ CycleClassification classify_on_cycles(const NodeEdgeCheckableLcl& problem,
 
   // Flexible: O(1) or Theta(log* n). The round-elimination engine
   // semidecides O(1) (Theorem 3.10 machinery restricted to degree 2).
-  SpeedupEngine engine(problem);
+  SpeedupEngine engine(effective);
   SpeedupEngine::Options options;
   options.max_steps = max_speedup_steps;
   options.degrees = {2};

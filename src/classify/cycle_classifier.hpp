@@ -36,6 +36,10 @@ struct CycleClassification {
   /// Step at which the round-elimination engine certified O(1)
   /// (-1: no collapse within budget).
   int zero_round_collapse_step = -1;
+  /// Dead output labels the lint pre-flight pruned before the walk
+  /// automaton was built (0 for well-formed specs). An L020 verdict
+  /// short-circuits straight to `kUnsolvable`.
+  std::size_t pruned_labels = 0;
 };
 
 /// Decides the complexity class of a node-edge-checkable LCL *without

@@ -7,6 +7,7 @@
 
 #include "classify/automaton.hpp"
 #include "core/configuration.hpp"
+#include "lint/analyzer.hpp"
 #include "obs/obs.hpp"
 #include "re/engine.hpp"
 #include "util/label_set.hpp"
@@ -120,7 +121,22 @@ PathClassification classify_on_paths(const NodeEdgeCheckableLcl& problem,
   validate(problem);
   LCL_OBS_SPAN(span, "classify/paths", "classify");
   PathClassification result;
-  const auto a = build_automaton(problem);
+
+  // Lint pre-flight, mirroring `classify_on_cycles`: L020 short-circuits,
+  // pruning shrinks the automaton without changing the class. Note that
+  // `solvable_for_all_lengths` stays correct too - dead labels occur in no
+  // valid labeling of any path.
+  lint::LintOptions lint_options;
+  lint_options.zero_round = false;
+  auto preflight = lint::prune_problem(problem, lint_options);
+  result.pruned_labels = preflight.report.dead_labels;
+  if (preflight.report.trivially_unsolvable) {
+    result.complexity = CycleComplexity::kUnsolvable;
+    return result;
+  }
+  const NodeEdgeCheckableLcl& effective = preflight.problem;
+
+  const auto a = build_automaton(effective);
   if (LCL_OBS_ENABLED()) {
     std::size_t edges = 0;
     for (const auto& row : a.adjacency) edges += row.size();
@@ -171,7 +187,7 @@ PathClassification classify_on_paths(const NodeEdgeCheckableLcl& problem,
     return result;
   }
 
-  SpeedupEngine engine(problem);
+  SpeedupEngine engine(effective);
   SpeedupEngine::Options options;
   options.max_steps = max_speedup_steps;
   options.degrees = {1, 2};

@@ -12,6 +12,9 @@ struct PathClassification {
   /// True iff a solution exists on the n-node path for every n >= 1.
   bool solvable_for_all_lengths = false;
   int zero_round_collapse_step = -1;
+  /// Dead output labels the lint pre-flight pruned before the walk
+  /// automaton was built (see CycleClassification::pruned_labels).
+  std::size_t pruned_labels = 0;
 };
 
 /// Decides the complexity class of a node-edge-checkable LCL without inputs

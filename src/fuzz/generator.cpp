@@ -5,6 +5,7 @@
 
 #include "graph/generators.hpp"
 #include "grid/torus.hpp"
+#include "lint/analyzer.hpp"
 #include "util/combinatorics.hpp"
 
 namespace lcl::fuzz {
@@ -20,10 +21,25 @@ bool flip(double probability, SplitRng& rng) {
   return rng.next_double() < probability;
 }
 
-}  // namespace
+/// Sorted, deduped codes of the warning-or-worse lint diagnostics; empty
+/// for problems every oracle considers well-bred.
+std::vector<std::string> degenerate_codes(const NodeEdgeCheckableLcl& problem) {
+  lint::LintOptions lint_options;
+  lint_options.zero_round = false;  // L030 is info-level; not degeneracy
+  const auto report = lint::lint_problem(problem, lint_options);
+  std::vector<std::string> codes;
+  for (const auto& diagnostic : report.diagnostics) {
+    if (diagnostic.severity >= lint::Severity::kWarning) {
+      codes.push_back(diagnostic.code);
+    }
+  }
+  std::sort(codes.begin(), codes.end());
+  codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  return codes;
+}
 
-NodeEdgeCheckableLcl random_problem(const GeneratorOptions& options,
-                                    SplitRng& rng) {
+NodeEdgeCheckableLcl draw_problem(const GeneratorOptions& options,
+                                  SplitRng& rng) {
   const int delta = static_cast<int>(
       pick_in_range(static_cast<std::size_t>(options.min_degree),
                     static_cast<std::size_t>(options.max_degree), rng));
@@ -108,6 +124,22 @@ NodeEdgeCheckableLcl random_problem(const GeneratorOptions& options,
   return builder.build();
 }
 
+}  // namespace
+
+NodeEdgeCheckableLcl random_problem(const GeneratorOptions& options,
+                                    SplitRng& rng) {
+  if (options.lint_policy != LintPolicy::kReject) {
+    return draw_problem(options, rng);
+  }
+  NodeEdgeCheckableLcl problem = draw_problem(options, rng);
+  for (int attempt = 1; attempt < options.lint_reject_attempts &&
+                        !degenerate_codes(problem).empty();
+       ++attempt) {
+    problem = draw_problem(options, rng);
+  }
+  return problem;
+}
+
 Instance random_instance(const NodeEdgeCheckableLcl& problem,
                          const GeneratorOptions& options, SplitRng& rng) {
   const int delta = problem.max_degree();
@@ -174,6 +206,16 @@ FuzzCase random_case(const GeneratorOptions& options, std::uint64_t seed) {
   FuzzCase out;
   out.seed = seed;
   out.problem = random_problem(options, rng);
+  if (options.lint_policy == LintPolicy::kAnnotate) {
+    const auto codes = degenerate_codes(out.problem);
+    if (!codes.empty()) {
+      out.note = "lint:";
+      for (const auto& code : codes) {
+        out.note += ' ';
+        out.note += code;
+      }
+    }
+  }
   Instance instance = random_instance(out.problem, options, rng);
   out.family = std::move(instance.family);
   out.graph = std::move(instance.graph);

@@ -11,6 +11,18 @@
 
 namespace lcl::fuzz {
 
+/// What the generator does with degenerate draws - problems the
+/// `lclscape::lint` analyzer flags at warning severity or above (dead
+/// labels, vacuous configurations, trivial unsolvability):
+///  - kOff:      emit them untouched (historical behavior);
+///  - kAnnotate: emit them, but record the diagnostic codes in
+///               `FuzzCase::note` so a failing seed is self-describing;
+///  - kReject:   redraw (bounded by `lint_reject_attempts`), biasing the
+///               stream toward problems whose constraint sets all matter.
+/// Degenerate problems remain *valid* inputs - oracles must handle them -
+/// so kAnnotate is the default: coverage with provenance.
+enum class LintPolicy { kOff, kAnnotate, kReject };
+
 /// Knobs of the random problem/instance generator. The defaults keep every
 /// generated problem small enough that a brute-force reference and two
 /// round-elimination steps stay affordable per seed.
@@ -33,6 +45,11 @@ struct GeneratorOptions {
   /// Node count range for generated instances.
   std::size_t min_instance_nodes = 3;
   std::size_t max_instance_nodes = 12;
+  /// Lint treatment of degenerate draws (see `LintPolicy`).
+  LintPolicy lint_policy = LintPolicy::kAnnotate;
+  /// Redraw budget under `kReject`; after this many degenerate draws in a
+  /// row the last one is emitted anyway (the stream must stay total).
+  int lint_reject_attempts = 32;
 };
 
 /// Draws a random node-edge-checkable LCL. Deterministic in (options, rng

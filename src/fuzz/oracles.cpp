@@ -8,12 +8,14 @@
 #include "core/brute_force.hpp"
 #include "core/checker.hpp"
 #include "graph/generators.hpp"
+#include "lint/analyzer.hpp"
 #include "local/order_invariant.hpp"
 #include "local/view.hpp"
 #include "re/engine.hpp"
 #include "re/lift.hpp"
 #include "re/operators.hpp"
 #include "re/reduce.hpp"
+#include "re/zero_round.hpp"
 #include "volume/algorithms.hpp"
 #include "volume/model.hpp"
 
@@ -282,6 +284,90 @@ OracleResult oracle_classifier_lengths(const FuzzCase& c,
   return r;
 }
 
+/// Oracle (e): `lclscape::lint` verdicts vs ground truth. One-directional
+/// checks of the semantic passes (the lint analyzer claims more than any
+/// single instance can refute, so only its *positive* verdicts are
+/// falsifiable here):
+///  - L020 (trivially unsolvable) => brute force must find no solution on
+///    the instance (any instance with an edge);
+///  - L030 (0-round trivial)      => the exact `A_det` decision procedure
+///    must confirm 0-round solvability;
+///  - pruning is conservative     => the pruned problem is solvable on the
+///    instance iff the original is, and a pruned solution mapped through
+///    `new_to_old` must pass the *original* checker.
+OracleResult oracle_lint_soundness(const FuzzCase& c, const OracleOptions& o) {
+  OracleResult r;
+  if (c.graph.edge_count() == 0 ||
+      c.graph.max_degree() > c.problem.max_degree()) {
+    return r;
+  }
+
+  const auto pruned = lint::prune_problem(c.problem, lint::LintOptions{});
+  const auto& report = pruned.report;
+  r.applicable = true;
+
+  bool base_solvable = false;
+  try {
+    base_solvable = brute_force_solvable(c.problem, c.graph, c.input,
+                                         o.brute_force_budget);
+  } catch (const StepBudgetExceeded&) {
+    r.applicable = false;
+    return r;
+  }
+
+  if (report.trivially_unsolvable) {
+    if (base_solvable) {
+      r.failed = true;
+      r.message =
+          "lint reported L020 (trivially unsolvable), but brute force "
+          "solved the instance";
+    }
+    return r;  // no pruned problem exists to compare against
+  }
+
+  if (report.zero_round_label >= 0 && !zero_round_solvable(c.problem)) {
+    r.failed = true;
+    r.message = "lint reported L030 (0-round trivial via label " +
+                std::to_string(report.zero_round_label) +
+                "), but the A_det decision procedure found no 0-round "
+                "algorithm";
+    return r;
+  }
+
+  std::optional<HalfEdgeLabeling> pruned_solution;
+  try {
+    pruned_solution = brute_force_solve(pruned.problem, c.graph, c.input,
+                                        o.brute_force_budget);
+  } catch (const StepBudgetExceeded&) {
+    r.applicable = false;
+    return r;
+  }
+  if (base_solvable != pruned_solution.has_value()) {
+    r.failed = true;
+    r.message = std::string("pruning changed solvability: the original is ") +
+                (base_solvable ? "solvable" : "unsolvable") +
+                " but the pruned problem is " +
+                (pruned_solution ? "solvable" : "unsolvable") +
+                " on the same instance (" +
+                std::to_string(report.dead_labels) + " labels pruned)";
+    return r;
+  }
+
+  if (pruned_solution && !report.new_to_old.empty()) {
+    HalfEdgeLabeling mapped = *pruned_solution;
+    for (auto& label : mapped) label = report.new_to_old[label];
+    const auto check = check_solution(c.problem, c.graph, c.input, mapped);
+    if (!check.ok()) {
+      r.failed = true;
+      r.message =
+          "a pruned-problem solution mapped through new_to_old fails the "
+          "original checker: " +
+          check.to_string();
+    }
+  }
+  return r;
+}
+
 /// Oracle (d): the LOCAL and VOLUME implementations of orient-by-larger-id
 /// must agree output-for-output, and both must produce a consistent
 /// orientation (one kOut / one kIn per edge).
@@ -341,6 +427,11 @@ const std::vector<OracleEntry>& oracle_bank() {
        "LOCAL vs VOLUME implementations of the same orientation rule "
        "produce identical outputs",
        &oracle_cross_model},
+      {"lint-soundness",
+       "lint verdicts vs ground truth: L020 agrees with brute force, L030 "
+       "with the A_det decision procedure, and dead-label pruning preserves "
+       "per-instance solvability",
+       &oracle_lint_soundness},
   };
   return kBank;
 }

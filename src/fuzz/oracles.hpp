@@ -59,7 +59,13 @@ struct OracleEntry {
 ///  - "classifier-lengths": the path/cycle walk-automaton solvability
 ///    verdicts must match brute force on a sweep of lengths;
 ///  - "cross-model":       the LOCAL and VOLUME implementations of the same
-///    orientation rule must produce identical outputs.
+///    orientation rule must produce identical outputs;
+///  - "lint-soundness":    `lclscape::lint` verdicts vs ground truth: an
+///    L020 (trivially unsolvable) report must agree with brute force on the
+///    instance, an L030 (0-round trivial) report with the exact `A_det`
+///    decision procedure, and dead-label pruning must preserve per-instance
+///    solvability (with pruned solutions re-checked against the original
+///    problem after the `new_to_old` label translation).
 const std::vector<OracleEntry>& oracle_bank();
 
 /// Runs the oracle with the given id; throws `std::invalid_argument` for an

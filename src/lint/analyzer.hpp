@@ -1,0 +1,106 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lcl.hpp"
+#include "lint/diagnostic.hpp"
+#include "lint/spec.hpp"
+#include "obs/json.hpp"
+
+namespace lcl::lint {
+
+/// Pass selection. Both passes are cheap (polynomial in the spec size);
+/// the switches exist for callers that only need one verdict.
+struct LintOptions {
+  /// L010-L013, L020: the label-support fixpoint and pruning.
+  bool support_fixpoint = true;
+  /// L030: the uniform-label 0-round triviality check.
+  bool zero_round = true;
+};
+
+/// Everything the analyzer learned about one spec.
+struct LintReport {
+  /// Marks a dead output label in `old_to_new`.
+  static constexpr Label kDropped = static_cast<Label>(-1);
+
+  std::vector<Diagnostic> diagnostics;
+
+  /// False when L001 found structural errors; the semantic passes were
+  /// skipped and `canonical` is only syntactically normalized.
+  bool structurally_valid = false;
+
+  /// The canonicalized and (when structurally valid) pruned spec - what
+  /// `lcl_lint --fix` writes. Dead labels, vacuous configurations, and
+  /// duplicate entries are gone; everything surviving is sorted.
+  ProblemSpec canonical;
+
+  /// Output-label mapping original -> pruned (`kDropped` for dead labels)
+  /// and back. Identity-sized to the original/pruned alphabets; empty when
+  /// the spec was structurally invalid.
+  std::vector<Label> old_to_new;
+  std::vector<Label> new_to_old;
+
+  /// Number of support-fixpoint sweeps that removed something (0 = the spec
+  /// was already fully supported; >= 2 = a cascade: deleting one label's
+  /// configurations starved another).
+  int fixpoint_iterations = 0;
+  std::size_t dead_labels = 0;
+
+  /// L020: the pruned constraint set is empty - no graph with at least one
+  /// edge admits a correct solution.
+  bool trivially_unsolvable = false;
+
+  /// L030: original index of a label whose uniform assignment satisfies
+  /// every constraint, or -1. Implies 0-round solvability (Theorem 3.10's
+  /// `A_det` exists); the converse need not hold.
+  std::int64_t zero_round_label = -1;
+
+  Severity severity() const { return max_severity(diagnostics); }
+  /// 0 = clean or info only, 1 = warnings, 2 = errors.
+  int status() const { return lint::exit_code(diagnostics); }
+  bool clean() const { return severity() == Severity::kInfo; }
+
+  /// One line per diagnostic plus a summary line; empty-diagnostics reports
+  /// render as "clean".
+  std::string to_text() const;
+  /// Machine output: diagnostics, summary counts, verdicts, and (when
+  /// structurally valid) the canonical spec.
+  obs::json::Value to_json_value() const;
+  std::string to_json() const;
+};
+
+/// Runs the pass pipeline over a raw spec:
+///   1. L001 alphabet/arity consistency (+ L040/L041 canonicalization
+///      findings). Errors here skip the semantic passes.
+///   2. L010 support fixpoint: iteratively delete node/edge configurations
+///      containing unsupported labels and labels left without support,
+///      reporting dead labels (L010), vacuous configurations (L011),
+///      starved inputs (L012), unpopulated degrees (L013).
+///   3. L020 trivial unsolvability of the pruned constraint set.
+///   4. L030 uniform-label 0-round triviality.
+LintReport lint_spec(const ProblemSpec& spec, const LintOptions& options = {});
+
+/// Lints an already-built problem (structural passes are vacuously clean;
+/// this is the form the engine, classifiers, and fuzzer pre-flights use).
+LintReport lint_problem(const NodeEdgeCheckableLcl& problem,
+                        const LintOptions& options = {});
+
+/// A built problem plus the lint evidence that produced it. `problem` is
+/// only valid when the report is structurally valid and not L020-unsolvable
+/// (callers must check `report.trivially_unsolvable` first).
+struct PrunedProblem {
+  NodeEdgeCheckableLcl problem;
+  /// True when pruning removed at least one label or configuration (the
+  /// built problem differs from the input).
+  bool changed = false;
+  LintReport report;
+};
+
+/// Pre-flight helper: lint, prune, and rebuild. Dead-label removal before
+/// round elimination cuts the `2^k - 1` power-set base of `R`; solutions of
+/// the pruned problem map back through `report.new_to_old`.
+PrunedProblem prune_problem(const NodeEdgeCheckableLcl& problem,
+                            const LintOptions& options = {});
+
+}  // namespace lcl::lint

@@ -1,0 +1,50 @@
+#include "lint/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lcl::lint {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << code << ' ' << lint::to_string(severity);
+  if (!object.empty()) {
+    os << " [" << object;
+    if (index >= 0) os << ' ' << index;
+    os << ']';
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+Severity max_severity(const std::vector<Diagnostic>& diagnostics) {
+  Severity max = Severity::kInfo;
+  for (const auto& d : diagnostics) max = std::max(max, d.severity);
+  return max;
+}
+
+int exit_code(const std::vector<Diagnostic>& diagnostics) {
+  switch (max_severity(diagnostics)) {
+    case Severity::kError:
+      return 2;
+    case Severity::kWarning:
+      return 1;
+    case Severity::kInfo:
+      return 0;
+  }
+  return 2;
+}
+
+}  // namespace lcl::lint

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lcl::lint {
+
+/// Severity of a lint finding. Orders from least to most severe so callers
+/// can take the max over a report.
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(Severity severity);
+
+/// Stable diagnostic codes. The numeric families are part of the tool's
+/// contract (tests, CI greps, and corpus notes reference them):
+///
+///   L001  alphabet / arity consistency (spec level): undeclared labels,
+///         duplicate alphabet names, configuration size vs Delta, malformed
+///         `g` table. Always an error - later passes are skipped.
+///   L010  dead output label: the support fixpoint removed it because it
+///         appears in no (surviving) node configuration, has no (surviving)
+///         edge partner, or is permitted by no input label.
+///   L011  vacuous configuration: mentions a dead label, so it can never be
+///         realized by a correct solution.
+///   L012  starved input label: every output it permitted is dead; any
+///         instance carrying that input label is unsolvable.
+///   L013  unpopulated degree: no node configuration for some degree in
+///         [1, Delta]; instances containing such a node are unsolvable.
+///   L020  trivially unsolvable: the pruned constraint set is empty, so no
+///         graph with at least one edge admits a correct solution.
+///   L030  0-round trivial: one label's uniform assignment satisfies every
+///         constraint (a witness for Theorem 3.10's `A_det` at step 0).
+///   L040  duplicate configuration / duplicate `g` entry in the spec.
+///   L041  non-canonical configuration: labels not sorted ascending (the
+///         multiset semantics make order irrelevant; canonical form sorts).
+struct Code {
+  static constexpr const char* kAlphabetArity = "L001";
+  static constexpr const char* kDeadLabel = "L010";
+  static constexpr const char* kVacuousConfig = "L011";
+  static constexpr const char* kStarvedInput = "L012";
+  static constexpr const char* kUnpopulatedDegree = "L013";
+  static constexpr const char* kUnsolvable = "L020";
+  static constexpr const char* kZeroRoundTrivial = "L030";
+  static constexpr const char* kDuplicateConfig = "L040";
+  static constexpr const char* kNonCanonicalConfig = "L041";
+};
+
+/// One lint finding: stable code, severity, human-readable message, and a
+/// machine-locatable position inside the spec. `object` names what the
+/// finding is about ("node_config", "edge_config", "output_label",
+/// "input_label", "g", "problem"); `index` is the position in the
+/// corresponding spec list (or the label index), -1 when not applicable.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kInfo;
+  std::string message;
+  std::string object;
+  int index = -1;
+
+  /// `L010 warning [output_label 2]: ...` - one line, no trailing newline.
+  std::string to_string() const;
+};
+
+/// Max severity over `diagnostics` (kInfo when empty).
+Severity max_severity(const std::vector<Diagnostic>& diagnostics);
+
+/// CLI / pre-flight exit-code convention: 0 = clean or info only,
+/// 1 = warnings, 2 = errors.
+int exit_code(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace lcl::lint

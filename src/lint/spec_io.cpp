@@ -1,0 +1,147 @@
+#include "lint/spec_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lcl::lint {
+
+namespace json = lcl::obs::json;
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("problem spec: malformed JSON: " + what);
+}
+
+const json::Value& require(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) malformed(std::string("missing field '") + key + "'");
+  return *v;
+}
+
+std::vector<std::string> parse_names(const json::Value& arr,
+                                     const char* context) {
+  if (!arr.is_array()) malformed(std::string(context) + ": expected array");
+  std::vector<std::string> names;
+  names.reserve(arr.as_array().size());
+  for (const auto& v : arr.as_array()) {
+    if (!v.is_string()) malformed(std::string(context) + ": expected strings");
+    names.push_back(v.as_string());
+  }
+  return names;
+}
+
+std::vector<std::vector<std::int64_t>> parse_lists(const json::Value& arr,
+                                                   const char* context) {
+  if (!arr.is_array()) malformed(std::string(context) + ": expected array");
+  std::vector<std::vector<std::int64_t>> lists;
+  lists.reserve(arr.as_array().size());
+  for (const auto& inner : arr.as_array()) {
+    if (!inner.is_array()) {
+      malformed(std::string(context) + ": expected array of arrays");
+    }
+    std::vector<std::int64_t> raw;
+    raw.reserve(inner.as_array().size());
+    for (const auto& v : inner.as_array()) {
+      if (!v.is_number()) {
+        malformed(std::string(context) + ": expected numbers");
+      }
+      raw.push_back(v.as_int());
+    }
+    lists.push_back(std::move(raw));
+  }
+  return lists;
+}
+
+json::Value raw_lists_to_value(
+    const std::vector<std::vector<std::int64_t>>& lists) {
+  json::Value arr = json::Value::make_array();
+  for (const auto& list : lists) {
+    json::Value inner = json::Value::make_array();
+    for (const auto raw : list) inner.array().push_back(json::Value(raw));
+    arr.array().push_back(std::move(inner));
+  }
+  return arr;
+}
+
+}  // namespace
+
+ProblemSpec spec_from_json_value(const json::Value& value) {
+  if (!value.is_object()) malformed("problem must be an object");
+  ProblemSpec spec;
+  const auto& name = require(value, "name");
+  const auto& max_degree = require(value, "max_degree");
+  if (!name.is_string() || !max_degree.is_number()) {
+    malformed("'name' / 'max_degree' types");
+  }
+  spec.name = name.as_string();
+  spec.max_degree = static_cast<int>(max_degree.as_int());
+  spec.inputs = parse_names(require(value, "inputs"), "inputs");
+  spec.outputs = parse_names(require(value, "outputs"), "outputs");
+  spec.node_configs =
+      parse_lists(require(value, "node_configs"), "node_configs");
+  spec.edge_configs =
+      parse_lists(require(value, "edge_configs"), "edge_configs");
+  spec.g = parse_lists(require(value, "g"), "g");
+  return spec;
+}
+
+ProblemSpec spec_from_json(std::string_view text, bool* wrapped) {
+  std::string error;
+  const auto root = json::parse(text, &error);
+  if (root == nullptr) malformed(error);
+  if (!root->is_object()) malformed("top level must be an object");
+  const json::Value* problem = root->find("problem");
+  if (wrapped != nullptr) *wrapped = problem != nullptr;
+  return spec_from_json_value(problem != nullptr ? *problem : *root);
+}
+
+json::Value spec_to_json_value(const ProblemSpec& spec) {
+  json::Value obj = json::Value::make_object();
+  obj.object()["name"] = json::Value(spec.name);
+  obj.object()["max_degree"] =
+      json::Value(static_cast<std::int64_t>(spec.max_degree));
+  json::Value inputs = json::Value::make_array();
+  for (const auto& n : spec.inputs) inputs.array().push_back(json::Value(n));
+  obj.object()["inputs"] = std::move(inputs);
+  json::Value outputs = json::Value::make_array();
+  for (const auto& n : spec.outputs) outputs.array().push_back(json::Value(n));
+  obj.object()["outputs"] = std::move(outputs);
+  obj.object()["node_configs"] = raw_lists_to_value(spec.node_configs);
+  obj.object()["edge_configs"] = raw_lists_to_value(spec.edge_configs);
+  obj.object()["g"] = raw_lists_to_value(spec.g);
+  return obj;
+}
+
+std::string spec_to_json(const ProblemSpec& spec) {
+  return json::dump(spec_to_json_value(spec));
+}
+
+ProblemSpec load_spec(const std::string& path, bool* wrapped) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("problem spec: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  try {
+    return spec_from_json(buffer.str(), wrapped);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " (file: " + path + ")");
+  }
+}
+
+void save_spec(const std::string& path, const ProblemSpec& spec) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("problem spec: cannot open '" + path +
+                             "' for writing");
+  }
+  file << spec_to_json(spec) << '\n';
+  if (!file.good()) {
+    throw std::runtime_error("problem spec: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace lcl::lint

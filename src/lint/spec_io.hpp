@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lint/spec.hpp"
+#include "obs/json.hpp"
+
+namespace lcl::lint {
+
+/// JSON (de)serialization of `ProblemSpec`. The schema is the `"problem"`
+/// object of the fuzz corpus format (fuzz/case_io.hpp), so corpus files and
+/// spec files share one dialect:
+///
+/// ```json
+/// {
+///   "name": "mis", "max_degree": 3,
+///   "inputs": ["-"], "outputs": ["a", "b"],
+///   "node_configs": [[0], [0, 1]],
+///   "edge_configs": [[0, 1]],
+///   "g": [[0, 1]]
+/// }
+/// ```
+///
+/// Parsing is deliberately *permissive* about label values: out-of-range or
+/// negative indices, duplicate names, and arity mistakes all parse into the
+/// spec so the analyzer can diagnose them (L001/L040). Only shape errors -
+/// a config that is not an array of numbers, a missing field - are rejected.
+
+/// Parses a spec from a JSON value; throws `std::runtime_error` naming the
+/// first malformed field.
+ProblemSpec spec_from_json_value(const obs::json::Value& value);
+
+/// Parses a spec from JSON text. Accepts either a bare problem object or a
+/// fuzz-case wrapper (any object with a `"problem"` member - the member is
+/// parsed, everything else ignored). `wrapped`, when non-null, reports
+/// which form was seen.
+ProblemSpec spec_from_json(std::string_view text, bool* wrapped = nullptr);
+
+obs::json::Value spec_to_json_value(const ProblemSpec& spec);
+std::string spec_to_json(const ProblemSpec& spec);
+
+/// File wrappers; throw `std::runtime_error` on I/O failure.
+ProblemSpec load_spec(const std::string& path, bool* wrapped = nullptr);
+void save_spec(const std::string& path, const ProblemSpec& spec);
+
+}  // namespace lcl::lint

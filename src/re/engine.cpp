@@ -3,7 +3,9 @@
 #include <chrono>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
+#include "lint/analyzer.hpp"
 #include "obs/obs.hpp"
 #include "re/operators.hpp"
 #include "re/reduce.hpp"
@@ -30,10 +32,17 @@ std::vector<std::size_t> signature(const NodeEdgeCheckableLcl& p) {
 /// the lift at every node within the radius-k view.
 class SynthesizedAlgorithm final : public BallAlgorithm {
  public:
+  /// `base` is the problem the levels actually lift down to (the engine's
+  /// effective, possibly lint-pruned, base); `new_to_old` translates its
+  /// labels back to the original problem's (empty = identity).
   SynthesizedAlgorithm(const NodeEdgeCheckableLcl& base,
                        const std::vector<SequenceLevel>& levels,
-                       ZeroRoundAlgorithm witness)
-      : base_(base), levels_(levels), witness_(std::move(witness)) {}
+                       ZeroRoundAlgorithm witness,
+                       std::vector<Label> new_to_old)
+      : base_(base),
+        levels_(levels),
+        witness_(std::move(witness)),
+        new_to_old_(std::move(new_to_old)) {}
 
   int radius(std::size_t advertised_n) const override {
     (void)advertised_n;
@@ -42,7 +51,11 @@ class SynthesizedAlgorithm final : public BallAlgorithm {
 
   std::vector<Label> outputs(const LocalView& view) const override {
     std::map<std::pair<std::size_t, NodeId>, std::vector<Label>> memo;
-    return labels_at(view, 0, view.center(), memo);
+    std::vector<Label> result = labels_at(view, 0, view.center(), memo);
+    if (!new_to_old_.empty()) {
+      for (auto& l : result) l = new_to_old_[l];
+    }
+    return result;
   }
 
  private:
@@ -135,12 +148,13 @@ class SynthesizedAlgorithm final : public BallAlgorithm {
   const NodeEdgeCheckableLcl& base_;
   const std::vector<SequenceLevel>& levels_;
   ZeroRoundAlgorithm witness_;
+  std::vector<Label> new_to_old_;
 };
 
 }  // namespace
 
 SpeedupEngine::SpeedupEngine(NodeEdgeCheckableLcl base)
-    : base_(std::move(base)) {}
+    : base_(std::move(base)), effective_base_(base_) {}
 
 const NodeEdgeCheckableLcl& SpeedupEngine::problem_at(std::size_t i) const {
   if (i == 0) return base_;
@@ -155,15 +169,45 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
   levels_.clear();
   witness_.reset();
   witness_step_ = -1;
+  effective_base_ = base_;
+  prune_new_to_old_.clear();
 
-  if (auto w = find_zero_round_algorithm(base_, options.degrees)) {
+  if (options.preflight_lint) {
+    // Lint pre-flight: L020 short-circuits the run; dead-label pruning
+    // shrinks the alphabet `R`'s power set is built over. Both are sound:
+    // dead labels occur in no correct solution on any instance, so the
+    // pruned problem has the same solvability, round complexity, and
+    // 0-round verdicts as the original (the L030/zero-round pass is skipped
+    // here - the engine runs the exact `A_det` decision itself).
+    lint::LintOptions lint_options;
+    lint_options.zero_round = false;
+    auto preflight = lint::prune_problem(base_, lint_options);
+    outcome.preflight_dead_labels = preflight.report.dead_labels;
+    LCL_OBS_COUNTER_ADD("re.preflight_dead_labels",
+                        preflight.report.dead_labels);
+    if (preflight.report.trivially_unsolvable) {
+      outcome.detected_unsolvable = true;
+      outcome.blowup_message =
+          "preflight lint (L020): the pruned constraint set is empty";
+      LCL_OBS_EVENT1("re/preflight_unsolvable", "re", "dead_labels",
+                     preflight.report.dead_labels);
+      return outcome;
+    }
+    if (preflight.changed) {
+      effective_base_ = std::move(preflight.problem);
+      prune_new_to_old_ = std::move(preflight.report.new_to_old);
+      outcome.preflight_pruned = true;
+    }
+  }
+
+  if (auto w = find_zero_round_algorithm(effective_base_, options.degrees)) {
     witness_ = std::move(w);
     witness_step_ = 0;
     outcome.zero_round_step = 0;
     return outcome;
   }
 
-  auto previous_signature = signature(base_);
+  auto previous_signature = signature(effective_base_);
   for (int step = 0; step < options.max_steps; ++step) {
     const auto start = std::chrono::steady_clock::now();
     LCL_OBS_SPAN(step_span, "re/step", "re");
@@ -171,7 +215,8 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
     StepStats stats;
     stats.index = step;
     try {
-      const NodeEdgeCheckableLcl& current = problem_at(levels_.size());
+      const NodeEdgeCheckableLcl& current =
+          levels_.empty() ? effective_base_ : levels_.back().next.problem;
       ReStep psi = apply_r(current, options.limits);
       if (options.reduce) psi = reduce_step(std::move(psi));
       ReStep next = apply_rbar(psi.problem, options.limits);
@@ -200,6 +245,19 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
     LCL_OBS_SPAN_ARG(step_span, "node_configs", stats.node_configs);
 
     const NodeEdgeCheckableLcl& latest = levels_.back().next.problem;
+    if (options.preflight_lint) {
+      // Lint each produced iterate. With `reduce` on this is a cross-check
+      // (reduction's trim performs the same support fixpoint, so any dead
+      // label here is a bug worth surfacing); with `reduce` off it
+      // quantifies what the faithful sequence drags along.
+      lint::LintOptions lint_options;
+      lint_options.zero_round = false;
+      const auto iterate_report = lint::lint_problem(latest, lint_options);
+      stats.lint_dead_labels = iterate_report.dead_labels;
+      if (iterate_report.dead_labels > 0) {
+        LCL_OBS_EVENT1("re/iterate_dead_labels", "re", "step", step);
+      }
+    }
     if (auto w = find_zero_round_algorithm(latest, options.degrees)) {
       witness_ = std::move(w);
       witness_step_ = static_cast<int>(levels_.size());
@@ -216,7 +274,9 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
     if (sig == previous_signature) {
       // The signature can collide for genuinely different problems; only an
       // exact match (up to relabeling outputs) certifies the fixed point.
-      const NodeEdgeCheckableLcl& prior = problem_at(levels_.size() - 1);
+      const NodeEdgeCheckableLcl& prior =
+          levels_.size() >= 2 ? levels_[levels_.size() - 2].next.problem
+                              : effective_base_;
       if (same_constraints(latest, prior) ||
           isomorphic_constraints(latest, prior)) {
         outcome.fixed_point = true;
@@ -246,8 +306,8 @@ std::unique_ptr<BallAlgorithm> SpeedupEngine::synthesize() const {
   }
   static const std::vector<SequenceLevel> kNoLevels;
   const auto& lifting_levels = witness_step_ == 0 ? kNoLevels : levels_;
-  return std::make_unique<SynthesizedAlgorithm>(base_, lifting_levels,
-                                                *witness_);
+  return std::make_unique<SynthesizedAlgorithm>(
+      effective_base_, lifting_levels, *witness_, prune_new_to_old_);
 }
 
 }  // namespace lcl

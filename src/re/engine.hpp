@@ -32,6 +32,14 @@ class SpeedupEngine {
     /// Node degrees the 0-round test must answer (empty = 1..max_degree,
     /// the forest setting; use {2} when classifying problems on cycles).
     std::vector<int> degrees;
+    /// Run the `lclscape::lint` pre-flight before the first step: an L020
+    /// verdict (trivially unsolvable) short-circuits the whole run, and
+    /// dead-label pruning shrinks the base alphabet - cutting the
+    /// `2^k - 1` power-set base that `R` pays - without changing any
+    /// verdict. Each produced iterate is linted too (`StepStats::
+    /// lint_dead_labels`; always 0 while `reduce` is on, since reduction's
+    /// trim performs the same fixpoint).
+    bool preflight_lint = true;
   };
 
   /// Statistics for one applied step `pi_i -> pi_{i+1}`.
@@ -42,6 +50,9 @@ class SpeedupEngine {
     std::size_t node_configs = 0;  // of pi_{i+1}
     std::size_t edge_configs = 0;  // of pi_{i+1}
     bool zero_round_solvable = false;  // of pi_{i+1}
+    /// Dead labels the lint pass found on pi_{i+1} (pre-flight builds only;
+    /// 0 whenever `reduce` already trimmed the iterate).
+    std::size_t lint_dead_labels = 0;
     double seconds = 0.0;
   };
 
@@ -59,6 +70,11 @@ class SpeedupEngine {
     /// round-elimination fixed point, the classic hardness certificate
     /// (e.g. sinkless orientation).
     bool fixed_point = false;
+    /// Pre-flight lint results (Options::preflight_lint): number of dead
+    /// output labels pruned from the base problem, and whether the sequence
+    /// was actually built from the pruned base.
+    std::size_t preflight_dead_labels = 0;
+    bool preflight_pruned = false;
     std::vector<StepStats> steps;
   };
 
@@ -68,8 +84,15 @@ class SpeedupEngine {
   /// budget, or an enumeration blow-up.
   Outcome run(const Options& options);
 
-  /// Problem `f^i(pi)`; valid for `0 <= i <= steps applied`.
+  /// Problem `f^i(pi)`; valid for `0 <= i <= steps applied`. Index 0 is the
+  /// problem as given; when the pre-flight pruned it, the sequence for
+  /// `i >= 1` is derived from `effective_base()` instead.
   const NodeEdgeCheckableLcl& problem_at(std::size_t i) const;
+  /// The problem the sequence actually starts from: the lint-pruned base
+  /// when the pre-flight removed dead labels, the base problem otherwise.
+  const NodeEdgeCheckableLcl& effective_base() const noexcept {
+    return effective_base_;
+  }
   std::size_t steps_applied() const noexcept { return levels_.size(); }
 
   /// After `run` found `zero_round_step == k`: the synthesized k-round
@@ -81,6 +104,11 @@ class SpeedupEngine {
 
  private:
   NodeEdgeCheckableLcl base_;
+  /// The lint-pruned base (== `base_` until a pre-flight prunes it). The
+  /// levels always map effective_base_ -> pi_1 -> ...; synthesized outputs
+  /// are translated back to `base_` labels via `prune_new_to_old_`.
+  NodeEdgeCheckableLcl effective_base_;
+  std::vector<Label> prune_new_to_old_;  // empty = identity
   std::vector<SequenceLevel> levels_;  // level i maps pi_i -> pi_{i+1}
   std::optional<ZeroRoundAlgorithm> witness_;
   int witness_step_ = -1;

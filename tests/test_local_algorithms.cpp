@@ -240,7 +240,9 @@ TEST(BfsTwoColoring, ProperOnPathsAndRoundsLinear) {
         << "n=" << n;
     EXPECT_TRUE(result.quiesced);
     // Rounds ~ eccentricity of the min-id node: Theta(n) on paths.
-    if (n >= 9) EXPECT_GE(result.rounds, static_cast<int>(n) / 2 - 1);
+    if (n >= 9) {
+      EXPECT_GE(result.rounds, static_cast<int>(n) / 2 - 1);
+    }
     EXPECT_LE(result.rounds, static_cast<int>(n) + 1);
   }
 }

@@ -30,6 +30,9 @@ int usage(std::ostream& out, int code) {
          "  --budget=T             wall-clock budget, e.g. 45, 60s, 10m\n"
          "  --corpus-dir=DIR       write shrunk failing cases here\n"
          "  --oracle=ID            run only this oracle\n"
+         "  --lint=POLICY          degenerate-problem policy: off, annotate\n"
+         "                         (default; lint codes land in the case\n"
+         "                         note), or reject (redraw)\n"
          "  --no-shrink            keep failing cases unminimized\n"
          "  --inject-bug=NAME      fault injection (drop-rbar-config)\n"
          "  --replay=FILE_OR_DIR   replay saved case(s) instead of fuzzing\n"
@@ -143,6 +146,19 @@ int main(int argc, char** argv) {
       options.corpus_dir = value_of("--corpus-dir=");
     } else if (arg.rfind("--oracle=", 0) == 0) {
       options.only_oracle = value_of("--oracle=");
+    } else if (arg.rfind("--lint=", 0) == 0) {
+      const std::string policy = value_of("--lint=");
+      if (policy == "off") {
+        options.generator.lint_policy = lcl::fuzz::LintPolicy::kOff;
+      } else if (policy == "annotate") {
+        options.generator.lint_policy = lcl::fuzz::LintPolicy::kAnnotate;
+      } else if (policy == "reject") {
+        options.generator.lint_policy = lcl::fuzz::LintPolicy::kReject;
+      } else {
+        std::cerr << "lcl_fuzz: unknown lint policy '" << policy
+                  << "' (off | annotate | reject)\n";
+        return 2;
+      }
     } else if (arg.rfind("--inject-bug=", 0) == 0) {
       options.oracle.inject = value_of("--inject-bug=");
       if (options.oracle.inject != "drop-rbar-config") {

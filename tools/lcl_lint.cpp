@@ -1,0 +1,107 @@
+// Static analyzer CLI for LCL problem specifications.
+//
+//   lcl_lint spec.json                # human-readable diagnostics
+//   lcl_lint --json spec1 spec2 ...   # machine-readable report per file
+//   lcl_lint --fix spec.json          # canonicalize + prune, rewrite in place
+//
+// Accepts bare problem-spec JSON files and fuzz-corpus cases (any object
+// with a "problem" member); `--fix` is restricted to bare specs, since
+// rewriting a corpus case would silently drop its graph and provenance.
+//
+// Exit codes: 0 = clean (at worst info diagnostics), 1 = warnings,
+// 2 = errors, 3 = usage or I/O failure.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+#include "lint/spec_io.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: lcl_lint [options] FILE...\n"
+         "  --json   machine-readable output (one report object per file,\n"
+         "           wrapped in a top-level array)\n"
+         "  --fix    write the canonicalized, pruned spec back in place\n"
+         "           (bare spec files only; refused while L001 errors\n"
+         "           remain, since the spec has no defined semantics)\n"
+         "exit: 0 clean, 1 warnings, 2 errors, 3 usage/I-O\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  bool fix = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "lcl_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 3);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(std::cerr, 3);
+
+  int status = 0;
+  auto json_reports = lcl::obs::json::Value::make_array();
+  for (const auto& file : files) {
+    lcl::lint::ProblemSpec spec;
+    bool wrapped = false;
+    try {
+      spec = lcl::lint::load_spec(file, &wrapped);
+    } catch (const std::exception& e) {
+      std::cerr << "lcl_lint: " << file << ": " << e.what() << "\n";
+      status = 3;
+      continue;
+    }
+
+    const auto report = lcl::lint::lint_spec(spec);
+    status = std::max(status, report.status());
+
+    if (as_json) {
+      auto entry = lcl::obs::json::Value::make_object();
+      entry.object().emplace("file", lcl::obs::json::Value(file));
+      entry.object().emplace("report", report.to_json_value());
+      json_reports.array().push_back(std::move(entry));
+    } else {
+      std::cout << file << ":\n" << report.to_text();
+    }
+
+    if (fix) {
+      if (wrapped) {
+        std::cerr << "lcl_lint: " << file
+                  << ": --fix only rewrites bare spec files, not fuzz-case "
+                     "wrappers\n";
+        status = 3;
+        continue;
+      }
+      if (!report.structurally_valid) {
+        std::cerr << "lcl_lint: " << file
+                  << ": refusing to fix a spec with L001 errors\n";
+        continue;  // status already reflects the errors (exit 2)
+      }
+      try {
+        lcl::lint::save_spec(file, report.canonical);
+      } catch (const std::exception& e) {
+        std::cerr << "lcl_lint: " << file << ": " << e.what() << "\n";
+        status = 3;
+      }
+    }
+  }
+  if (as_json) std::cout << lcl::obs::json::dump(json_reports) << "\n";
+  return status;
+}
