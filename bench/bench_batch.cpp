@@ -1,0 +1,97 @@
+// Throughput of the batch survey runtime: threads-vs-throughput scaling of
+// the worker pool and the cold-vs-warm cost of the result cache. The survey
+// family is the exhaustive Delta=2 slice with 3 output labels - large
+// enough (several hundred problems) that per-task scheduling overhead is
+// amortized and scaling is visible.
+
+#include <memory>
+#include <string>
+
+#include "batch/cache.hpp"
+#include "batch/survey.hpp"
+#include "bench_common.hpp"
+
+namespace lcl {
+namespace {
+
+batch::SurveyOptions survey_options(std::size_t jobs,
+                                    batch::Cache* cache = nullptr) {
+  batch::SurveyOptions options;
+  options.jobs = jobs;
+  options.engine.max_steps = 3;
+  options.cache = cache;
+  return options;
+}
+
+const batch::Family& bench_family() {
+  static const batch::Family family = []() {
+    batch::ExhaustiveFamilyOptions options;
+    options.labels = 3;
+    options.max_problems = 400;
+    return batch::exhaustive_family(options);
+  }();
+  return family;
+}
+
+/// Threads-vs-throughput: the same survey at --jobs = 1, 2, 4, 8. Every
+/// iteration runs cacheless, so the column measures the pool, not cache
+/// warmth. `problems_per_s` is the figure of merit.
+void BM_SurveyJobs(benchmark::State& state) {
+  const auto& family = bench_family();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto report = batch::run_survey(family, survey_options(jobs));
+    bench::keep(report.problems);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["problems"] = static_cast<double>(family.members.size());
+  state.counters["problems_per_s"] = benchmark::Counter(
+      static_cast<double>(family.members.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SurveyJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cold cache: every iteration starts from an empty cache and pays full
+/// price (plus insert overhead) - the baseline for the warm column.
+void BM_SurveyCacheCold(benchmark::State& state) {
+  const auto& family = bench_family();
+  for (auto _ : state) {
+    batch::Cache cache;
+    const auto report = batch::run_survey(family, survey_options(4, &cache));
+    bench::keep(report.problems);
+  }
+  state.counters["problems_per_s"] = benchmark::Counter(
+      static_cast<double>(family.members.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SurveyCacheCold)->Unit(benchmark::kMillisecond);
+
+/// Warm cache: one cache shared across iterations; after the first, every
+/// verdict is a confirmed hit. The speedup over BM_SurveyCacheCold is the
+/// cache's value on a re-survey (the --resume path).
+void BM_SurveyCacheWarm(benchmark::State& state) {
+  const auto& family = bench_family();
+  batch::Cache cache;
+  // Prime outside the measurement loop.
+  (void)batch::run_survey(family, survey_options(4, &cache));
+  for (auto _ : state) {
+    const auto report = batch::run_survey(family, survey_options(4, &cache));
+    bench::keep(report.problems);
+  }
+  const auto stats = cache.stats();
+  state.counters["hit_rate"] =
+      stats.hits + stats.misses == 0
+          ? 0.0
+          : static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses);
+  state.counters["problems_per_s"] = benchmark::Counter(
+      static_cast<double>(family.members.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SurveyCacheWarm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lcl
+
+LCL_BENCH_MAIN();

@@ -1,0 +1,222 @@
+#include "batch/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "lint/spec.hpp"
+#include "lint/spec_io.hpp"
+#include "obs/obs.hpp"
+
+namespace lcl::batch {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of `v`.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t constraint_signature(const NodeEdgeCheckableLcl& problem) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, problem.input_alphabet().size());
+  mix(h, problem.output_alphabet().size());
+  mix(h, static_cast<std::uint64_t>(problem.max_degree()));
+  for (int d = 1; d <= problem.max_degree(); ++d) {
+    mix(h, 0xD0 + static_cast<std::uint64_t>(d));  // section marker
+    for (const auto& config : problem.node_configs(d)) {
+      for (const auto label : config.labels()) mix(h, label);
+      mix(h, 0xC0FFEE);  // configuration separator
+    }
+  }
+  mix(h, 0xE0);
+  for (const auto& config : problem.edge_configs()) {
+    for (const auto label : config.labels()) mix(h, label);
+    mix(h, 0xC0FFEE);
+  }
+  mix(h, 0x60);
+  for (Label in = 0; in < problem.input_alphabet().size(); ++in) {
+    for (const auto out : problem.allowed_outputs(in).to_vector()) {
+      mix(h, out);
+    }
+    mix(h, 0xC0FFEE);
+  }
+  return h;
+}
+
+std::size_t Cache::IndexKeyHash::operator()(const IndexKey& k) const noexcept {
+  return std::hash<std::string>{}(k.kind) ^
+         std::hash<std::uint64_t>{}(k.signature);
+}
+
+Cache::Cache() : Cache(Options{}) {}
+
+Cache::Cache(Options options) : options_(std::move(options)) {
+  if (!options_.signature) options_.signature = &constraint_signature;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.disk_path.empty()) return;
+  if (options_.load_existing) load_disk_locked();
+  const auto mode = options_.load_existing
+                        ? std::ios::out | std::ios::app
+                        : std::ios::out | std::ios::trunc;
+  disk_ = std::make_unique<std::ofstream>(options_.disk_path, mode);
+  if (!disk_->is_open()) {
+    throw std::runtime_error("batch::Cache: cannot open '" +
+                             options_.disk_path + "' for appending");
+  }
+}
+
+Cache::~Cache() = default;
+
+void Cache::load_disk_locked() {
+  std::ifstream in(options_.disk_path);
+  if (!in.is_open()) return;  // nothing to resume from yet
+  std::string line;
+  while (std::getline(in, line)) {
+    // A file killed mid-append ends without a newline; the next append
+    // must not glue a fresh record onto that torn tail.
+    disk_needs_newline_ = in.eof() && !line.empty();
+    if (line.empty()) continue;
+    std::string error;
+    const auto record = obs::json::parse(line, &error);
+    // A process killed mid-append leaves one torn trailing line; skip
+    // anything unparseable (or shaped wrong) rather than failing the run
+    // the cache exists to accelerate.
+    if (record == nullptr || !record->is_object()) {
+      ++stats_.disk_skipped;
+      continue;
+    }
+    const auto* kind = record->find("kind");
+    const auto* problem_value = record->find("problem");
+    const auto* value = record->find("value");
+    if (kind == nullptr || !kind->is_string() || problem_value == nullptr ||
+        value == nullptr) {
+      ++stats_.disk_skipped;
+      continue;
+    }
+    Entry entry;
+    entry.kind = kind->as_string();
+    try {
+      entry.problem =
+          lint::build_spec(lint::spec_from_json_value(*problem_value));
+    } catch (const std::exception&) {
+      ++stats_.disk_skipped;
+      continue;
+    }
+    // Recomputed, not trusted from the file: the stored "sig" field is
+    // informational, so the tier survives signature-function changes (and
+    // deliberate test overrides).
+    entry.signature = options_.signature(entry.problem);
+    entry.value = *value;
+    if (contains_confirmed_locked(entry)) continue;
+    insert_memory_locked(std::move(entry));
+    ++stats_.disk_loaded;
+  }
+}
+
+void Cache::append_disk_locked(const Entry& entry) {
+  if (disk_ == nullptr) return;
+  if (disk_needs_newline_) {
+    *disk_ << '\n';
+    disk_needs_newline_ = false;
+  }
+  obs::json::Value record = obs::json::Value::make_object();
+  record.object()["kind"] = obs::json::Value(entry.kind);
+  record.object()["sig"] = obs::json::Value(std::to_string(entry.signature));
+  record.object()["problem"] =
+      lint::spec_to_json_value(lint::spec_from_problem(entry.problem));
+  record.object()["value"] = entry.value;
+  *disk_ << obs::json::dump(record) << '\n';
+  // Flush per record: a killed survey loses at most the line being written.
+  disk_->flush();
+}
+
+bool Cache::contains_confirmed_locked(const Entry& entry) {
+  const auto bucket = index_.find(IndexKey{entry.kind, entry.signature});
+  if (bucket == index_.end()) return false;
+  for (const auto& it : bucket->second) {
+    if (same_constraints(it->problem, entry.problem)) return true;
+    ++stats_.collisions;
+  }
+  return false;
+}
+
+void Cache::insert_memory_locked(Entry entry) {
+  const IndexKey key{entry.kind, entry.signature};
+  lru_.push_front(std::move(entry));
+  index_[key].push_back(lru_.begin());
+  while (lru_.size() > options_.capacity) {
+    const auto victim = std::prev(lru_.end());
+    auto& victim_bucket = index_[IndexKey{victim->kind, victim->signature}];
+    std::erase(victim_bucket, victim);
+    if (victim_bucket.empty()) {
+      index_.erase(IndexKey{victim->kind, victim->signature});
+    }
+    lru_.pop_back();
+    ++stats_.evictions;
+    LCL_OBS_COUNTER_ADD("batch.cache_evictions", 1);
+  }
+}
+
+std::optional<obs::json::Value> Cache::find(
+    std::string_view kind, const NodeEdgeCheckableLcl& problem) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t sig = options_.signature(problem);
+  const auto bucket = index_.find(IndexKey{std::string(kind), sig});
+  if (bucket != index_.end()) {
+    for (const auto& it : bucket->second) {
+      // Collision-safe exact confirmation: the signature narrows the
+      // candidates, `same_constraints` decides.
+      if (same_constraints(it->problem, problem)) {
+        lru_.splice(lru_.begin(), lru_, it);  // touch for LRU
+        ++stats_.hits;
+        LCL_OBS_COUNTER_ADD("batch.cache_hits", 1);
+        return it->value;
+      }
+      ++stats_.collisions;
+      LCL_OBS_COUNTER_ADD("batch.cache_collisions", 1);
+    }
+  }
+  ++stats_.misses;
+  LCL_OBS_COUNTER_ADD("batch.cache_misses", 1);
+  return std::nullopt;
+}
+
+void Cache::insert(std::string_view kind, const NodeEdgeCheckableLcl& problem,
+                   const obs::json::Value& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.kind = std::string(kind);
+  entry.signature = options_.signature(problem);
+  entry.problem = problem;
+  entry.value = value;
+  if (contains_confirmed_locked(entry)) return;  // duplicate: keep the file flat
+  ++stats_.insertions;
+  LCL_OBS_COUNTER_ADD("batch.cache_insertions", 1);
+  // Disk first: the append must happen even if the entry is immediately
+  // evicted from a tiny in-memory tier.
+  append_disk_locked(entry);
+  insert_memory_locked(std::move(entry));
+}
+
+CacheStats Cache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t Cache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace lcl::batch

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lcl.hpp"
+#include "obs/json.hpp"
+
+namespace lcl::batch {
+
+/// Order-independent structural hash of a problem's constraint system -
+/// the content address of the result cache. Hashes exactly what
+/// `same_constraints` compares (alphabet sizes, max degree, node/edge
+/// configuration sets, `g` sets, all label-index by label-index) and
+/// nothing it ignores (problem and label *names*), so
+/// `same_constraints(a, b)` implies equal signatures. The converse does not
+/// hold - a 64-bit hash can collide - which is why every cache hit is
+/// confirmed exactly before being served.
+std::uint64_t constraint_signature(const NodeEdgeCheckableLcl& problem);
+
+/// Counters describing one cache's life so far (monotone; `snapshot`-style
+/// copy, safe to read while the cache is in use).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Lookups/inserts that met a same-signature entry whose constraints did
+  /// NOT match exactly - the collisions the confirmation step absorbed.
+  std::uint64_t collisions = 0;
+  /// Entries replayed from the on-disk tier at open.
+  std::uint64_t disk_loaded = 0;
+  /// Trailing/torn lines skipped while replaying (a killed writer leaves at
+  /// most one).
+  std::uint64_t disk_skipped = 0;
+};
+
+/// Content-addressed result cache for landscape surveys: maps
+/// `(kind, problem constraints)` to a JSON value, where `kind` names what
+/// was computed ("step:...", "engine:...", "cycle:...", ...). Problems are
+/// addressed by `constraint_signature`, and a hit is only served after the
+/// stored problem is confirmed via `same_constraints` - a signature
+/// collision therefore costs one extra comparison, never a wrong answer.
+///
+/// Two tiers:
+///  - in-memory LRU (bounded by `Options::capacity`; eviction drops the
+///    entry from the lookup index);
+///  - optional append-only JSONL file (`Options::disk_path`) in the
+///    fuzz/lint spec-JSON dialect: one self-contained record per line,
+///    `{"kind":.., "sig":.., "problem": <spec>, "value": ..}`. Every insert
+///    is appended and flushed, so a killed survey loses at most a torn
+///    trailing line; reopening with `load_existing` replays the file (the
+///    `--resume` path). Signatures are recomputed from the stored problem
+///    on load, so the file survives signature-function changes.
+///
+/// All operations are thread-safe; one cache is shared across pool workers.
+class Cache {
+ public:
+  using SignatureFn = std::function<std::uint64_t(const NodeEdgeCheckableLcl&)>;
+
+  struct Options {
+    /// In-memory entries kept; least-recently-used beyond that are evicted.
+    std::size_t capacity = 1 << 16;
+    /// JSONL on-disk tier; empty = in-memory only.
+    std::string disk_path;
+    /// Replay an existing disk file at open (true = resume/warm start);
+    /// false truncates it (cold start).
+    bool load_existing = true;
+    /// Override the content hash - tests inject deliberately weak
+    /// signatures to exercise the collision path. Default:
+    /// `constraint_signature`.
+    SignatureFn signature;
+  };
+
+  /// Opens the cache (and disk tier, when configured). Throws
+  /// `std::runtime_error` if the disk file cannot be opened for appending.
+  Cache();  // in-memory only, default capacity
+  explicit Cache(Options options);
+  ~Cache();
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Confirmed lookup: returns the stored value only when an entry of this
+  /// `kind` holds a problem with exactly the same constraints.
+  std::optional<obs::json::Value> find(std::string_view kind,
+                                       const NodeEdgeCheckableLcl& problem);
+
+  /// Inserts (and appends to disk). A duplicate of an existing confirmed
+  /// entry is a no-op, so re-running a survey over a warm cache does not
+  /// grow the file.
+  void insert(std::string_view kind, const NodeEdgeCheckableLcl& problem,
+              const obs::json::Value& value);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string kind;
+    std::uint64_t signature = 0;
+    NodeEdgeCheckableLcl problem;  // kept built for exact confirmation
+    obs::json::Value value;
+  };
+  struct IndexKey {
+    std::string kind;
+    std::uint64_t signature = 0;
+    bool operator==(const IndexKey&) const = default;
+  };
+  struct IndexKeyHash {
+    std::size_t operator()(const IndexKey& k) const noexcept;
+  };
+
+  void load_disk_locked();
+  void append_disk_locked(const Entry& entry);
+  /// True when an entry of this kind/signature holds exactly these
+  /// constraints already. Bumps `collisions` per same-signature mismatch.
+  bool contains_confirmed_locked(const Entry& entry);
+  /// Unconditional insert into the in-memory tier, evicting beyond
+  /// capacity.
+  void insert_memory_locked(Entry entry);
+
+  mutable std::mutex mutex_;
+  Options options_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<IndexKey, std::vector<std::list<Entry>::iterator>,
+                     IndexKeyHash>
+      index_;
+  std::unique_ptr<std::ofstream> disk_;
+  /// True when the resumed file ends mid-line (a torn append): the next
+  /// append starts with a newline so it lands on its own line instead of
+  /// concatenating onto the torn one.
+  bool disk_needs_newline_ = false;
+  CacheStats stats_;
+};
+
+}  // namespace lcl::batch

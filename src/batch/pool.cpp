@@ -1,0 +1,106 @@
+#include "batch/pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace lcl::batch {
+
+Pool::Pool() : Pool(Options{}) {}
+
+Pool::Pool(Options options) {
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Drain-then-stop: everything still queued (and not cancelled) runs.
+    idle_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void Pool::enqueue(std::function<void()> run) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("batch::Pool: submit after shutdown began");
+    }
+    queue_.push_back(std::move(run));
+    LCL_OBS_GAUGE_SET("batch.queue_depth", queue_.size());
+  }
+  work_available_.notify_one();
+}
+
+void Pool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
+void Pool::request_cancel() {
+  cancel_.store(true, std::memory_order_release);
+  std::deque<std::function<void()>> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    abandoned.swap(queue_);
+    LCL_OBS_GAUGE_SET("batch.queue_depth", 0);
+  }
+  // Destroying an unrun packaged_task breaks its promise: every dropped
+  // task's future reports broken_promise rather than hanging. Destruction
+  // happens outside the lock - task destructors can be arbitrary code.
+  dropped_.fetch_add(abandoned.size(), std::memory_order_relaxed);
+  LCL_OBS_COUNTER_ADD("batch.tasks_dropped", abandoned.size());
+  abandoned.clear();
+  idle_.notify_all();
+}
+
+std::size_t Pool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      LCL_OBS_GAUGE_SET("batch.queue_depth", queue_.size());
+      LCL_OBS_GAUGE_SET("batch.active_workers", active_);
+    }
+    {
+      // The packaged_task inside captures any exception into its future;
+      // nothing propagates into the worker loop.
+      LCL_OBS_SPAN(task_span, "batch/task", "batch");
+      task();
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    LCL_OBS_COUNTER_ADD("batch.tasks", 1);
+    bool idle_now = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      LCL_OBS_GAUGE_SET("batch.active_workers", active_);
+      idle_now = queue_.empty() && active_ == 0;
+    }
+    if (idle_now) idle_.notify_all();
+  }
+}
+
+}  // namespace lcl::batch

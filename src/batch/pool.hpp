@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lcl::batch {
+
+/// Fixed-size worker-thread pool behind an MPMC task queue - the execution
+/// substrate of the landscape-survey runtime. Tasks are arbitrary callables;
+/// `submit` returns a `std::future` that carries the task's value *or* the
+/// exception it threw, so a failing task never takes down a worker (let
+/// alone the pool) - the caller decides, per task, what a failure means.
+///
+/// Cancellation is cooperative: `request_cancel()` drops every task still
+/// queued (their futures report `std::future_errc::broken_promise`) and
+/// raises a flag that long-running tasks are expected to poll via
+/// `cancel_requested()`; already-running tasks are never interrupted.
+///
+/// Observability: each executed task runs under a `batch/task` span, and the
+/// pool keeps the `batch.queue_depth` / `batch.active_workers` gauges and
+/// the `batch.tasks` / `batch.tasks_dropped` counters current (obs is
+/// runtime-gated as everywhere else; an idle switch costs one atomic load).
+///
+/// Destruction waits for all submitted-and-not-cancelled tasks to finish.
+class Pool {
+ public:
+  struct Options {
+    /// Worker count; 0 = `std::thread::hardware_concurrency()` (min 1).
+    std::size_t threads = 0;
+  };
+
+  Pool();  // hardware-concurrency workers
+  explicit Pool(Options options);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Enqueues `fn` and returns the future for its result. Throws
+  /// `std::runtime_error` if called during/after destruction.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only and std::function requires copyable
+    // callables, hence the shared_ptr hop.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until the queue is empty and every worker is idle. Tasks
+  /// submitted while waiting extend the wait.
+  void wait_idle();
+
+  /// Drops all queued tasks (their futures break) and raises the
+  /// cooperative-cancellation flag; running tasks keep running.
+  void request_cancel();
+  bool cancel_requested() const noexcept {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+  std::uint64_t tasks_completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t queue_depth() const;
+
+ private:
+  void enqueue(std::function<void()> run);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;  // tasks currently executing (guarded by mutex_)
+  bool stopping_ = false;   // destructor has begun (guarded by mutex_)
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace lcl::batch

@@ -2,12 +2,115 @@
 
 #include <chrono>
 #include <filesystem>
+#include <functional>
+#include <future>
+#include <utility>
+#include <vector>
 
+#include "batch/pool.hpp"
 #include "fuzz/case_io.hpp"
 #include "fuzz/shrink.hpp"
 #include "obs/obs.hpp"
 
 namespace lcl::fuzz {
+
+namespace {
+
+/// Everything one seed produced, I/O-free. Corpus files are written by the
+/// coordinating thread in seed order, so a parallel campaign emits exactly
+/// the files (and the report) a sequential one does.
+struct SeedOutcome {
+  bool ran = false;
+  std::map<std::string, OracleTally> per_oracle;
+  std::uint64_t checks = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t failures = 0;
+  std::vector<std::string> failure_messages;
+  struct SavedCase {
+    std::string oracle_id;
+    std::uint64_t seed = 0;
+    FuzzCase minimal;
+  };
+  std::vector<SavedCase> to_save;
+};
+
+SeedOutcome run_seed(std::uint64_t seed, const FuzzRunOptions& options) {
+  SeedOutcome out;
+  out.ran = true;
+  FuzzCase base = random_case(options.generator, seed);
+
+  for (const auto& entry : oracle_bank()) {
+    if (!options.only_oracle.empty() && options.only_oracle != entry.id) {
+      continue;
+    }
+    FuzzCase c = base;
+    c.oracle = entry.id;
+    auto& tally = out.per_oracle[entry.id];
+    const OracleResult result = entry.run(c, options.oracle);
+    if (!result.applicable) {
+      ++tally.skipped;
+      ++out.skipped;
+      continue;
+    }
+    ++tally.checks;
+    ++out.checks;
+    if (!result.failed) continue;
+
+    ++tally.failures;
+    ++out.failures;
+    LCL_OBS_EVENT1("fuzz/failure", "fuzz", "seed",
+                   static_cast<std::int64_t>(seed));
+
+    FuzzCase minimal = c;
+    if (options.shrink) {
+      ShrinkStats stats;
+      minimal = shrink_case(c, options.oracle, &stats);
+      minimal.note = "shrunk from seed " + std::to_string(seed) + " (" +
+                     std::to_string(stats.accepted) + "/" +
+                     std::to_string(stats.attempts) + " deletions accepted)";
+    }
+    const OracleResult final_result =
+        run_oracle(minimal.oracle, minimal, options.oracle);
+    out.failure_messages.push_back(
+        std::string(entry.id) + " seed " + std::to_string(seed) + ": " +
+        (final_result.message.empty() ? result.message
+                                      : final_result.message));
+    if (!options.corpus_dir.empty()) {
+      out.to_save.push_back(
+          SeedOutcome::SavedCase{entry.id, seed, std::move(minimal)});
+    }
+  }
+  return out;
+}
+
+/// Folds one seed's outcome into the report (and performs its corpus I/O).
+/// Always called in seed order.
+void merge(FuzzReport& report, SeedOutcome&& outcome,
+           const FuzzRunOptions& options) {
+  if (!outcome.ran) return;
+  ++report.seeds_run;
+  report.checks += outcome.checks;
+  report.skipped += outcome.skipped;
+  report.failures += outcome.failures;
+  for (auto& [id, tally] : outcome.per_oracle) {
+    auto& total = report.per_oracle[id];
+    total.checks += tally.checks;
+    total.skipped += tally.skipped;
+    total.failures += tally.failures;
+  }
+  for (auto& message : outcome.failure_messages) {
+    report.failure_messages.push_back(std::move(message));
+  }
+  for (auto& saved : outcome.to_save) {
+    const auto path = std::filesystem::path(options.corpus_dir) /
+                      (saved.oracle_id + "-seed" + std::to_string(saved.seed) +
+                       ".json");
+    save_case(path.string(), saved.minimal);
+    report.corpus_files.push_back(path.string());
+  }
+}
+
+}  // namespace
 
 FuzzReport run_fuzz(const FuzzRunOptions& options) {
   FuzzReport report;
@@ -19,60 +122,38 @@ FuzzReport run_fuzz(const FuzzRunOptions& options) {
     return elapsed.count() >= options.budget_seconds;
   };
 
-  for (std::uint64_t i = 0; i < options.seeds; ++i) {
-    if (over_budget()) {
-      report.budget_exhausted = true;
-      break;
+  if (options.jobs == 1) {
+    for (std::uint64_t i = 0; i < options.seeds; ++i) {
+      if (over_budget()) {
+        report.budget_exhausted = true;
+        break;
+      }
+      merge(report, run_seed(options.seed_start + i, options), options);
     }
-    const std::uint64_t seed = options.seed_start + i;
-    FuzzCase base = random_case(options.generator, seed);
-    ++report.seeds_run;
+    return report;
+  }
 
-    for (const auto& entry : oracle_bank()) {
-      if (!options.only_oracle.empty() && options.only_oracle != entry.id) {
-        continue;
-      }
-      FuzzCase c = base;
-      c.oracle = entry.id;
-      auto& tally = report.per_oracle[entry.id];
-      const OracleResult result = entry.run(c, options.oracle);
-      if (!result.applicable) {
-        ++tally.skipped;
-        ++report.skipped;
-        continue;
-      }
-      ++tally.checks;
-      ++report.checks;
-      if (!result.failed) continue;
-
-      ++tally.failures;
-      ++report.failures;
-      LCL_OBS_EVENT1("fuzz/failure", "fuzz", "seed",
-                     static_cast<std::int64_t>(seed));
-
-      FuzzCase minimal = c;
-      if (options.shrink) {
-        ShrinkStats stats;
-        minimal = shrink_case(c, options.oracle, &stats);
-        minimal.note = "shrunk from seed " + std::to_string(seed) + " (" +
-                       std::to_string(stats.accepted) + "/" +
-                       std::to_string(stats.attempts) +
-                       " deletions accepted)";
-      }
-      const OracleResult final_result =
-          run_oracle(minimal.oracle, minimal, options.oracle);
-      report.failure_messages.push_back(
-          std::string(entry.id) + " seed " + std::to_string(seed) + ": " +
-          (final_result.message.empty() ? result.message
-                                        : final_result.message));
-      if (!options.corpus_dir.empty()) {
-        const auto path = std::filesystem::path(options.corpus_dir) /
-                          (std::string(entry.id) + "-seed" +
-                           std::to_string(seed) + ".json");
-        save_case(path.string(), minimal);
-        report.corpus_files.push_back(path.string());
-      }
+  // Parallel campaign: one pool task per seed, outcome slots pre-sized so
+  // completion order does not matter, merged in seed order afterwards.
+  std::vector<SeedOutcome> outcomes(options.seeds);
+  {
+    batch::Pool pool(batch::Pool::Options{options.jobs});
+    std::vector<std::future<void>> futures;
+    futures.reserve(outcomes.size());
+    for (std::uint64_t i = 0; i < options.seeds; ++i) {
+      futures.push_back(pool.submit([i, &outcomes, &options, &over_budget]() {
+        // The budget is checked at task start, mirroring the sequential
+        // between-seeds check: a seed either runs to completion or not at
+        // all.
+        if (over_budget()) return;
+        outcomes[i] = run_seed(options.seed_start + i, options);
+      }));
     }
+    for (auto& future : futures) future.get();
+  }
+  for (auto& outcome : outcomes) {
+    if (!outcome.ran) report.budget_exhausted = true;
+    merge(report, std::move(outcome), options);
   }
   return report;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -16,6 +17,11 @@ namespace lcl::fuzz {
 struct FuzzRunOptions {
   std::uint64_t seed_start = 1;
   std::uint64_t seeds = 100;
+  /// Worker threads (`batch::Pool`); 0 = hardware concurrency, 1 = run
+  /// inline. Seeds are independent, so the report is identical for any
+  /// value - results are merged in seed order and corpus files are written
+  /// by the coordinating thread.
+  std::size_t jobs = 1;
   /// Wall-clock budget in seconds; 0 = unlimited. Checked between seeds, so
   /// the run always finishes the seed it is on.
   double budget_seconds = 0.0;

@@ -23,19 +23,21 @@ void update_extreme(std::atomic<std::int64_t>& slot, std::int64_t v,
 
 void Gauge::set(std::int64_t v) noexcept {
   value_.store(v, std::memory_order_relaxed);
-  if (!set_.exchange(true, std::memory_order_relaxed)) {
-    max_.store(v, std::memory_order_relaxed);
-    min_.store(v, std::memory_order_relaxed);
-    return;
-  }
+  // Every setter - including the first - folds into the sentinel extremes
+  // via the monotone CAS. The old exchange-then-store first-set fast path
+  // raced: a second setter could finish its CAS against the sentinel and
+  // then be overwritten by the first setter's plain store, losing an
+  // extreme. Release pairs with the acquire in `ever_set()` so a reader
+  // that observes `set_` also observes this setter's extremes.
   update_extreme(max_, v, [](std::int64_t a, std::int64_t b) { return a > b; });
   update_extreme(min_, v, [](std::int64_t a, std::int64_t b) { return a < b; });
+  set_.store(true, std::memory_order_release);
 }
 
 void Gauge::reset() noexcept {
   value_.store(0, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
-  min_.store(0, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
   set_.store(false, std::memory_order_relaxed);
 }
 

@@ -38,20 +38,25 @@ class Gauge {
   }
   /// Largest / smallest value ever `set`; 0 if never set.
   std::int64_t max() const noexcept {
-    return max_.load(std::memory_order_relaxed);
+    return ever_set() ? max_.load(std::memory_order_relaxed) : 0;
   }
   std::int64_t min() const noexcept {
-    return min_.load(std::memory_order_relaxed);
+    return ever_set() ? min_.load(std::memory_order_relaxed) : 0;
   }
   bool ever_set() const noexcept {
-    return set_.load(std::memory_order_relaxed);
+    return set_.load(std::memory_order_acquire);
   }
   void reset() noexcept;
 
  private:
+  // The extremes idle at +-infinity sentinels so concurrent first `set`s
+  // fold in via the same monotone CAS as every later one - an
+  // initialize-then-publish scheme would let two racing first-setters lose
+  // one of the two values. `set_` only gates the getters' "never set -> 0"
+  // presentation.
   std::atomic<std::int64_t> value_{0};
-  std::atomic<std::int64_t> max_{0};
-  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+  std::atomic<std::int64_t> min_{INT64_MAX};
   std::atomic<bool> set_{false};
 };
 

@@ -63,6 +63,7 @@ std::string TraceSession::format_args_object(const TraceArg* args,
 
 void TraceSession::write_record(const std::string& line) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (finalized_) return;  // a racing emitter lost to close()
   ++records_;
   if (discard_) return;
   if (format_ == TraceFormat::kChromeJson) {
@@ -77,7 +78,7 @@ void TraceSession::write_record(const std::string& line) {
 void TraceSession::emit_span(std::string_view name, std::string_view category,
                              std::int64_t ts_us, std::int64_t dur_us,
                              const TraceArg* args, std::size_t arg_count) {
-  if (closed_) return;
+  if (closed_.load(std::memory_order_acquire)) return;
   std::ostringstream out;
   if (format_ == TraceFormat::kChromeJson) {
     out << "{\"name\":" << json::quote(name)
@@ -97,7 +98,7 @@ void TraceSession::emit_span(std::string_view name, std::string_view category,
 void TraceSession::emit_instant(std::string_view name,
                                 std::string_view category,
                                 const TraceArg* args, std::size_t arg_count) {
-  if (closed_) return;
+  if (closed_.load(std::memory_order_acquire)) return;
   const std::int64_t ts = now_us();
   std::ostringstream out;
   if (format_ == TraceFormat::kChromeJson) {
@@ -115,24 +116,38 @@ void TraceSession::emit_instant(std::string_view name,
 }
 
 void TraceSession::close() {
-  if (closed_) return;
+  // Exactly one caller wins the exchange and finalizes; late emitters see
+  // the flag and bail (and any emit already past that check is stopped by
+  // `finalized_` under the lock below).
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  std::string footer;
   if (format_ == TraceFormat::kJsonl) {
-    write_record("{\"t\":\"metrics\",\"registry\":" + metrics_footer_body() +
-                 ",\"ts\":" + std::to_string(now_us()) + "}");
+    footer = "{\"t\":\"metrics\",\"registry\":" + metrics_footer_body() +
+             ",\"ts\":" + std::to_string(now_us()) + "}";
   } else {
     // Chrome format has no natural footer record; attach the registry as a
     // metadata event so the data survives in the same file.
-    write_record(
+    footer =
         "{\"name\":\"lclscape_metrics\",\"cat\":\"obs\",\"ph\":\"i\",\"s\":"
         "\"g\",\"ts\":" +
         std::to_string(now_us()) +
         ",\"pid\":1,\"tid\":1,\"args\":{\"registry\":" +
-        metrics_footer_body() + "}}");
+        metrics_footer_body() + "}}";
   }
-  closed_ = true;
+  // Footer, trailer, and the finalized flag flip atomically with respect to
+  // write_record: nothing can interleave between the footer and the
+  // trailer, and nothing can append after them.
   std::lock_guard<std::mutex> lock(mutex_);
+  ++records_;
+  finalized_ = true;
   if (discard_) return;
-  if (format_ == TraceFormat::kChromeJson) file_ << "\n]\n";
+  if (format_ == TraceFormat::kChromeJson) {
+    if (!first_chrome_record_) file_ << ",\n";
+    first_chrome_record_ = false;
+    file_ << footer << "\n]\n";
+  } else {
+    file_ << footer << '\n';
+  }
   file_.close();
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -83,7 +84,14 @@ class TraceSession {
   TraceFormat format_;
   std::ofstream file_;
   bool discard_ = false;
-  bool closed_ = false;
+  /// Set once by the close() that wins; emitters read it unlocked as a
+  /// cheap "stop producing" hint (atomic - emitters race with close()).
+  std::atomic<bool> closed_{false};
+  /// The authoritative gate: set under `mutex_` after the footer/trailer
+  /// are written, checked by `write_record` under the same lock, so an
+  /// emit that slipped past the `closed_` fast path can never write
+  /// behind the trailer.
+  bool finalized_ = false;
   bool first_chrome_record_ = true;
   std::uint64_t records_ = 0;
   std::chrono::steady_clock::time_point start_;

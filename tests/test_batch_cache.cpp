@@ -1,0 +1,231 @@
+#include "batch/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/lcl.hpp"
+#include "core/problems.hpp"
+#include "obs/json.hpp"
+
+namespace lcl {
+namespace {
+
+using batch::Cache;
+using batch::constraint_signature;
+namespace json = obs::json;
+
+json::Value tag(const std::string& text) {
+  json::Value value = json::Value::make_object();
+  value.object()["tag"] = json::Value(text);
+  return value;
+}
+
+std::string tag_of(const json::Value& value) {
+  const auto* t = value.find("tag");
+  return (t != nullptr && t->is_string()) ? t->as_string() : std::string();
+}
+
+/// The `CollidingSignaturesAreNotIsomorphic` pair from test_core_lcl: the
+/// same label count, per-degree configuration counts, and edge count, but
+/// NOT the same (or even isomorphic) constraints.
+NodeEdgeCheckableLcl colliding_a() {
+  NodeEdgeCheckableLcl::Builder b("a", Alphabet({"-"}), Alphabet({"x", "y"}),
+                                  2);
+  b.allow_node({0});
+  b.allow_node({0, 0});
+  b.allow_edge(0, 0);
+  b.allow_output_for_input(0, 0);
+  b.allow_output_for_input(0, 1);
+  return b.build();
+}
+
+NodeEdgeCheckableLcl colliding_b() {
+  NodeEdgeCheckableLcl::Builder b("b", Alphabet({"-"}), Alphabet({"x", "y"}),
+                                  2);
+  b.allow_node({0});
+  b.allow_node({0, 1});
+  b.allow_edge(0, 1);
+  b.allow_output_for_input(0, 0);
+  b.allow_output_for_input(0, 1);
+  return b.build();
+}
+
+TEST(ConstraintSignature, NameInsensitiveContentSensitive) {
+  const auto mm = problems::maximal_matching(3);
+  // Renaming the problem (what `same_constraints` ignores) keeps the
+  // signature; the colliding pair differs in content, and here the real
+  // hash also separates them.
+  const auto mm2 = problems::maximal_matching(3);
+  EXPECT_EQ(constraint_signature(mm), constraint_signature(mm2));
+  EXPECT_NE(constraint_signature(colliding_a()),
+            constraint_signature(colliding_b()));
+  EXPECT_NE(constraint_signature(mm),
+            constraint_signature(problems::two_coloring(2)));
+}
+
+TEST(BatchCache, StoresAndFindsByContent) {
+  Cache cache;
+  const auto mm = problems::maximal_matching(3);
+  EXPECT_FALSE(cache.find("verdict", mm).has_value());
+  cache.insert("verdict", mm, tag("mm"));
+  const auto hit = cache.find("verdict", mm);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(tag_of(*hit), "mm");
+  // Kind is part of the address.
+  EXPECT_FALSE(cache.find("other-kind", mm).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(BatchCache, CollidingSignaturesNeverServeTheWrongEntry) {
+  // A deliberately weak signature sends both problems to the same bucket;
+  // the exact `same_constraints` confirmation must keep them apart.
+  Cache::Options options;
+  options.signature = [](const NodeEdgeCheckableLcl&) -> std::uint64_t {
+    return 42;
+  };
+  Cache cache(std::move(options));
+  const auto a = colliding_a();
+  const auto b = colliding_b();
+  cache.insert("verdict", a, tag("for-a"));
+
+  // b collides with a's entry but must NOT be served a's value.
+  EXPECT_FALSE(cache.find("verdict", b).has_value());
+  EXPECT_GE(cache.stats().collisions, 1u);
+
+  cache.insert("verdict", b, tag("for-b"));
+  EXPECT_EQ(cache.size(), 2u);
+  const auto hit_a = cache.find("verdict", a);
+  const auto hit_b = cache.find("verdict", b);
+  ASSERT_TRUE(hit_a.has_value());
+  ASSERT_TRUE(hit_b.has_value());
+  EXPECT_EQ(tag_of(*hit_a), "for-a");
+  EXPECT_EQ(tag_of(*hit_b), "for-b");
+}
+
+TEST(BatchCache, DuplicateInsertIsANoOp) {
+  Cache cache;
+  const auto mm = problems::maximal_matching(3);
+  cache.insert("verdict", mm, tag("first"));
+  cache.insert("verdict", mm, tag("second"));  // ignored: already confirmed
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(tag_of(*cache.find("verdict", mm)), "first");
+}
+
+TEST(BatchCache, LruEvictionDropsTheColdestEntry) {
+  Cache::Options options;
+  options.capacity = 2;
+  Cache cache(std::move(options));
+  const auto mm = problems::maximal_matching(3);
+  const auto tc = problems::two_coloring(2);
+  const auto a = colliding_a();
+  cache.insert("k", mm, tag("mm"));
+  cache.insert("k", tc, tag("tc"));
+  ASSERT_TRUE(cache.find("k", mm).has_value());  // touch: mm is now hottest
+  cache.insert("k", a, tag("a"));                // evicts tc
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.find("k", mm).has_value());
+  EXPECT_TRUE(cache.find("k", a).has_value());
+  EXPECT_FALSE(cache.find("k", tc).has_value());
+}
+
+TEST(BatchCache, DiskTierRoundTripsAcrossInstances) {
+  const std::string path = testing::TempDir() + "lcl_batch_cache_rt.jsonl";
+  std::remove(path.c_str());
+  const auto mm = problems::maximal_matching(3);
+  const auto tc = problems::two_coloring(2);
+  {
+    Cache::Options options;
+    options.disk_path = path;
+    Cache cache(std::move(options));
+    cache.insert("verdict", mm, tag("mm"));
+    cache.insert("verdict", tc, tag("tc"));
+  }
+  {
+    Cache::Options options;
+    options.disk_path = path;
+    options.load_existing = true;
+    Cache cache(std::move(options));
+    EXPECT_EQ(cache.stats().disk_loaded, 2u);
+    const auto hit = cache.find("verdict", mm);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(tag_of(*hit), "mm");
+    EXPECT_EQ(tag_of(*cache.find("verdict", tc)), "tc");
+  }
+  {
+    // Cold open truncates: nothing survives.
+    Cache::Options options;
+    options.disk_path = path;
+    options.load_existing = false;
+    Cache cache(std::move(options));
+    EXPECT_EQ(cache.stats().disk_loaded, 0u);
+    EXPECT_FALSE(cache.find("verdict", mm).has_value());
+  }
+}
+
+TEST(BatchCache, TornTrailingLineIsSkippedOnResume) {
+  const std::string path = testing::TempDir() + "lcl_batch_cache_torn.jsonl";
+  std::remove(path.c_str());
+  const auto mm = problems::maximal_matching(3);
+  {
+    Cache::Options options;
+    options.disk_path = path;
+    Cache cache(std::move(options));
+    cache.insert("verdict", mm, tag("mm"));
+  }
+  {
+    // Simulate a writer killed mid-append: a truncated record at the tail.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"kind\":\"verdict\",\"sig\":\"123\",\"prob";
+  }
+  Cache::Options options;
+  options.disk_path = path;
+  options.load_existing = true;
+  Cache cache(std::move(options));
+  EXPECT_EQ(cache.stats().disk_loaded, 1u);
+  EXPECT_EQ(cache.stats().disk_skipped, 1u);
+  EXPECT_EQ(tag_of(*cache.find("verdict", mm)), "mm");
+  // The resumed cache keeps appending valid records after the torn line.
+  cache.insert("verdict", problems::two_coloring(2), tag("tc"));
+  Cache::Options reopen;
+  reopen.disk_path = path;
+  Cache again(std::move(reopen));
+  EXPECT_EQ(again.stats().disk_loaded, 2u);
+}
+
+TEST(BatchCache, ResumeDoesNotDuplicateEntriesOrGrowTheFile) {
+  const std::string path = testing::TempDir() + "lcl_batch_cache_flat.jsonl";
+  std::remove(path.c_str());
+  const auto mm = problems::maximal_matching(3);
+  auto line_count = [&path]() {
+    std::ifstream in(path);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) ++n;
+    return n;
+  };
+  {
+    Cache::Options options;
+    options.disk_path = path;
+    Cache cache(std::move(options));
+    cache.insert("verdict", mm, tag("mm"));
+  }
+  EXPECT_EQ(line_count(), 1u);
+  {
+    Cache::Options options;
+    options.disk_path = path;
+    Cache cache(std::move(options));
+    cache.insert("verdict", mm, tag("mm"));  // already on disk: no-op
+  }
+  EXPECT_EQ(line_count(), 1u);
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,156 @@
+#include "batch/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace lcl {
+namespace {
+
+using batch::Pool;
+
+/// A hand-rolled latch (the toolchain's <latch> is avoided so the tests
+/// match the library's own C++20-subset diet).
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this]() { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(BatchPool, RunsTasksAndReturnsValues) {
+  Pool pool(Pool::Options{4});
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  int total = 0;
+  for (auto& f : futures) total += f.get();
+  int expected = 0;
+  for (int i = 0; i < 100; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+  EXPECT_EQ(pool.tasks_completed(), 100u);
+}
+
+TEST(BatchPool, DefaultsToHardwareConcurrency) {
+  Pool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(BatchPool, TaskExceptionLandsInTheFutureOnly) {
+  Pool pool(Pool::Options{2});
+  auto failing = pool.submit(
+      []() -> int { throw std::runtime_error("task boom"); });
+  auto fine = pool.submit([]() { return 7; });
+  EXPECT_THROW(
+      {
+        try {
+          failing.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker that ran the throwing task is still alive and serving.
+  EXPECT_EQ(fine.get(), 7);
+  auto after = pool.submit([]() { return 8; });
+  EXPECT_EQ(after.get(), 8);
+}
+
+TEST(BatchPool, WaitIdleDrainsTheQueue) {
+  Pool pool(Pool::Options{3});
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done]() { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(BatchPool, CancelDropsQueuedTasksWithBrokenPromises) {
+  Pool pool(Pool::Options{1});
+  Gate release;
+  std::atomic<bool> blocker_ran{false};
+  // Occupy the single worker so everything else stays queued.
+  auto blocker = pool.submit([&]() {
+    blocker_ran.store(true);
+    release.wait();
+  });
+  std::vector<std::future<int>> queued;
+  for (int i = 0; i < 5; ++i) {
+    queued.push_back(pool.submit([i]() { return i; }));
+  }
+  // Wait until the blocker actually holds the worker.
+  while (!blocker_ran.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(pool.cancel_requested());
+  pool.request_cancel();
+  EXPECT_TRUE(pool.cancel_requested());
+  EXPECT_EQ(pool.tasks_dropped(), 5u);
+  release.open();
+  blocker.get();  // the running task was never interrupted
+  for (auto& f : queued) {
+    try {
+      f.get();
+      FAIL() << "dropped task's future did not throw";
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(), std::make_error_code(std::future_errc::broken_promise));
+    }
+  }
+  // The pool still accepts and runs work after a cancellation sweep.
+  EXPECT_EQ(pool.submit([]() { return 42; }).get(), 42);
+}
+
+TEST(BatchPool, ManyThreadsManyTasksStress) {
+  Pool pool(Pool::Options{8});
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::future<void>> futures;
+  constexpr int kTasks = 2000;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(
+        pool.submit([&sum, i]() { sum.fetch_add(static_cast<std::uint64_t>(i)); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2);
+  EXPECT_EQ(pool.tasks_completed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(BatchPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    Pool pool(Pool::Options{2});
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done]() { done.fetch_add(1); });
+    }
+    // No explicit wait: ~Pool must run everything that was submitted.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+}  // namespace
+}  // namespace lcl

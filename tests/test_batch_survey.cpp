@@ -1,0 +1,259 @@
+#include "batch/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/cache.hpp"
+#include "core/problems.hpp"
+#include "lint/spec.hpp"
+#include "lint/spec_io.hpp"
+#include "re/engine.hpp"
+
+namespace lcl {
+namespace {
+
+using batch::Cache;
+using batch::Family;
+using batch::FamilyMember;
+using batch::SurveyOptions;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The options `tools/lcl_batch` runs with by default - also the options
+/// the committed golden report was produced under.
+SurveyOptions default_options() {
+  SurveyOptions options;
+  options.engine.max_steps = 3;
+  return options;
+}
+
+TEST(ExhaustiveFamily, EnumeratesTheDelta2TwoLabelSlice) {
+  const auto family = batch::exhaustive_family({});
+  // 3 degree-2 node configs and 3 edge configs over 2 labels: (2^3 - 1)^2
+  // non-empty subset pairs.
+  EXPECT_EQ(family.members.size(), 49u);
+  EXPECT_EQ(family.description, "exhaustive:d2:l2");
+  // Canonical enumeration order: the first member is node mask 1, edge
+  // mask 1; names encode the masks.
+  EXPECT_EQ(family.members.front().name, "d2l2-n1-e1");
+  EXPECT_EQ(family.members.back().name, "d2l2-n7-e7");
+  // Every member builds with unconstrained low degrees: degree-1 nodes
+  // (path endpoints) always have all 2 configurations.
+  for (const auto& member : family.members) {
+    EXPECT_EQ(member.problem.node_configs(1).size(), 2u) << member.name;
+  }
+}
+
+TEST(ExhaustiveFamily, CapAndValidation) {
+  batch::ExhaustiveFamilyOptions options;
+  options.max_problems = 5;
+  const auto capped = batch::exhaustive_family(options);
+  EXPECT_EQ(capped.members.size(), 5u);
+  // The capped prefix is the same as the full enumeration's prefix.
+  const auto full = batch::exhaustive_family({});
+  for (std::size_t i = 0; i < capped.members.size(); ++i) {
+    EXPECT_EQ(capped.members[i].name, full.members[i].name);
+  }
+  batch::ExhaustiveFamilyOptions bad;
+  bad.max_degree = 1;
+  EXPECT_THROW(batch::exhaustive_family(bad), std::invalid_argument);
+  bad = {};
+  bad.labels = 9;  // C(10, 2) = 45 degree-2 configs: subset space too large
+  EXPECT_THROW(batch::exhaustive_family(bad), std::invalid_argument);
+}
+
+TEST(SpecDirFamily, LoadsSortedAndValidates) {
+  const std::string dir = testing::TempDir() + "lcl_batch_specs";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  lint::save_spec(dir + "/b-matching.json",
+                  lint::spec_from_problem(problems::maximal_matching(3)));
+  lint::save_spec(dir + "/a-coloring.json",
+                  lint::spec_from_problem(problems::two_coloring(2)));
+  const auto family = batch::spec_dir_family(dir);
+  ASSERT_EQ(family.members.size(), 2u);
+  EXPECT_EQ(family.members[0].name, "a-coloring");
+  EXPECT_EQ(family.members[1].name, "b-matching");
+
+  EXPECT_THROW(batch::spec_dir_family(dir + "/nope"), std::runtime_error);
+}
+
+TEST(Survey, AgreesWithTheUncachedSpeedupEngine) {
+  Family family;
+  family.description = "engine-parity";
+  family.members.push_back(FamilyMember{"trivial", problems::trivial(2)});
+  family.members.push_back(FamilyMember{"mm3", problems::maximal_matching(3)});
+  family.members.push_back(FamilyMember{"2col", problems::two_coloring(2)});
+
+  const auto options = default_options();
+  const auto report = batch::run_survey(family, options);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  for (const auto& outcome : report.outcomes) {
+    EXPECT_TRUE(outcome.error.empty()) << outcome.name << ": " << outcome.error;
+    const NodeEdgeCheckableLcl* problem = nullptr;
+    for (const auto& member : family.members) {
+      if (member.name == outcome.name) problem = &member.problem;
+    }
+    ASSERT_NE(problem, nullptr) << outcome.name;
+    SpeedupEngine engine(*problem);
+    const auto expected = engine.run(options.engine);
+    EXPECT_EQ(outcome.zero_round_step, expected.zero_round_step)
+        << outcome.name;
+    EXPECT_EQ(outcome.fixed_point, expected.fixed_point) << outcome.name;
+    EXPECT_EQ(outcome.budget_exhausted, expected.budget_exhausted)
+        << outcome.name;
+    EXPECT_EQ(outcome.detected_unsolvable, expected.detected_unsolvable)
+        << outcome.name;
+  }
+}
+
+TEST(Survey, ReportIsByteIdenticalAcrossThreadCounts) {
+  const auto family = batch::exhaustive_family({});
+  auto options = default_options();
+
+  options.jobs = 1;
+  const std::string sequential = batch::run_survey(family, options).to_json();
+  options.jobs = 4;
+  const std::string four = batch::run_survey(family, options).to_json();
+  options.jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::string all_cores = batch::run_survey(family, options).to_json();
+
+  EXPECT_EQ(sequential, four);
+  EXPECT_EQ(sequential, all_cores);
+}
+
+TEST(Survey, WarmCacheReproducesTheColdReportByteForByte) {
+  const std::string path = testing::TempDir() + "lcl_batch_survey_warm.jsonl";
+  std::remove(path.c_str());
+  const auto family = batch::exhaustive_family({});
+  auto options = default_options();
+  options.jobs = 4;
+
+  std::string cold;
+  {
+    Cache::Options cache_options;
+    cache_options.disk_path = path;
+    cache_options.load_existing = false;
+    Cache cache(std::move(cache_options));
+    options.cache = &cache;
+    cold = batch::run_survey(family, options).to_json();
+    EXPECT_GT(cache.stats().insertions, 0u);
+  }
+  {
+    // A fresh process resuming from the disk tier: every verdict-level
+    // computation must be served from the cache.
+    Cache::Options cache_options;
+    cache_options.disk_path = path;
+    cache_options.load_existing = true;
+    Cache cache(std::move(cache_options));
+    EXPECT_GT(cache.stats().disk_loaded, 0u);
+    options.cache = &cache;
+    const std::string warm = batch::run_survey(family, options).to_json();
+    EXPECT_EQ(cold, warm);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_GT(cache.stats().hits, 0u);
+  }
+  // And equal to the uncached report: the cache changes cost, never content.
+  options.cache = nullptr;
+  EXPECT_EQ(cold, batch::run_survey(family, options).to_json());
+}
+
+TEST(Survey, ResumeAfterPartialRunReusesTheDiskTier) {
+  const std::string path = testing::TempDir() + "lcl_batch_survey_resume.jsonl";
+  std::remove(path.c_str());
+  auto family = batch::exhaustive_family({});
+  auto options = default_options();
+
+  // "Killed" survey: only the first 10 members completed before the
+  // process died (simulated by surveying a prefix).
+  Family prefix;
+  prefix.description = family.description;
+  prefix.members.assign(family.members.begin(), family.members.begin() + 10);
+  {
+    Cache::Options cache_options;
+    cache_options.disk_path = path;
+    cache_options.load_existing = false;
+    Cache cache(std::move(cache_options));
+    options.cache = &cache;
+    (void)batch::run_survey(prefix, options);
+  }
+  // The rerun over the full family resumes from the disk tier: the prefix's
+  // work is all hits.
+  Cache::Options cache_options;
+  cache_options.disk_path = path;
+  cache_options.load_existing = true;
+  Cache cache(std::move(cache_options));
+  options.cache = &cache;
+  const auto resumed = batch::run_survey(family, options);
+  EXPECT_EQ(resumed.problems, family.members.size());
+  EXPECT_GT(cache.stats().hits, 0u);
+
+  options.cache = nullptr;
+  EXPECT_EQ(resumed.to_json(), batch::run_survey(family, options).to_json());
+}
+
+TEST(Survey, StepBudgetBlowUpFailsOnlyThatRow) {
+  Family family;
+  family.description = "budget-isolation";
+  // On a 13-node all-0 path the brute-force reference settles trivial(2)
+  // in 24 steps, while perfect matching (unsolvable on an odd path) needs
+  // 47 to exhaust the search - a budget of 30 lets one finish and blows
+  // the other up.
+  family.members.push_back(FamilyMember{"cheap", problems::trivial(2)});
+  family.members.push_back(
+      FamilyMember{"pricey", problems::perfect_matching(2)});
+
+  auto options = default_options();
+  options.jobs = 2;
+  options.check_nodes = 13;
+  options.check_budget = 30;
+  const auto report = batch::run_survey(family, options);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+
+  const auto* cheap = &report.outcomes[0];
+  const auto* pricey = &report.outcomes[1];
+  if (cheap->name != "cheap") std::swap(cheap, pricey);
+  ASSERT_EQ(cheap->name, "cheap");
+  ASSERT_EQ(pricey->name, "pricey");
+
+  // The blown-up member is an error row carrying its budget...
+  EXPECT_FALSE(pricey->error.empty());
+  EXPECT_EQ(pricey->error_budget, 30u);
+  EXPECT_EQ(pricey->landscape_class, "error");
+  // ...and the other member's row is untouched by its neighbor's failure.
+  EXPECT_TRUE(cheap->error.empty()) << cheap->error;
+  EXPECT_EQ(cheap->check, "solvable");
+  EXPECT_EQ(report.errors, 1u);
+}
+
+#ifdef LCL_BATCH_GOLDEN_DIR
+TEST(Survey, MatchesTheCommittedGoldenReport) {
+  const std::string golden_path =
+      std::string(LCL_BATCH_GOLDEN_DIR) + "/survey-d2-l2.json";
+  const std::string golden = read_file(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << golden_path;
+  auto options = default_options();
+  options.jobs = 4;
+  const auto report =
+      batch::run_survey(batch::exhaustive_family({}), options);
+  EXPECT_EQ(report.to_json() + "\n", golden)
+      << "the Delta=2 landscape drifted; if intentional, regenerate with\n"
+         "  lcl_batch --family=exhaustive --delta=2 --labels=2 "
+         "--report-json=tests/golden/survey-d2-l2.json";
+}
+#endif
+
+}  // namespace
+}  // namespace lcl

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/problems.hpp"
 #include "graph/generators.hpp"
@@ -353,6 +356,140 @@ TEST(EngineObs, EmitsSpansUnderActiveSession) {
   EXPECT_GT(summary.top_level_us, 0);
 }
 #endif  // LCL_OBS
+
+// --- Multi-threaded obs behaviour (exercised under the obs-tsan preset) ---
+// These tests exist to put the instruments and the trace session under real
+// contention: the batch pool shares both across workers, so "safe from one
+// thread" is no longer enough.
+
+TEST(MetricsThreads, InstrumentsAreRaceFreeUnderContention) {
+  MetricsOn on;
+  auto& reg = obs::registry();
+  reg.reset();
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &reg]() {
+      auto& counter = reg.counter("test.mt.counter");
+      auto& gauge = reg.gauge("test.mt.gauge");
+      auto& histogram = reg.histogram("test.mt.histogram");
+      for (int i = 0; i < kOps; ++i) {
+        counter.add(1);
+        gauge.set(t * kOps + i);
+        histogram.record(static_cast<std::uint64_t>(i));
+        if (i % 1024 == 0) reg.snapshot();  // readers race the writers
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(reg.counter("test.mt.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  const auto& gauge = reg.gauge("test.mt.gauge");
+  EXPECT_TRUE(gauge.ever_set());
+  EXPECT_EQ(gauge.max(), (kThreads - 1) * kOps + (kOps - 1));
+  EXPECT_EQ(gauge.min(), 0);
+  const auto& histogram = reg.histogram("test.mt.histogram");
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(histogram.max(), static_cast<std::uint64_t>(kOps - 1));
+  reg.reset();
+}
+
+TEST(MetricsThreads, GaugeConcurrentFirstSetKeepsBothExtremes) {
+  // Regression: the old first-set fast path (exchange-then-store) let two
+  // racing *first* setters overwrite each other's extreme. With the
+  // sentinel scheme both values must always land.
+  for (int round = 0; round < 200; ++round) {
+    obs::Gauge gauge;
+    std::atomic<bool> go{false};
+    std::thread a([&]() {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      gauge.set(5);
+    });
+    std::thread b([&]() {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      gauge.set(-3);
+    });
+    go.store(true, std::memory_order_release);
+    a.join();
+    b.join();
+    EXPECT_TRUE(gauge.ever_set());
+    EXPECT_EQ(gauge.max(), 5) << "round " << round;
+    EXPECT_EQ(gauge.min(), -3) << "round " << round;
+  }
+}
+
+TEST(TraceThreads, ConcurrentEmittersProduceAWellFormedTrace) {
+  const std::string path = testing::TempDir() + "lcl_obs_mt_trace.jsonl";
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 400;
+  {
+    obs::TraceSession session(path, obs::TraceFormat::kJsonl);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &session]() {
+        for (int i = 0; i < kSpansPerThread; ++i) {
+          const obs::TraceArg arg{"i", i};
+          session.emit_span("mt/span", "test", t, 1, &arg, 1);
+          if (i % 64 == 0) session.emit_instant("mt/tick", "test", nullptr, 0);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    session.close();
+  }
+
+  obs::ParsedTrace trace;
+  std::string error;
+  ASSERT_TRUE(obs::parse_trace(read_file(path), &trace, &error)) << error;
+  EXPECT_TRUE(trace.has_metrics_footer);
+  std::size_t spans = 0;
+  for (const auto& r : trace.records) {
+    if (r.kind == obs::TraceRecord::Kind::kSpan) ++spans;
+  }
+  EXPECT_EQ(spans, static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  // The footer is the last record: nothing slipped in behind the trailer.
+  ASSERT_FALSE(trace.records.empty());
+  EXPECT_EQ(trace.records.back().kind, obs::TraceRecord::Kind::kMetrics);
+}
+
+TEST(TraceThreads, EmittersRacingCloseNeverCorruptTheFile) {
+  const std::string path = testing::TempDir() + "lcl_obs_mt_close.jsonl";
+  {
+    obs::TraceSession session(path, obs::TraceFormat::kJsonl);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> emitters;
+    for (int t = 0; t < 4; ++t) {
+      emitters.emplace_back([&]() {
+        // Keep emitting straight through close(); every record either lands
+        // before the footer or is dropped - never written after it.
+        for (int i = 0; i < 20000 && !stop.load(std::memory_order_relaxed);
+             ++i) {
+          session.emit_span("race/span", "test", 0, 1, nullptr, 0);
+        }
+      });
+    }
+    session.close();
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& thread : emitters) thread.join();
+    session.emit_instant("race/after-close", "test", nullptr, 0);  // dropped
+  }
+
+  obs::ParsedTrace trace;
+  std::string error;
+  ASSERT_TRUE(obs::parse_trace(read_file(path), &trace, &error)) << error;
+  EXPECT_TRUE(trace.has_metrics_footer);
+  ASSERT_FALSE(trace.records.empty());
+  EXPECT_EQ(trace.records.back().kind, obs::TraceRecord::Kind::kMetrics);
+  for (const auto& r : trace.records) {
+    EXPECT_NE(r.name, "race/after-close");
+  }
+}
 
 }  // namespace
 }  // namespace lcl

@@ -1,0 +1,242 @@
+// Parallel landscape-survey CLI: sweeps a problem family through
+// lint -> classify -> speedup-synthesis on a worker pool, with a shared
+// content-addressed result cache.
+//
+//   lcl_batch --family=exhaustive --delta=2 --labels=2 --jobs=8
+//   lcl_batch --family=generator --seeds=200 --jobs=0 --cache-dir=.cache
+//   lcl_batch --spec-dir=tests/corpus --report-json=report.json
+//   lcl_batch --family=exhaustive --cache-dir=.cache --resume   # warm rerun
+//
+// The report JSON is deterministic: byte-identical for any --jobs value and
+// for cold vs. warm caches.
+//
+// Exit codes: 0 = survey completed and every member was processed cleanly,
+// 1 = at least one member recorded a task error, 2 = usage or I/O error.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batch/cache.hpp"
+#include "batch/survey.hpp"
+#include "fuzz/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using lcl::batch::Cache;
+using lcl::batch::Family;
+using lcl::batch::SurveyOptions;
+
+int usage(std::ostream& out, int code) {
+  out << "usage: lcl_batch [options]\n"
+         "  --family=KIND          exhaustive (default) | generator\n"
+         "  --spec-dir=DIR         survey every *.json spec under DIR\n"
+         "                         (overrides --family)\n"
+         "  --jobs=N               worker threads (default 1; 0 = all "
+         "cores)\n"
+         "  --cache-dir=DIR        keep the on-disk result cache here\n"
+         "  --resume               reuse an existing on-disk cache (default\n"
+         "                         truncates it)\n"
+         "  --report-json=FILE     write the landscape report JSON here\n"
+         "  --delta=N              exhaustive family: max degree (default "
+         "2)\n"
+         "  --labels=N             exhaustive family: output labels "
+         "(default 2)\n"
+         "  --max-problems=N       cap the family size (0 = no cap)\n"
+         "  --seeds=N              generator family: problem count "
+         "(default 50)\n"
+         "  --seed-start=N         generator family: first seed (default "
+         "1)\n"
+         "  --max-steps=N          speedup-synthesis step budget (default "
+         "3)\n"
+         "  --degrees=CSV          degree set, e.g. 2 or 2,3; empty = "
+         "forest\n"
+         "  --check-nodes=N        brute-force cross-check on an N-node "
+         "path\n"
+         "  --check-budget=N       cross-check step budget (default "
+         "250000)\n"
+         "  --quiet                suppress the per-class summary\n";
+  return code;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    const auto value = std::stoull(text, &pos);
+    if (pos != text.size()) return false;
+    out = value;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_degrees(const std::string& text, std::vector<int>& out) {
+  out.clear();
+  if (text.empty() || text == "forest") return true;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    std::uint64_t value = 0;
+    if (!parse_u64(item, value) || value == 0) return false;
+    out.push_back(static_cast<int>(value));
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string family_kind = "exhaustive";
+  std::string spec_dir;
+  std::string cache_dir;
+  std::string report_path;
+  bool resume = false;
+  bool quiet = false;
+  lcl::batch::ExhaustiveFamilyOptions exhaustive;
+  std::uint64_t seeds = 50;
+  std::uint64_t seed_start = 1;
+  SurveyOptions survey;
+  survey.engine.max_steps = 3;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    std::uint64_t value = 0;
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--family=", 0) == 0) {
+      family_kind = value_of("--family=");
+      if (family_kind != "exhaustive" && family_kind != "generator") {
+        std::cerr << "lcl_batch: unknown family '" << family_kind << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--spec-dir=", 0) == 0) {
+      spec_dir = value_of("--spec-dir=");
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = value_of("--cache-dir=");
+    } else if (arg.rfind("--report-json=", 0) == 0) {
+      report_path = value_of("--report-json=");
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!parse_u64(value_of("--jobs="), value)) return usage(std::cerr, 2);
+      survey.jobs = static_cast<std::size_t>(value);
+    } else if (arg.rfind("--delta=", 0) == 0) {
+      if (!parse_u64(value_of("--delta="), value)) return usage(std::cerr, 2);
+      exhaustive.max_degree = static_cast<int>(value);
+    } else if (arg.rfind("--labels=", 0) == 0) {
+      if (!parse_u64(value_of("--labels="), value)) return usage(std::cerr, 2);
+      exhaustive.labels = static_cast<std::size_t>(value);
+    } else if (arg.rfind("--max-problems=", 0) == 0) {
+      if (!parse_u64(value_of("--max-problems="), value)) {
+        return usage(std::cerr, 2);
+      }
+      exhaustive.max_problems = static_cast<std::size_t>(value);
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      if (!parse_u64(value_of("--seeds="), seeds)) return usage(std::cerr, 2);
+    } else if (arg.rfind("--seed-start=", 0) == 0) {
+      if (!parse_u64(value_of("--seed-start="), seed_start)) {
+        return usage(std::cerr, 2);
+      }
+    } else if (arg.rfind("--max-steps=", 0) == 0) {
+      if (!parse_u64(value_of("--max-steps="), value)) {
+        return usage(std::cerr, 2);
+      }
+      survey.engine.max_steps = static_cast<int>(value);
+    } else if (arg.rfind("--degrees=", 0) == 0) {
+      if (!parse_degrees(value_of("--degrees="), survey.engine.degrees)) {
+        return usage(std::cerr, 2);
+      }
+    } else if (arg.rfind("--check-nodes=", 0) == 0) {
+      if (!parse_u64(value_of("--check-nodes="), value)) {
+        return usage(std::cerr, 2);
+      }
+      survey.check_nodes = static_cast<std::size_t>(value);
+    } else if (arg.rfind("--check-budget=", 0) == 0) {
+      if (!parse_u64(value_of("--check-budget="), survey.check_budget)) {
+        return usage(std::cerr, 2);
+      }
+    } else {
+      std::cerr << "lcl_batch: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  try {
+    Family family;
+    if (!spec_dir.empty()) {
+      family = lcl::batch::spec_dir_family(spec_dir);
+    } else if (family_kind == "generator") {
+      // The generator corpus is assembled here (not in lcl_batch the
+      // library) so the library stays independent of lcl_fuzz - which
+      // itself uses the batch pool for --jobs.
+      family.description = "generator:s" + std::to_string(seed_start) + "+" +
+                           std::to_string(seeds);
+      lcl::fuzz::GeneratorOptions generator;
+      generator.max_input_labels = 1;  // keep the classifiers applicable
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        const std::uint64_t seed = seed_start + s;
+        lcl::SplitRng rng(seed);
+        family.members.push_back(lcl::batch::FamilyMember{
+            "seed" + std::to_string(seed),
+            lcl::fuzz::random_problem(generator, rng)});
+      }
+    } else {
+      family = lcl::batch::exhaustive_family(exhaustive);
+    }
+
+    std::unique_ptr<Cache> cache;
+    if (!cache_dir.empty()) {
+      std::filesystem::create_directories(cache_dir);
+      Cache::Options cache_options;
+      cache_options.disk_path =
+          (std::filesystem::path(cache_dir) / "cache.jsonl").string();
+      cache_options.load_existing = resume;
+      cache = std::make_unique<Cache>(std::move(cache_options));
+      survey.cache = cache.get();
+    }
+
+    const auto report = lcl::batch::run_survey(family, survey);
+
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      if (!out.is_open()) {
+        std::cerr << "lcl_batch: cannot write '" << report_path << "'\n";
+        return 2;
+      }
+      out << report.to_json() << "\n";
+    }
+    if (!quiet) {
+      std::cout << "family:    " << report.family << "\n";
+      std::cout << "problems:  " << report.problems << "\n";
+      for (const auto& [name, count] : report.class_counts) {
+        std::cout << "  " << name << ": " << count << "  (e.g. "
+                  << report.class_exemplars.at(name) << ")\n";
+      }
+      if (cache != nullptr) {
+        const auto stats = cache->stats();
+        std::cout << "cache:     " << stats.hits << " hits, " << stats.misses
+                  << " misses, " << stats.collisions << " collisions, "
+                  << stats.disk_loaded << " loaded from disk\n";
+      }
+      if (report.errors != 0) {
+        std::cout << "errors:    " << report.errors << "\n";
+      }
+    }
+    return report.errors == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "lcl_batch: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -27,6 +27,8 @@ int usage(std::ostream& out, int code) {
   out << "usage: lcl_fuzz [options]\n"
          "  --seeds=N              number of generator seeds (default 100)\n"
          "  --seed-start=N         first seed (default 1)\n"
+         "  --jobs=N               worker threads (default 1; 0 = all "
+         "cores)\n"
          "  --budget=T             wall-clock budget, e.g. 45, 60s, 10m\n"
          "  --corpus-dir=DIR       write shrunk failing cases here\n"
          "  --oracle=ID            run only this oracle\n"
@@ -138,6 +140,12 @@ int main(int argc, char** argv) {
       if (!parse_u64(value_of("--seed-start="), options.seed_start)) {
         return usage(std::cerr, 2);
       }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      std::uint64_t jobs = 0;
+      if (!parse_u64(value_of("--jobs="), jobs)) {
+        return usage(std::cerr, 2);
+      }
+      options.jobs = static_cast<std::size_t>(jobs);
     } else if (arg.rfind("--budget=", 0) == 0) {
       if (!parse_budget(value_of("--budget="), options.budget_seconds)) {
         return usage(std::cerr, 2);
