@@ -1,19 +1,30 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <sys/utsname.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "graph/labeling.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+
+#ifndef LCL_GIT_SHA
+#define LCL_GIT_SHA "unknown"
+#endif
 
 namespace lcl::bench {
 
@@ -154,19 +165,166 @@ inline void finish_obs() {
   }
 }
 
+/// Destination of `--json=<path>` (empty when machine-readable output is
+/// off). Filled by `init_json`, consumed by `finish_json`.
+inline std::string& json_output_path() {
+  static std::string path;
+  return path;
+}
+
+/// Consumes `--json=<path>` / `--json <path>` before google-benchmark sees
+/// them. Every bench binary gains the flag through `LCL_BENCH_MAIN`.
+inline void init_json(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_output_path() = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < *argc) {
+      json_output_path() = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Cold first iterations (allocator warm-up, branch predictors, page
+/// faults) skew short benchmarks; a discarded warm-up phase keeps the JSON
+/// numbers steady-state. Injected as google-benchmark's own
+/// `--benchmark_min_warmup_time` so an explicit flag on the command line
+/// still wins.
+inline void apply_default_warmup(int* argc, char*** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp((*argv)[i], "--benchmark_min_warmup_time",
+                     std::strlen("--benchmark_min_warmup_time")) == 0) {
+      return;
+    }
+  }
+  static char warmup_flag[] = "--benchmark_min_warmup_time=0.1";
+  static std::vector<char*> patched;
+  patched.assign(*argv, *argv + *argc);
+  patched.insert(patched.begin() + 1, warmup_flag);
+  patched.push_back(nullptr);
+  *argv = patched.data();
+  *argc += 1;
+}
+
+/// Console reporter that additionally captures every measured run, so one
+/// pass produces both the human console table and the machine-readable
+/// `BENCH_<name>.json` document.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      obs::json::Value row = obs::json::Value::make_object();
+      auto& fields = row.object();
+      fields["name"] = obs::json::Value(run.benchmark_name());
+      fields["iterations"] =
+          obs::json::Value(static_cast<std::int64_t>(run.iterations));
+      fields["real_time"] = obs::json::Value(run.GetAdjustedRealTime());
+      fields["cpu_time"] = obs::json::Value(run.GetAdjustedCPUTime());
+      fields["time_unit"] = obs::json::Value(
+          std::string(benchmark::GetTimeUnitString(run.time_unit)));
+      obs::json::Value counters = obs::json::Value::make_object();
+      for (const auto& [key, counter] : run.counters) {
+        counters.object()[key] =
+            obs::json::Value(static_cast<double>(counter.value));
+      }
+      fields["counters"] = std::move(counters);
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<obs::json::Value>& rows() { return rows_; }
+
+ private:
+  std::vector<obs::json::Value> rows_;
+};
+
+/// Writes the schema-versioned bench document (`lclscape.bench.v1`):
+/// provenance (git SHA, host, timestamp), the end-of-run observability
+/// counter snapshot, and one row per measured benchmark. Returns the
+/// process exit code (non-zero when the file cannot be written - CI must
+/// not mistake a missing artifact for a clean run).
+inline int finish_json(JsonCapturingReporter& reporter,
+                       const char* binary_name) {
+  const std::string& path = json_output_path();
+  if (path.empty()) return 0;
+
+  obs::json::Value doc = obs::json::Value::make_object();
+  auto& top = doc.object();
+  top["schema"] = obs::json::Value(std::string("lclscape.bench.v1"));
+  top["binary"] = obs::json::Value(std::string(binary_name));
+  top["git_sha"] = obs::json::Value(std::string(LCL_GIT_SHA));
+
+  obs::json::Value host = obs::json::Value::make_object();
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    host.object()["sysname"] = obs::json::Value(std::string(uts.sysname));
+    host.object()["release"] = obs::json::Value(std::string(uts.release));
+    host.object()["machine"] = obs::json::Value(std::string(uts.machine));
+  }
+  host.object()["hardware_concurrency"] = obs::json::Value(
+      static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  top["host"] = std::move(host);
+
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  char stamp[32] = {0};
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  top["timestamp"] = obs::json::Value(std::string(stamp));
+
+  // End-of-run counter snapshot: totals across the whole process, the
+  // per-iteration deltas live in each row's `counters`.
+  std::string error;
+  auto snapshot = obs::json::parse(obs::registry().to_json(), &error);
+  top["obs"] = snapshot != nullptr ? *snapshot : obs::json::Value::make_object();
+
+  obs::json::Value benchmarks = obs::json::Value::make_array();
+  benchmarks.array() = std::move(reporter.rows());
+  top["benchmarks"] = std::move(benchmarks);
+
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "lclscape: cannot open '%s' for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  out << obs::json::dump(doc) << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "lclscape: short write to '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "lclscape: bench json written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace lcl::bench
 
 /// Drop-in replacement for BENCHMARK_MAIN() that installs the lclscape
-/// observability harness: strips `--trace*` flags, enables metrics, and
-/// finalizes the trace (with the metrics footer) after the run.
+/// observability harness: strips `--trace*` and `--json*` flags, enables
+/// metrics, injects a discarded warm-up phase, and after the run finalizes
+/// the trace (with the metrics footer) and the `--json` document.
 #define LCL_BENCH_MAIN()                                                \
   int main(int argc, char** argv) {                                     \
+    const char* bench_binary_name = argv[0];                            \
     ::lcl::bench::init_obs(&argc, argv);                                \
+    ::lcl::bench::init_json(&argc, argv);                               \
+    ::lcl::bench::apply_default_warmup(&argc, &argv);                   \
     ::benchmark::Initialize(&argc, argv);                               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::lcl::bench::JsonCapturingReporter reporter;                       \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                     \
     ::benchmark::Shutdown();                                            \
+    const int json_rc =                                                 \
+        ::lcl::bench::finish_json(reporter, bench_binary_name);         \
     ::lcl::bench::finish_obs();                                         \
-    return 0;                                                           \
+    return json_rc;                                                     \
   }                                                                     \
   int main(int, char**)

@@ -17,10 +17,12 @@ namespace lcl {
 namespace {
 
 void run_ablation(benchmark::State& state,
-                  const NodeEdgeCheckableLcl& problem, bool with_reduce) {
+                  const NodeEdgeCheckableLcl& problem, bool with_reduce,
+                  ReKernel kernel = ReKernel::kAuto) {
   ReLimits limits;
   limits.max_labels = 1u << 14;
   limits.max_configs = 8'000'000;
+  limits.kernel = kernel;
   std::size_t labels_psi = 0, labels_next = 0, configs_next = 0;
   bool blowup = false;
   const bench::ObsCounters obs_counters;
@@ -51,7 +53,51 @@ void run_ablation(benchmark::State& state,
   state.counters["configs_next"] = static_cast<double>(configs_next);
   state.counters["blowup"] = blowup ? 1 : 0;
   state.counters["reduce"] = with_reduce ? 1 : 0;
+  state.counters["mask_kernel"] = kernel == ReKernel::kGeneric ? 0 : 1;
 }
+
+// Experiment BENCH-JSON / the kernel ablation: the same operator slice on
+// the original ordered-container enumeration (`kGeneric`) versus the dense
+// `LabelMask` kernels (`kMask`). One slice iteration applies both R and
+// Rbar at the slice's scale; Rbar runs on the base problem rather than on
+// R(Pi), because the faithful composition exceeds any enumeration budget
+// already at k=5 (reduce leaves 30 labels, so Rbar(reduce(R(Pi))) would
+// derive 2^30 - 1 - Theorem 3.4's blow-up, which the ablation benches above
+// quantify). The Delta=3, k=5 slice (5-coloring on trees of maximum degree
+// 3) is the CI-gated pair: `tools/bench_diff --min-speedup` asserts the
+// mask column stays >= 3x faster.
+void run_kernel_slice(benchmark::State& state,
+                      const NodeEdgeCheckableLcl& problem, ReKernel kernel) {
+  ReLimits limits;
+  limits.max_labels = 1u << 14;
+  limits.max_configs = 64'000'000;
+  limits.kernel = kernel;
+  std::size_t labels_r = 0, configs_r = 0;
+  const bench::ObsCounters obs_counters;
+  for (auto _ : state) {
+    ReStep r = apply_r(problem, limits);
+    ReStep rbar = apply_rbar(problem, limits);
+    labels_r = r.problem.output_alphabet().size();
+    configs_r = r.problem.total_node_configs() +
+                r.problem.edge_configs().size();
+    lcl::bench::keep(labels_r);
+    lcl::bench::keep(rbar.problem.output_alphabet().size());
+  }
+  obs_counters.report(state);
+  state.counters["labels_r"] = static_cast<double>(labels_r);
+  state.counters["configs_r"] = static_cast<double>(configs_r);
+  state.counters["mask_kernel"] = kernel == ReKernel::kGeneric ? 0 : 1;
+}
+
+void BM_KernelSlice_D3K5_Generic(benchmark::State& state) {
+  run_kernel_slice(state, problems::coloring(5, 3), ReKernel::kGeneric);
+}
+BENCHMARK(BM_KernelSlice_D3K5_Generic)->Unit(benchmark::kMillisecond);
+
+void BM_KernelSlice_D3K5_Mask(benchmark::State& state) {
+  run_kernel_slice(state, problems::coloring(5, 3), ReKernel::kMask);
+}
+BENCHMARK(BM_KernelSlice_D3K5_Mask)->Unit(benchmark::kMillisecond);
 
 #define ABLATION_BENCH(name, expr)                              \
   void BM_Ablation_##name##_Reduced(benchmark::State& state) {  \
@@ -61,7 +107,12 @@ void run_ablation(benchmark::State& state,
   void BM_Ablation_##name##_Faithful(benchmark::State& state) { \
     run_ablation(state, expr, false);                           \
   }                                                             \
-  BENCHMARK(BM_Ablation_##name##_Faithful);
+  BENCHMARK(BM_Ablation_##name##_Faithful);                     \
+  void BM_Ablation_##name##_FaithfulGeneric(                    \
+      benchmark::State& state) {                                \
+    run_ablation(state, expr, false, ReKernel::kGeneric);       \
+  }                                                             \
+  BENCHMARK(BM_Ablation_##name##_FaithfulGeneric);
 
 ABLATION_BENCH(TwoColoring, problems::two_coloring(2))
 ABLATION_BENCH(ThreeColoring, problems::coloring(3, 2))

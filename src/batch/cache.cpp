@@ -9,6 +9,7 @@
 #include "lint/spec.hpp"
 #include "lint/spec_io.hpp"
 #include "obs/obs.hpp"
+#include "util/label_mask.hpp"
 
 namespace lcl::batch {
 
@@ -45,9 +46,19 @@ std::uint64_t constraint_signature(const NodeEdgeCheckableLcl& problem) {
     mix(h, 0xC0FFEE);
   }
   mix(h, 0x60);
+  // `g` sets fold in as single mask words when the output alphabet fits
+  // one (the common case); equal sets produce equal words, so
+  // `same_constraints(a, b)` still implies equal signatures. Label-by-label
+  // fallback for wider alphabets.
+  const bool g_fits_word =
+      problem.output_alphabet().size() <= LabelMask::kMaxUniverse;
   for (Label in = 0; in < problem.input_alphabet().size(); ++in) {
-    for (const auto out : problem.allowed_outputs(in).to_vector()) {
-      mix(h, out);
+    if (g_fits_word) {
+      mix(h, LabelMask::from_label_set(problem.allowed_outputs(in)).word());
+    } else {
+      for (const auto out : problem.allowed_outputs(in).to_vector()) {
+        mix(h, out);
+      }
     }
     mix(h, 0xC0FFEE);
   }

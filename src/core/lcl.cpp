@@ -235,6 +235,19 @@ NodeEdgeCheckableLcl::Builder& NodeEdgeCheckableLcl::Builder::allow_node(
   return *this;
 }
 
+NodeEdgeCheckableLcl::Builder& NodeEdgeCheckableLcl::Builder::allow_node(
+    std::vector<Label>&& labels) {
+  if (labels.empty() ||
+      labels.size() > static_cast<std::size_t>(problem_.max_degree_)) {
+    throw std::invalid_argument(
+        "Builder::allow_node: configuration size must be in [1, max_degree]");
+  }
+  for (auto l : labels) check_output_label(l);
+  auto& bucket = problem_.node_[labels.size()];
+  bucket.insert(bucket.end(), Configuration(std::move(labels)));
+  return *this;
+}
+
 NodeEdgeCheckableLcl::Builder&
 NodeEdgeCheckableLcl::Builder::allow_node_named(
     const std::vector<std::string>& names) {

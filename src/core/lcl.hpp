@@ -115,6 +115,10 @@ class NodeEdgeCheckableLcl::Builder {
   /// Allows the node configuration given by `labels` (its degree is
   /// `labels.size()`).
   Builder& allow_node(const std::vector<Label>& labels);
+  /// Move overload: additionally hints the set insertion at the end, which
+  /// is amortized O(1) when configurations arrive in increasing canonical
+  /// order - exactly how the round-elimination kernels enumerate them.
+  Builder& allow_node(std::vector<Label>&& labels);
 
   /// Convenience overload taking label names in the output alphabet.
   Builder& allow_node_named(const std::vector<std::string>& names);

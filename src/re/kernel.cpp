@@ -1,0 +1,355 @@
+#include "re/kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/combinatorics.hpp"
+#include "util/label_mask.hpp"
+
+namespace lcl {
+
+NodeConfigIndex::NodeConfigIndex(const NodeEdgeCheckableLcl& pi) : pi_(&pi) {
+  const std::size_t n = pi.output_alphabet().size();
+  bits_per_label_ =
+      n <= 1 ? 1u : static_cast<unsigned>(std::bit_width(n - 1));
+  packed_.resize(static_cast<std::size_t>(pi.max_degree()) + 1);
+  for (int d = 1; d <= pi.max_degree(); ++d) {
+    const auto degree = static_cast<std::size_t>(d);
+    if (!packable(degree)) continue;
+    auto& keys = packed_[degree];
+    const auto& configs = pi.node_configs(d);
+    keys.reserve(configs.size() * 2);
+    for (const auto& config : configs) {
+      // Configuration stores its labels in canonical ascending order, so
+      // the stored key matches what `allows_sorted` packs for a probe.
+      keys.insert(pack(config.labels().data(), config.size()));
+    }
+  }
+}
+
+bool NodeConfigIndex::allows_sorted(const Label* labels,
+                                    std::size_t degree) const {
+  if (degree < packed_.size() && packable(degree)) {
+    return packed_[degree].contains(pack(labels, degree));
+  }
+  return pi_->node_allows(
+      Configuration(std::vector<Label>(labels, labels + degree)));
+}
+
+namespace re_kernel {
+
+namespace {
+
+/// True iff the multiset {sets[0], .., sets[d-1]} admits a selection that is
+/// an allowed node configuration of `pi`. Checked per stored configuration
+/// via a small backtracking matching (configurations and degrees are tiny).
+bool exists_selection_in_node_constraint(const NodeEdgeCheckableLcl& pi,
+                                         const std::vector<LabelSet>& sets) {
+  const int degree = static_cast<int>(sets.size());
+  for (const auto& config : pi.node_configs(degree)) {
+    // Match each config label occurrence to a distinct slot whose set
+    // contains it.
+    const auto& labels = config.labels();
+    std::vector<char> used(sets.size(), 0);
+    // Recursive matching over config positions.
+    const auto match = [&](auto&& self, std::size_t pos) -> bool {
+      if (pos == labels.size()) return true;
+      for (std::size_t slot = 0; slot < sets.size(); ++slot) {
+        if (!used[slot] && sets[slot].contains(labels[pos])) {
+          used[slot] = 1;
+          if (self(self, pos + 1)) return true;
+          used[slot] = 0;
+        }
+      }
+      return false;
+    };
+    if (match(match, 0)) return true;
+  }
+  return false;
+}
+
+/// True iff EVERY selection from the sets is an allowed node configuration
+/// of `pi`.
+bool all_selections_in_node_constraint(const NodeEdgeCheckableLcl& pi,
+                                       const std::vector<LabelSet>& sets) {
+  // Search for a counterexample selection.
+  const bool found_bad = for_each_selection(
+      sets, [&](const std::vector<std::uint32_t>& selection) {
+        return !pi.node_allows(
+            Configuration(std::vector<Label>(selection.begin(),
+                                             selection.end())));
+      });
+  return !found_bad;
+}
+
+/// One step of the config-into-slots matching: can occurrences
+/// `labels[pos..degree)` be assigned to distinct unused slots whose words
+/// contain them? `used` is a slot bitmask. Since configurations are sorted,
+/// equal labels are adjacent; forcing equal occurrences into increasing
+/// slots (`min_slot`) collapses the permutations of identical labels to one
+/// canonical assignment.
+bool config_fits_slots(const Label* labels, std::size_t degree,
+                       const std::uint64_t* slots, std::uint32_t used,
+                       std::size_t pos, std::size_t min_slot) {
+  if (pos == degree) return true;
+  const Label l = labels[pos];
+  const std::size_t start =
+      pos > 0 && labels[pos - 1] == l ? min_slot + 1 : 0;
+  for (std::size_t slot = start; slot < degree; ++slot) {
+    if (((used >> slot) & 1) == 0 && ((slots[slot] >> l) & 1) != 0) {
+      if (config_fits_slots(labels, degree, slots,
+                            used | (std::uint32_t{1} << slot), pos + 1,
+                            slot)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Mask variant of the EXISTS quantifier: a selection exists iff some
+/// stored configuration (flattened, `degree` labels per row) matches into
+/// the slot words.
+bool exists_selection_mask(const std::vector<Label>& flat_configs,
+                           const std::uint64_t* slots, std::size_t degree) {
+  for (std::size_t at = 0; at < flat_configs.size(); at += degree) {
+    if (config_fits_slots(flat_configs.data() + at, degree, slots, 0, 0, 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Mask variant of the FORALL quantifier: walks the cartesian product of
+/// the slot words' set bits, canonicalizes each selection by insertion sort
+/// into `sorted` (degrees are tiny), and probes the packed memo; aborts on
+/// the first disallowed selection.
+bool all_selections_mask(const NodeConfigIndex& index,
+                         const std::uint64_t* slots, std::size_t degree,
+                         Label* selection, Label* sorted) {
+  const auto walk = [&](auto&& self, std::size_t slot) -> bool {
+    if (slot == degree) {
+      for (std::size_t i = 0; i < degree; ++i) {
+        const Label l = selection[i];
+        std::size_t j = i;
+        while (j > 0 && sorted[j - 1] > l) {
+          sorted[j] = sorted[j - 1];
+          --j;
+        }
+        sorted[j] = l;
+      }
+      return index.allows_sorted(sorted, degree);
+    }
+    std::uint64_t word = slots[slot];
+    while (word != 0) {
+      selection[slot] = static_cast<Label>(std::countr_zero(word));
+      word &= word - 1;
+      if (!self(self, slot + 1)) return false;
+    }
+    return true;
+  };
+  return walk(walk, 0);
+}
+
+/// Advances `idx` to the lexicographically next non-decreasing tuple over
+/// `{0, .., limit-1}`; returns false when exhausted. Matches the order of
+/// `enumerate_multisets` without materializing the enumeration.
+bool next_multiset(std::vector<std::uint32_t>& idx, std::uint32_t limit) {
+  std::size_t pos = idx.size();
+  while (pos > 0 && idx[pos - 1] == limit - 1) --pos;
+  if (pos == 0) return false;
+  const std::uint32_t next = idx[pos - 1] + 1;
+  for (std::size_t i = pos - 1; i < idx.size(); ++i) idx[i] = next;
+  return true;
+}
+
+}  // namespace
+
+std::vector<LabelSet> fill_generic(NodeEdgeCheckableLcl::Builder& builder,
+                                   const NodeEdgeCheckableLcl& pi,
+                                   bool exists_node) {
+  const std::size_t base = pi.output_alphabet().size();
+  std::vector<LabelSet> derived =
+      all_nonempty_subsets(base, /*max_universe_bits=*/62);
+  const std::size_t label_count = derived.size();
+
+  // Precompute, per derived label B:
+  //  - forall_partners(B) = { b : {b1, b} in E_Pi for ALL b1 in B }
+  //  - exists_partners(B) = { b : {b1, b} in E_Pi for SOME b1 in B }
+  std::vector<LabelSet> forall_partners(label_count, LabelSet(base));
+  std::vector<LabelSet> exists_partners(label_count, LabelSet(base));
+  for (std::size_t i = 0; i < label_count; ++i) {
+    LabelSet all = LabelSet::full(base);
+    LabelSet any(base);
+    for (const auto b : derived[i].to_vector()) {
+      all = all.intersect_with(pi.edge_partners(b));
+      any = any.union_with(pi.edge_partners(b));
+    }
+    forall_partners[i] = std::move(all);
+    exists_partners[i] = std::move(any);
+  }
+
+  // Edge constraint.
+  for (std::size_t i = 0; i < label_count; ++i) {
+    for (std::size_t j = i; j < label_count; ++j) {
+      const bool allowed =
+          exists_node
+              // R: edge is the FORALL side.
+              ? derived[j].is_subset_of(forall_partners[i])
+              // Rbar: edge is the EXISTS side.
+              : derived[j].intersects(exists_partners[i]);
+      if (allowed) {
+        builder.allow_edge(static_cast<Label>(i), static_cast<Label>(j));
+      }
+    }
+  }
+
+  // Node constraint per degree.
+  std::vector<LabelSet> slot_sets;
+  for (int d = 1; d <= pi.max_degree(); ++d) {
+    for (const auto& multiset :
+         enumerate_multisets(label_count, static_cast<std::size_t>(d))) {
+      slot_sets.clear();
+      for (const auto l : multiset) slot_sets.push_back(derived[l]);
+      const bool allowed =
+          exists_node ? exists_selection_in_node_constraint(pi, slot_sets)
+                      : all_selections_in_node_constraint(pi, slot_sets);
+      if (allowed) {
+        builder.allow_node(
+            std::vector<Label>(multiset.begin(), multiset.end()));
+      }
+    }
+  }
+
+  // g: derived label allowed for input l iff its meaning is a subset of
+  // g_Pi(l).
+  for (Label in = 0; in < pi.input_alphabet().size(); ++in) {
+    const LabelSet& allowed = pi.allowed_outputs(in);
+    for (std::size_t i = 0; i < label_count; ++i) {
+      if (derived[i].is_subset_of(allowed)) {
+        builder.allow_output_for_input(in, static_cast<Label>(i));
+      }
+    }
+  }
+
+  return derived;
+}
+
+std::vector<LabelSet> fill_mask(NodeEdgeCheckableLcl::Builder& builder,
+                                const NodeEdgeCheckableLcl& pi,
+                                bool exists_node) {
+  const std::size_t base = pi.output_alphabet().size();
+  // The public operators' alphabet guard rejects bases >= 63 long before
+  // dispatch; this check only fences direct callers.
+  if (base >= 63) {
+    throw std::invalid_argument(
+        "re_kernel::fill_mask: base alphabet of " + std::to_string(base) +
+        " labels does not leave room for the 2^base-1 derived masks in one "
+        "word");
+  }
+  const std::uint64_t label_count = (std::uint64_t{1} << base) - 1;
+
+  // Per-base-label edge partner words.
+  std::vector<std::uint64_t> partners(base);
+  for (std::size_t b = 0; b < base; ++b) {
+    partners[b] =
+        LabelMask::from_label_set(pi.edge_partners(static_cast<Label>(b)))
+            .word();
+  }
+
+  // Subset DP: partner words of every derived mask from its
+  // lowest-bit-removed predecessor - one AND/OR per mask.
+  std::vector<std::uint64_t> forall(label_count + 1, 0);
+  std::vector<std::uint64_t> exists(label_count + 1, 0);
+  for (std::uint64_t m = 1; m <= label_count; ++m) {
+    const std::size_t b = static_cast<std::size_t>(std::countr_zero(m));
+    const std::uint64_t rest = m & (m - 1);
+    forall[m] = rest != 0 ? (forall[rest] & partners[b]) : partners[b];
+    exists[m] = rest != 0 ? (exists[rest] | partners[b]) : partners[b];
+  }
+
+  // Edge constraint. For R ({B1,B2} allowed iff B2 subseteq
+  // forall_partners(B1), a symmetric relation) the allowed partners of B1
+  // are exactly the non-empty submasks of its FORALL word - a subset walk
+  // visits just those instead of testing every pair. For Rbar one
+  // single-word AND decides each pair.
+  if (exists_node) {
+    for (std::uint64_t mi = 1; mi <= label_count; ++mi) {
+      for_each_nonempty_submask(forall[mi], [&](std::uint64_t sub) {
+        if (sub >= mi) {
+          builder.allow_edge(static_cast<Label>(mi - 1),
+                             static_cast<Label>(sub - 1));
+        }
+      });
+    }
+  } else {
+    for (std::uint64_t mi = 1; mi <= label_count; ++mi) {
+      const std::uint64_t any = exists[mi];
+      for (std::uint64_t mj = mi; mj <= label_count; ++mj) {
+        if ((mj & any) != 0) {
+          builder.allow_edge(static_cast<Label>(mi - 1),
+                             static_cast<Label>(mj - 1));
+        }
+      }
+    }
+  }
+
+  // Node constraint per degree: walk the non-decreasing index tuples in
+  // enumerate_multisets order (without materializing them) and evaluate the
+  // quantifier on the slot words. Derived label i IS the mask i + 1.
+  NodeConfigIndex index(pi);
+  for (int d = 1; d <= pi.max_degree(); ++d) {
+    const auto degree = static_cast<std::size_t>(d);
+    // The EXISTS matching iterates the stored configurations; copy them out
+    // of the std::set once into one flat row-per-config array so the inner
+    // loop is a contiguous scan.
+    std::vector<Label> flat_configs;
+    if (exists_node) {
+      const auto& stored = pi.node_configs(d);
+      flat_configs.reserve(stored.size() * degree);
+      for (const auto& config : stored) {
+        flat_configs.insert(flat_configs.end(), config.labels().begin(),
+                            config.labels().end());
+      }
+    }
+    std::vector<std::uint32_t> idx(degree, 0);
+    std::vector<std::uint64_t> slots(degree);
+    std::vector<Label> selection(degree);
+    std::vector<Label> sorted(degree);
+    do {
+      for (std::size_t t = 0; t < degree; ++t) {
+        slots[t] = static_cast<std::uint64_t>(idx[t]) + 1;
+      }
+      const bool allowed =
+          exists_node
+              ? exists_selection_mask(flat_configs, slots.data(), degree)
+              : all_selections_mask(index, slots.data(), degree,
+                                    selection.data(), sorted.data());
+      if (allowed) {
+        builder.allow_node(std::vector<Label>(idx.begin(), idx.end()));
+      }
+    } while (next_multiset(idx, static_cast<std::uint32_t>(label_count)));
+  }
+
+  // g: the derived labels compatible with input l are exactly the
+  // non-empty submasks of g_Pi(l) - enumerated directly by a subset walk.
+  for (Label in = 0; in < pi.input_alphabet().size(); ++in) {
+    const std::uint64_t g =
+        LabelMask::from_label_set(pi.allowed_outputs(in)).word();
+    for_each_nonempty_submask(g, [&](std::uint64_t sub) {
+      builder.allow_output_for_input(in, static_cast<Label>(sub - 1));
+    });
+  }
+
+  // Meanings: mask m denotes the base-label set with exactly m's bits.
+  std::vector<LabelSet> meaning;
+  meaning.reserve(label_count);
+  for (std::uint64_t m = 1; m <= label_count; ++m) {
+    meaning.push_back(LabelMask(base, m).to_label_set());
+  }
+  return meaning;
+}
+
+}  // namespace re_kernel
+}  // namespace lcl

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lcl.hpp"
+#include "re/step.hpp"
+
+namespace lcl {
+
+/// Canonical-form memo of a problem's allowed node configurations: every
+/// stored configuration (a sorted multiset of output labels) is packed into
+/// a single 64-bit key and hashed exactly once at construction; membership
+/// probes are then one pack + one flat hash lookup instead of an ordered-set
+/// walk with vector comparisons. This is the shared lookup structure of the
+/// mask kernels (`ReKernel::kMask`) and of `reduce()`'s dominated-label
+/// pass, both of which probe the same configurations over and over across
+/// different derived multisets.
+///
+/// Packing uses `bits_per_label = bit_width(|Sigma_out| - 1)` bits per
+/// label; a degree packs when `degree * bits_per_label <= 64`. Unpackable
+/// degrees (or alphabets beyond 64 labels) transparently fall back to
+/// `NodeEdgeCheckableLcl::node_allows`, so `allows_sorted` is always exact.
+class NodeConfigIndex {
+ public:
+  explicit NodeConfigIndex(const NodeEdgeCheckableLcl& pi);
+
+  /// True when degree-`degree` probes run on the packed fast path.
+  bool packable(std::size_t degree) const {
+    return degree >= 1 && degree * bits_per_label_ <= 64;
+  }
+
+  /// True iff the canonical (ascending) multiset `labels[0..degree)` is an
+  /// allowed node configuration. `labels` MUST be sorted ascending.
+  bool allows_sorted(const Label* labels, std::size_t degree) const;
+
+ private:
+  std::uint64_t pack(const Label* labels, std::size_t degree) const {
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      key = (key << bits_per_label_) | labels[i];
+    }
+    return key;
+  }
+
+  const NodeEdgeCheckableLcl* pi_;
+  unsigned bits_per_label_ = 1;
+  /// Indexed by degree (0..max_degree); empty for unpackable degrees.
+  std::vector<std::unordered_set<std::uint64_t>> packed_;
+};
+
+/// Internal entry points of the two operator enumeration paths; the public
+/// `apply_r`/`apply_rbar` dispatch here on `ReLimits::kernel`. Both paths
+/// share the alphabet/configuration guards (performed by the dispatcher),
+/// emit identical obs counters, and build constraint-identical problems
+/// with identical label names - `test_re_kernel_parity` fences that.
+namespace re_kernel {
+
+/// Fills `builder` (already carrying the derived alphabet) with the edge,
+/// node and `g` constraints of `R(pi)` / `Rbar(pi)`, and returns the
+/// derived labels' meanings. `exists_node` is true for `R` (node EXISTS /
+/// edge FORALL) and false for `Rbar` (node FORALL / edge EXISTS).
+///
+/// The generic path walks `LabelSet` containers; the mask path identifies
+/// derived label `i` with the single-word mask `i + 1`, computes per-label
+/// FORALL/EXISTS partner words by a subset DP, enumerates `g`-compatible
+/// labels by subset walks, and answers node-quantifier queries through a
+/// `NodeConfigIndex`. The mask path requires the base output alphabet of
+/// `pi` to fit one word (`<= 64` labels) and throws
+/// `std::invalid_argument` otherwise.
+std::vector<LabelSet> fill_generic(NodeEdgeCheckableLcl::Builder& builder,
+                                   const NodeEdgeCheckableLcl& pi,
+                                   bool exists_node);
+std::vector<LabelSet> fill_mask(NodeEdgeCheckableLcl::Builder& builder,
+                                const NodeEdgeCheckableLcl& pi,
+                                bool exists_node);
+
+}  // namespace re_kernel
+
+}  // namespace lcl

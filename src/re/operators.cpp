@@ -4,21 +4,22 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "re/kernel.hpp"
 #include "util/combinatorics.hpp"
+#include "util/label_mask.hpp"
 
 namespace lcl {
 
 namespace {
 
-/// Shared scaffolding of R and Rbar: both have output alphabet
-/// 2^Sigma_out(Pi) \ {{}} and g(l) = { A : A subseteq g_Pi(l) }.
-struct DerivedAlphabet {
-  std::vector<LabelSet> labels;  // meaning of each new label
-  Alphabet alphabet;             // names like "{A,B}"
-};
+enum class Quantifier { kExists, kForAll };
 
-DerivedAlphabet derive_alphabet(const NodeEdgeCheckableLcl& pi,
-                                const ReLimits& limits) {
+/// Shared scaffolding of R and Rbar: both have output alphabet
+/// 2^Sigma_out(Pi) \ {{}} and g(l) = { A : A subseteq g_Pi(l) }. The
+/// alphabet guard and the naming are kernel-independent; the derived label
+/// `i` always denotes the base-label set whose mask is `i + 1`.
+Alphabet derive_alphabet(const NodeEdgeCheckableLcl& pi,
+                         const ReLimits& limits) {
   const std::size_t base = pi.output_alphabet().size();
   if (base >= 63 || ((std::uint64_t{1} << base) - 1) > limits.max_labels) {
     throw ReBlowupError(
@@ -27,68 +28,24 @@ DerivedAlphabet derive_alphabet(const NodeEdgeCheckableLcl& pi,
         "-1 labels, exceeding the limit of " +
         std::to_string(limits.max_labels));
   }
-  DerivedAlphabet out;
-  out.labels = all_nonempty_subsets(base, /*max_universe_bits=*/62);
   const auto namer = [&pi](std::uint32_t l) {
     return pi.output_alphabet().name(l);
   };
-  for (const auto& set : out.labels) {
-    out.alphabet.add(set.to_string(namer));
+  Alphabet out;
+  const std::uint64_t count = (std::uint64_t{1} << base) - 1;
+  for (std::uint64_t mask = 1; mask <= count; ++mask) {
+    out.add(LabelMask(base, mask).to_string(namer));
   }
   return out;
 }
-
-/// True iff the multiset {sets[0], .., sets[d-1]} admits a selection that is
-/// an allowed node configuration of `pi`. Checked per stored configuration
-/// via a small backtracking matching (configurations and degrees are tiny).
-bool exists_selection_in_node_constraint(const NodeEdgeCheckableLcl& pi,
-                                         const std::vector<LabelSet>& sets) {
-  const int degree = static_cast<int>(sets.size());
-  for (const auto& config : pi.node_configs(degree)) {
-    // Match each config label occurrence to a distinct slot whose set
-    // contains it.
-    const auto& labels = config.labels();
-    std::vector<char> used(sets.size(), 0);
-    // Recursive matching over config positions.
-    const auto match = [&](auto&& self, std::size_t pos) -> bool {
-      if (pos == labels.size()) return true;
-      for (std::size_t slot = 0; slot < sets.size(); ++slot) {
-        if (!used[slot] && sets[slot].contains(labels[pos])) {
-          used[slot] = 1;
-          if (self(self, pos + 1)) return true;
-          used[slot] = 0;
-        }
-      }
-      return false;
-    };
-    if (match(match, 0)) return true;
-  }
-  return false;
-}
-
-/// True iff EVERY selection from the sets is an allowed node configuration
-/// of `pi`.
-bool all_selections_in_node_constraint(const NodeEdgeCheckableLcl& pi,
-                                       const std::vector<LabelSet>& sets) {
-  // Search for a counterexample selection.
-  const bool found_bad = for_each_selection(
-      sets, [&](const std::vector<std::uint32_t>& selection) {
-        return !pi.node_allows(
-            Configuration(std::vector<Label>(selection.begin(),
-                                             selection.end())));
-      });
-  return !found_bad;
-}
-
-enum class Quantifier { kExists, kForAll };
 
 ReStep apply_operator(const NodeEdgeCheckableLcl& pi, const ReLimits& limits,
                       Quantifier node_quantifier, const char* name_prefix) {
   LCL_OBS_SPAN(span, node_quantifier == Quantifier::kExists ? "re/R"
                                                             : "re/Rbar",
                "re");
-  auto derived = derive_alphabet(pi, limits);
-  const std::size_t label_count = derived.labels.size();
+  Alphabet derived = derive_alphabet(pi, limits);
+  const std::size_t label_count = derived.size();
   const std::size_t base = pi.output_alphabet().size();
 
   // Configuration-count guard across all degrees plus edge pairs.
@@ -115,71 +72,28 @@ ReStep apply_operator(const NodeEdgeCheckableLcl& pi, const ReLimits& limits,
   LCL_OBS_SPAN_ARG(span, "labels", label_count);
   LCL_OBS_SPAN_ARG(span, "configs", candidates);
 
+  // Kernel dispatch. The alphabet guard above already rejected bases that
+  // do not fit one word, so kAuto always resolves to the mask kernels; the
+  // generic path stays reachable explicitly (ablation benches, parity
+  // fences, hypothetical multi-word bases).
+  const bool use_mask = limits.kernel != ReKernel::kGeneric &&
+                        base <= LabelMask::kMaxUniverse;
+  if (limits.kernel == ReKernel::kMask && base > LabelMask::kMaxUniverse) {
+    throw std::invalid_argument(
+        "round elimination: ReKernel::kMask requires a base alphabet of at "
+        "most 64 labels");
+  }
+  LCL_OBS_SPAN_ARG(span, "kernel", use_mask ? 1 : 0);
+
   NodeEdgeCheckableLcl::Builder builder(
       std::string(name_prefix) + "(" + pi.name() + ")", pi.input_alphabet(),
-      derived.alphabet, pi.max_degree());
+      std::move(derived), pi.max_degree());
+  const bool exists_node = node_quantifier == Quantifier::kExists;
+  std::vector<LabelSet> meaning =
+      use_mask ? re_kernel::fill_mask(builder, pi, exists_node)
+               : re_kernel::fill_generic(builder, pi, exists_node);
 
-  // Precompute, per derived label B:
-  //  - forall_partners(B) = { b : {b1, b} in E_Pi for ALL b1 in B }
-  //  - exists_partners(B) = { b : {b1, b} in E_Pi for SOME b1 in B }
-  std::vector<LabelSet> forall_partners(label_count, LabelSet(base));
-  std::vector<LabelSet> exists_partners(label_count, LabelSet(base));
-  for (std::size_t i = 0; i < label_count; ++i) {
-    LabelSet all = LabelSet::full(base);
-    LabelSet any(base);
-    for (const auto b : derived.labels[i].to_vector()) {
-      all = all.intersect_with(pi.edge_partners(b));
-      any = any.union_with(pi.edge_partners(b));
-    }
-    forall_partners[i] = std::move(all);
-    exists_partners[i] = std::move(any);
-  }
-
-  // Edge constraint.
-  for (std::size_t i = 0; i < label_count; ++i) {
-    for (std::size_t j = i; j < label_count; ++j) {
-      const bool allowed =
-          node_quantifier == Quantifier::kExists
-              // R: edge is the FORALL side.
-              ? derived.labels[j].is_subset_of(forall_partners[i])
-              // Rbar: edge is the EXISTS side.
-              : derived.labels[j].intersects(exists_partners[i]);
-      if (allowed) {
-        builder.allow_edge(static_cast<Label>(i), static_cast<Label>(j));
-      }
-    }
-  }
-
-  // Node constraint per degree.
-  std::vector<LabelSet> slot_sets;
-  for (int d = 1; d <= pi.max_degree(); ++d) {
-    for (const auto& multiset :
-         enumerate_multisets(label_count, static_cast<std::size_t>(d))) {
-      slot_sets.clear();
-      for (const auto l : multiset) slot_sets.push_back(derived.labels[l]);
-      const bool allowed =
-          node_quantifier == Quantifier::kExists
-              ? exists_selection_in_node_constraint(pi, slot_sets)
-              : all_selections_in_node_constraint(pi, slot_sets);
-      if (allowed) {
-        builder.allow_node(
-            std::vector<Label>(multiset.begin(), multiset.end()));
-      }
-    }
-  }
-
-  // g: derived label allowed for input l iff its meaning is a subset of
-  // g_Pi(l).
-  for (Label in = 0; in < pi.input_alphabet().size(); ++in) {
-    const LabelSet& allowed = pi.allowed_outputs(in);
-    for (std::size_t i = 0; i < label_count; ++i) {
-      if (derived.labels[i].is_subset_of(allowed)) {
-        builder.allow_output_for_input(in, static_cast<Label>(i));
-      }
-    }
-  }
-
-  return ReStep{builder.build(), std::move(derived.labels)};
+  return ReStep{builder.build(), std::move(meaning)};
 }
 
 }  // namespace

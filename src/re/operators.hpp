@@ -19,7 +19,9 @@ namespace lcl {
 /// As in the paper (note after Definition 3.1), non-maximal configurations
 /// are NOT removed here; use `reduce()` for the sound label-level
 /// simplifications. Throws `ReBlowupError` when the enumeration would
-/// exceed `limits`.
+/// exceed `limits`. `limits.kernel` selects the enumeration implementation
+/// (dense bitmask kernels by default - see `re/kernel.hpp`); all kernels
+/// build constraint-identical problems.
 ReStep apply_r(const NodeEdgeCheckableLcl& pi, const ReLimits& limits = {});
 
 /// Definition 3.2: the problem `Rbar(Pi)` - same alphabets and `g` as

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "re/kernel.hpp"
 #include "util/label_set.hpp"
 
 namespace lcl {
@@ -216,6 +217,10 @@ bool drop_dominated_once(NodeEdgeCheckableLcl& p,
   const std::size_t n = p.output_alphabet().size();
   if (n < 2 || n > 4096) return false;  // quadratic pass: cap the size
 
+  // The pass probes the same node configurations for every candidate pair;
+  // the packed canonical-form memo answers each probe with one hash lookup.
+  const NodeConfigIndex config_index(p);
+
   const auto dominated_by = [&](Label a, Label b) {
     if (!p.edge_partners(a).is_subset_of(p.edge_partners(b))) return false;
     for (Label in = 0; in < p.input_alphabet().size(); ++in) {
@@ -231,7 +236,10 @@ bool drop_dominated_once(NodeEdgeCheckableLcl& p,
         if (it == labels.end()) continue;
         std::vector<Label> replaced = labels;
         *std::find(replaced.begin(), replaced.end(), a) = b;
-        if (!p.node_allows(Configuration(std::move(replaced)))) return false;
+        std::sort(replaced.begin(), replaced.end());
+        if (!config_index.allows_sorted(replaced.data(), replaced.size())) {
+          return false;
+        }
       }
     }
     return true;

@@ -31,12 +31,36 @@ class ReBlowupError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Enumeration budgets for the operators.
+/// Which enumeration implementation the operators run on. Both produce
+/// constraint-identical problems (fenced by `test_re_kernel_parity`); they
+/// differ only in speed.
+enum class ReKernel {
+  /// Dense bitmask kernels when the base output alphabet fits one 64-bit
+  /// word (always the case today: the alphabet guard rejects bases >= 63
+  /// before enumeration), the generic path otherwise.
+  kAuto,
+  /// The original ordered-container enumeration over `LabelSet`s - kept as
+  /// the ablation baseline (`bench_re_ablation`'s old-kernel columns) and
+  /// as the fallback for hypothetical > 64-label bases.
+  kGeneric,
+  /// Dense single-word `LabelMask` kernels: derived label `i` *is* the mask
+  /// `i + 1`, support tests are popcounts/ANDs, power sets are subset
+  /// walks, and node-configuration membership goes through a packed
+  /// canonical-form memo. Throws `std::invalid_argument` if the base
+  /// alphabet exceeds 64 labels (unreachable through the public operators).
+  kMask,
+};
+
+/// Enumeration budgets (and kernel choice) for the operators.
 struct ReLimits {
   /// Maximum size of the derived output alphabet (before reduction).
   std::size_t max_labels = 4096;
   /// Maximum number of candidate configurations examined per constraint.
   std::uint64_t max_configs = 4'000'000;
+  /// Implementation selector; rides along with the budgets so that every
+  /// caller threading `ReLimits` (engine, batch surveys, fuzz oracles)
+  /// picks the kernel up transparently.
+  ReKernel kernel = ReKernel::kAuto;
 };
 
 }  // namespace lcl

@@ -1,0 +1,117 @@
+#include "util/label_mask.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lcl {
+
+LabelMask::LabelMask(std::size_t universe) : universe_(universe) {
+  if (universe > kMaxUniverse) {
+    throw std::invalid_argument(
+        "LabelMask: universe of size " + std::to_string(universe) +
+        " exceeds the single-word limit of " + std::to_string(kMaxUniverse) +
+        " (use LabelSet for larger universes)");
+  }
+}
+
+LabelMask::LabelMask(std::size_t universe, std::uint64_t bits)
+    : LabelMask(universe) {
+  if ((bits & ~universe_word(universe)) != 0) {
+    throw std::out_of_range(
+        "LabelMask: bits outside the universe of size " +
+        std::to_string(universe));
+  }
+  bits_ = bits;
+}
+
+LabelMask LabelMask::full(std::size_t universe) {
+  LabelMask m(universe);
+  m.bits_ = universe_word(universe);
+  return m;
+}
+
+LabelMask LabelMask::singleton(std::size_t universe, std::uint32_t label) {
+  LabelMask m(universe);
+  m.insert(label);
+  return m;
+}
+
+LabelMask LabelMask::from_label_set(const LabelSet& set) {
+  LabelMask m(set.universe());  // throws on universe > 64
+  for (const auto label : set.to_vector()) {
+    m.bits_ |= std::uint64_t{1} << label;
+  }
+  return m;
+}
+
+LabelSet LabelMask::to_label_set() const {
+  LabelSet set(universe_);
+  for (const auto label : to_vector()) set.insert(label);
+  return set;
+}
+
+std::vector<std::uint32_t> LabelMask::to_vector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(size());
+  std::uint64_t word = bits_;
+  while (word != 0) {
+    out.push_back(static_cast<std::uint32_t>(std::countr_zero(word)));
+    word &= word - 1;
+  }
+  return out;
+}
+
+std::uint32_t LabelMask::min() const {
+  if (bits_ == 0) throw std::logic_error("LabelMask::min on empty set");
+  return static_cast<std::uint32_t>(std::countr_zero(bits_));
+}
+
+std::string LabelMask::to_string() const {
+  return to_string([](std::uint32_t l) { return std::to_string(l); });
+}
+
+std::string LabelMask::to_string(
+    const std::function<std::string(std::uint32_t)>& namer) const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  std::uint64_t word = bits_;
+  while (word != 0) {
+    if (!first) os << ',';
+    os << namer(static_cast<std::uint32_t>(std::countr_zero(word)));
+    first = false;
+    word &= word - 1;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::size_t LabelMask::hash() const noexcept {
+  // Mirrors LabelSet::hash() exactly: universes <= 64 store zero words
+  // (universe 0) or one word, folded with the same mixer.
+  std::size_t h = universe_ * 0x9e3779b97f4a7c15ULL;
+  if (universe_ != 0) {
+    h ^= static_cast<std::size_t>(bits_) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+void LabelMask::check_label(std::uint32_t label) const {
+  if (label >= universe_) {
+    throw std::out_of_range("LabelMask: label " + std::to_string(label) +
+                            " outside universe of size " +
+                            std::to_string(universe_));
+  }
+}
+
+void LabelMask::check_compatible(const LabelMask& other) const {
+  if (universe_ != other.universe_) {
+    throw std::invalid_argument(
+        "LabelMask: operation on sets over different universes (" +
+        std::to_string(universe_) + " vs " + std::to_string(other.universe_) +
+        ")");
+  }
+}
+
+}  // namespace lcl

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/label_set.hpp"
+
+namespace lcl {
+
+/// A set of labels over a fixed finite universe of at most 64 labels,
+/// packed into a single `uint64_t` word.
+///
+/// `LabelMask` is the dense kernel representation behind the
+/// round-elimination hot path: the output alphabet of `R(Pi)` (Definition
+/// 3.1) is the power set of `Sigma_out(Pi)`, so when the base alphabet fits
+/// one word, every derived label *is* a mask and every support test (subset,
+/// intersection, membership) is one machine instruction instead of a
+/// word-vector walk. `LabelSet` remains the general representation for
+/// unbounded universes; the two agree operation-for-operation on every
+/// universe `<= 64` (fenced exhaustively by `test_util_label_mask`), and
+/// `hash()` matches `LabelSet::hash()` bit for bit so the two are
+/// interchangeable as hash keys.
+///
+/// Error behaviour mirrors `LabelSet`: constructing over a universe larger
+/// than `kMaxUniverse` throws `std::invalid_argument`, label arguments are
+/// range-checked (`std::out_of_range`), and binary operations require both
+/// operands to share the same universe size (`std::invalid_argument`).
+class LabelMask {
+ public:
+  static constexpr std::size_t kMaxUniverse = 64;
+
+  /// Creates an empty set over an empty universe.
+  constexpr LabelMask() = default;
+
+  /// Creates an empty set over a universe of `universe` labels.
+  explicit LabelMask(std::size_t universe);
+
+  /// Creates a set over `universe` labels whose members are the set bits of
+  /// `bits`. Throws `std::out_of_range` if a bit outside the universe is
+  /// set.
+  LabelMask(std::size_t universe, std::uint64_t bits);
+
+  /// The full set `{0, .., universe-1}`.
+  static LabelMask full(std::size_t universe);
+
+  /// A singleton set `{label}` over `universe` labels.
+  static LabelMask singleton(std::size_t universe, std::uint32_t label);
+
+  /// Converts from the dynamic-bitset representation. Throws
+  /// `std::invalid_argument` when the set's universe exceeds
+  /// `kMaxUniverse`.
+  static LabelMask from_label_set(const LabelSet& set);
+
+  /// Converts back to the dynamic-bitset representation (same universe,
+  /// same members).
+  LabelSet to_label_set() const;
+
+  std::size_t universe() const noexcept { return universe_; }
+
+  /// The raw word; bit `b` set iff label `b` is a member.
+  std::uint64_t word() const noexcept { return bits_; }
+
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(std::popcount(bits_));
+  }
+  bool empty() const noexcept { return bits_ == 0; }
+
+  bool contains(std::uint32_t label) const {
+    check_label(label);
+    return (bits_ >> label) & 1;
+  }
+  void insert(std::uint32_t label) {
+    check_label(label);
+    bits_ |= std::uint64_t{1} << label;
+  }
+  void erase(std::uint32_t label) {
+    check_label(label);
+    bits_ &= ~(std::uint64_t{1} << label);
+  }
+  void clear() noexcept { bits_ = 0; }
+
+  /// True if `*this` is a subset of `other` (not necessarily proper).
+  bool is_subset_of(const LabelMask& other) const {
+    check_compatible(other);
+    return (bits_ & ~other.bits_) == 0;
+  }
+  /// True if the two sets share at least one label.
+  bool intersects(const LabelMask& other) const {
+    check_compatible(other);
+    return (bits_ & other.bits_) != 0;
+  }
+
+  LabelMask union_with(const LabelMask& other) const {
+    check_compatible(other);
+    return unchecked(universe_, bits_ | other.bits_);
+  }
+  LabelMask intersect_with(const LabelMask& other) const {
+    check_compatible(other);
+    return unchecked(universe_, bits_ & other.bits_);
+  }
+  LabelMask minus(const LabelMask& other) const {
+    check_compatible(other);
+    return unchecked(universe_, bits_ & ~other.bits_);
+  }
+  /// `{0, .., universe-1} \ *this`.
+  LabelMask complement() const {
+    return unchecked(universe_, ~bits_ & universe_word(universe_));
+  }
+
+  /// Labels in ascending order.
+  std::vector<std::uint32_t> to_vector() const;
+
+  /// Smallest contained label. Throws `std::logic_error` on an empty set.
+  std::uint32_t min() const;
+
+  /// Renders as `{a,b,c}` using `namer` for each label (or the label index
+  /// itself when no namer is given). Identical to `LabelSet::to_string`.
+  std::string to_string() const;
+  std::string to_string(
+      const std::function<std::string(std::uint32_t)>& namer) const;
+
+  /// Total order matching the numeric order of the bit representation (the
+  /// same order `LabelSet::operator<` induces on universes `<= 64`).
+  bool operator<(const LabelMask& other) const {
+    if (universe_ != other.universe_) return universe_ < other.universe_;
+    return bits_ < other.bits_;
+  }
+  bool operator==(const LabelMask& other) const {
+    return universe_ == other.universe_ && bits_ == other.bits_;
+  }
+  bool operator!=(const LabelMask& other) const { return !(*this == other); }
+
+  /// Stable hash of the contents; equals `LabelSet::hash()` of the same set
+  /// over the same universe.
+  std::size_t hash() const noexcept;
+
+  /// The word with exactly the universe's bits set (all-ones for 64).
+  static constexpr std::uint64_t universe_word(std::size_t universe) noexcept {
+    return universe >= 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << universe) - 1;
+  }
+
+ private:
+  static LabelMask unchecked(std::size_t universe, std::uint64_t bits) {
+    LabelMask m;
+    m.universe_ = universe;
+    m.bits_ = bits;
+    return m;
+  }
+  void check_label(std::uint32_t label) const;
+  void check_compatible(const LabelMask& other) const;
+
+  std::size_t universe_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+/// Invokes `visit(sub)` for every non-empty submask of `mask`, in strictly
+/// decreasing numeric order, via the classic subset walk
+/// `sub = (sub - 1) & mask` - `2^popcount(mask) - 1` visits, one subtract
+/// and one mask each. This is the power-set enumeration primitive of the
+/// round-elimination kernels: the derived alphabet of `R(Pi)` is exactly
+/// the non-empty submasks of the full base word, and `g`-compatible derived
+/// labels are exactly the non-empty submasks of `g_Pi(l)`.
+template <typename Visit>
+inline void for_each_nonempty_submask(std::uint64_t mask, Visit&& visit) {
+  for (std::uint64_t sub = mask; sub != 0; sub = (sub - 1) & mask) {
+    visit(sub);
+  }
+}
+
+}  // namespace lcl
+
+template <>
+struct std::hash<lcl::LabelMask> {
+  std::size_t operator()(const lcl::LabelMask& m) const noexcept {
+    return m.hash();
+  }
+};

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/lcl.hpp"
+#include "core/problems.hpp"
+#include "re/kernel.hpp"
+#include "re/operators.hpp"
+#include "re/reduce.hpp"
+#include "re/step.hpp"
+
+namespace lcl {
+namespace {
+
+ReLimits with_kernel(ReKernel kernel) {
+  ReLimits limits;
+  limits.kernel = kernel;
+  return limits;
+}
+
+/// The parity fence of the kernel rewrite: on every battery problem, the
+/// mask kernels and the original generic enumeration must build the *same*
+/// derived problem - same alphabet names in the same order, same
+/// constraints, same g, same meanings - for both operators. Anything the
+/// engine, batch surveys, lint preflight, or fuzz oracles observe is
+/// downstream of these objects, so byte-identical verdicts follow.
+void expect_kernels_agree(const NodeEdgeCheckableLcl& pi) {
+  for (const bool use_r : {true, false}) {
+    const auto apply = use_r ? &apply_r : &apply_rbar;
+    const ReStep generic = apply(pi, with_kernel(ReKernel::kGeneric));
+    const ReStep mask = apply(pi, with_kernel(ReKernel::kMask));
+    const ReStep automatic = apply(pi, with_kernel(ReKernel::kAuto));
+    SCOPED_TRACE(pi.name() + (use_r ? " / R" : " / Rbar"));
+
+    ASSERT_EQ(generic.problem.output_alphabet().size(),
+              mask.problem.output_alphabet().size());
+    for (Label l = 0; l < generic.problem.output_alphabet().size(); ++l) {
+      ASSERT_EQ(generic.problem.output_alphabet().name(l),
+                mask.problem.output_alphabet().name(l));
+    }
+    EXPECT_TRUE(same_constraints(generic.problem, mask.problem));
+    EXPECT_TRUE(same_constraints(generic.problem, automatic.problem));
+    EXPECT_EQ(generic.problem.name(), mask.problem.name());
+    ASSERT_EQ(generic.meaning.size(), mask.meaning.size());
+    for (std::size_t i = 0; i < generic.meaning.size(); ++i) {
+      EXPECT_EQ(generic.meaning[i], mask.meaning[i]) << "meaning " << i;
+      EXPECT_EQ(generic.meaning[i], automatic.meaning[i]);
+    }
+  }
+}
+
+TEST(ReKernelParity, BatteryProblemsDeriveIdentically) {
+  expect_kernels_agree(problems::two_coloring(2));
+  expect_kernels_agree(problems::coloring(3, 2));
+  expect_kernels_agree(problems::coloring(3, 3));
+  expect_kernels_agree(problems::mis(3));
+  expect_kernels_agree(problems::maximal_matching(3));
+  expect_kernels_agree(problems::sinkless_orientation(3));
+  expect_kernels_agree(problems::any_orientation(3));
+  expect_kernels_agree(problems::perfect_matching(3));
+  expect_kernels_agree(problems::weak_coloring(2, 3));
+  expect_kernels_agree(problems::trivial(3));
+}
+
+// One iterate deep: parity must survive composition, i.e. hold on problems
+// that are themselves kernel outputs (reduced, as the engine runs them).
+TEST(ReKernelParity, HoldsOnReducedFirstIterates) {
+  for (const auto& seed :
+       {problems::coloring(3, 3), problems::sinkless_orientation(3)}) {
+    ReStep step = apply_r(seed, with_kernel(ReKernel::kGeneric));
+    const Reduction reduced = reduce(step.problem);
+    expect_kernels_agree(reduced.problem);
+  }
+}
+
+TEST(ReKernelParity, BlowupErrorsMatchAcrossKernels) {
+  // 13 output labels -> 2^13 - 1 = 8191 derived labels > max_labels = 4096:
+  // both kernels must refuse identically (the guard runs pre-dispatch).
+  const auto big = problems::coloring(13, 2);
+  std::string generic_message;
+  std::string mask_message;
+  try {
+    apply_r(big, with_kernel(ReKernel::kGeneric));
+    FAIL() << "expected ReBlowupError";
+  } catch (const ReBlowupError& e) {
+    generic_message = e.what();
+  }
+  try {
+    apply_r(big, with_kernel(ReKernel::kMask));
+    FAIL() << "expected ReBlowupError";
+  } catch (const ReBlowupError& e) {
+    mask_message = e.what();
+  }
+  EXPECT_EQ(generic_message, mask_message);
+  EXPECT_FALSE(generic_message.empty());
+}
+
+TEST(NodeConfigIndexTest, AgreesWithNodeAllowsOnAllMultisets) {
+  for (const auto& pi : {problems::mis(3), problems::coloring(3, 3),
+                         problems::maximal_matching(3)}) {
+    const NodeConfigIndex index(pi);
+    const std::size_t n = pi.output_alphabet().size();
+    for (int d = 1; d <= pi.max_degree(); ++d) {
+      ASSERT_TRUE(index.packable(static_cast<std::size_t>(d)));
+      // Every multiset over the alphabet, in canonical sorted form.
+      std::vector<Label> tuple(static_cast<std::size_t>(d), 0);
+      while (true) {
+        std::vector<Label> sorted = tuple;
+        std::sort(sorted.begin(), sorted.end());
+        const bool expected = pi.node_allows(Configuration(sorted));
+        EXPECT_EQ(index.allows_sorted(sorted.data(), sorted.size()), expected)
+            << pi.name() << " d=" << d;
+        std::size_t pos = tuple.size();
+        while (pos > 0 && tuple[pos - 1] + 1 == n) --pos;
+        if (pos == 0) break;
+        ++tuple[pos - 1];
+        std::fill(tuple.begin() + static_cast<std::ptrdiff_t>(pos),
+                  tuple.end(), tuple[pos - 1]);
+      }
+    }
+  }
+}
+
+TEST(NodeConfigIndexTest, FallsBackWhenDegreeDoesNotPack) {
+  // 5 labels -> 3 bits per label; degree 22 needs 66 bits, so the packed
+  // path is off and probes must still answer through the fallback.
+  const auto pi = problems::coloring(5, 22);
+  const NodeConfigIndex index(pi);
+  EXPECT_FALSE(index.packable(22));
+  EXPECT_TRUE(index.packable(21));
+  std::vector<Label> rainbow;
+  for (Label l = 0; l < 22; ++l) rainbow.push_back(l % 5);
+  std::sort(rainbow.begin(), rainbow.end());
+  EXPECT_EQ(index.allows_sorted(rainbow.data(), rainbow.size()),
+            pi.node_allows(Configuration(rainbow)));
+  const std::vector<Label> mono(22, 0);
+  EXPECT_EQ(index.allows_sorted(mono.data(), mono.size()),
+            pi.node_allows(Configuration(mono)));
+}
+
+}  // namespace
+}  // namespace lcl

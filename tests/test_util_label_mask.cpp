@@ -1,0 +1,142 @@
+#include "util/label_mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/label_set.hpp"
+
+namespace lcl {
+namespace {
+
+TEST(LabelMask, BasicMembership) {
+  LabelMask m(5);
+  EXPECT_EQ(m.universe(), 5u);
+  EXPECT_TRUE(m.empty());
+  m.insert(0);
+  m.insert(3);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(0));
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_TRUE(m.contains(3));
+  EXPECT_EQ(m.word(), 0b01001u);
+  m.erase(0);
+  EXPECT_EQ(m.to_vector(), (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(m.min(), 3u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_THROW(m.min(), std::logic_error);
+}
+
+TEST(LabelMask, RangeChecks) {
+  LabelMask m(3);
+  EXPECT_THROW(m.insert(3), std::out_of_range);
+  EXPECT_THROW(m.contains(7), std::out_of_range);
+  EXPECT_THROW(m.erase(100), std::out_of_range);
+  EXPECT_THROW(LabelMask(3, 0b1000), std::out_of_range);
+  EXPECT_THROW(LabelMask(65), std::invalid_argument);
+  EXPECT_THROW(LabelMask::full(2).is_subset_of(LabelMask::full(3)),
+               std::invalid_argument);
+}
+
+TEST(LabelMask, FullAndSingletonAndComplement) {
+  EXPECT_EQ(LabelMask::full(6).word(), 0b111111u);
+  EXPECT_EQ(LabelMask::full(0).word(), 0u);
+  EXPECT_EQ(LabelMask::singleton(6, 4).word(), 0b010000u);
+  EXPECT_EQ(LabelMask(6, 0b010101).complement().word(), 0b101010u);
+  EXPECT_EQ(LabelMask::universe_word(64), ~std::uint64_t{0});
+  EXPECT_EQ(LabelMask::universe_word(0), 0u);
+}
+
+// The dense representation must agree with `LabelSet` on *every* operation
+// over *every* pair of subsets, for all universes k <= 6. That is
+// sum_k (2^k)^2 = 5461 pairs - small enough to brute-force, and the brute
+// force is exactly the interchangeability contract the RE kernels rely on.
+TEST(LabelMask, ExhaustiveCrossCheckAgainstLabelSetUpToK6) {
+  for (std::size_t k = 0; k <= 6; ++k) {
+    const std::uint64_t count = std::uint64_t{1} << k;
+    for (std::uint64_t a = 0; a < count; ++a) {
+      const LabelMask ma(k, a);
+      const LabelSet sa = ma.to_label_set();
+      ASSERT_EQ(LabelMask::from_label_set(sa), ma);
+      ASSERT_EQ(sa.size(), ma.size());
+      ASSERT_EQ(sa.empty(), ma.empty());
+      ASSERT_EQ(sa.to_vector(), ma.to_vector());
+      ASSERT_EQ(sa.to_string(), ma.to_string());
+      ASSERT_EQ(sa.hash(), ma.hash()) << "k=" << k << " a=" << a;
+      for (std::uint32_t l = 0; l < k; ++l) {
+        ASSERT_EQ(sa.contains(l), ma.contains(l));
+      }
+      for (std::uint64_t b = 0; b < count; ++b) {
+        const LabelMask mb(k, b);
+        const LabelSet sb = mb.to_label_set();
+        ASSERT_EQ(sa.is_subset_of(sb), ma.is_subset_of(mb));
+        ASSERT_EQ(sa.intersects(sb), ma.intersects(mb));
+        ASSERT_EQ(sa.union_with(sb), ma.union_with(mb).to_label_set());
+        ASSERT_EQ(sa.intersect_with(sb), ma.intersect_with(mb).to_label_set());
+        ASSERT_EQ(sa.minus(sb), ma.minus(mb).to_label_set());
+        ASSERT_EQ(sa == sb, ma == mb);
+        ASSERT_EQ(sa < sb, ma < mb) << "k=" << k << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+// The subset walk must visit exactly the 2^popcount(mask) - 1 non-empty
+// submasks, each once, in strictly decreasing order. The k=6 full word is
+// the 2^6 - 1 boundary named in the kernel docs.
+TEST(LabelMask, SubsetWalkVisitsEveryNonemptySubmaskOnce) {
+  const std::uint64_t masks[] = {0b111111, 0b101101, 0b1, 0b100000, 0};
+  for (const std::uint64_t mask : masks) {
+    std::vector<std::uint64_t> visited;
+    for_each_nonempty_submask(mask, [&](std::uint64_t sub) {
+      visited.push_back(sub);
+    });
+    const int bits = std::popcount(mask);
+    ASSERT_EQ(visited.size(), (std::uint64_t{1} << bits) - 1) << mask;
+    std::set<std::uint64_t> unique(visited.begin(), visited.end());
+    ASSERT_EQ(unique.size(), visited.size());
+    for (std::size_t i = 0; i + 1 < visited.size(); ++i) {
+      ASSERT_GT(visited[i], visited[i + 1]);  // strictly decreasing
+    }
+    for (const std::uint64_t sub : visited) {
+      ASSERT_NE(sub, 0u);
+      ASSERT_EQ(sub & ~mask, 0u);  // genuinely a submask
+    }
+  }
+}
+
+// k=64 exercises the full-word edge case, where `(1 << 64)` would be UB:
+// universe_word must saturate to all-ones and complement/full must agree.
+TEST(LabelMask, FullWordUniverse) {
+  LabelMask m = LabelMask::full(64);
+  EXPECT_EQ(m.size(), 64u);
+  EXPECT_EQ(m.word(), ~std::uint64_t{0});
+  EXPECT_TRUE(m.contains(63));
+  EXPECT_TRUE(m.complement().empty());
+  EXPECT_EQ(LabelMask(64).complement(), m);
+  m.erase(63);
+  EXPECT_EQ(m.size(), 63u);
+  EXPECT_EQ(m.complement(), LabelMask::singleton(64, 63));
+
+  // Round-trip and hash parity hold at the boundary too.
+  const LabelSet s = m.to_label_set();
+  EXPECT_EQ(s.size(), 63u);
+  EXPECT_EQ(LabelMask::from_label_set(s), m);
+  EXPECT_EQ(s.hash(), m.hash());
+  EXPECT_THROW(m.insert(64), std::out_of_range);
+}
+
+TEST(LabelMask, DefaultIsEmptyUniverse) {
+  const LabelMask m;
+  EXPECT_EQ(m.universe(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.hash(), LabelSet().hash());
+  EXPECT_EQ(m, LabelMask(0, 0));
+}
+
+}  // namespace
+}  // namespace lcl
