@@ -5,11 +5,13 @@
 // amortized and scaling is visible.
 
 #include <memory>
+#include <numeric>
 #include <string>
 
 #include "batch/cache.hpp"
 #include "batch/survey.hpp"
 #include "bench_common.hpp"
+#include "obs/run_context.hpp"
 
 namespace lcl {
 namespace {
@@ -21,6 +23,17 @@ batch::SurveyOptions survey_options(std::size_t jobs,
   options.engine.max_steps = 3;
   options.cache = cache;
   return options;
+}
+
+/// Sum of the pool's per-worker busy fractions from the last survey run -
+/// the *effective* parallelism actually delivered. On a single-core
+/// container this stays near 1.0 no matter what --jobs says, which is why
+/// every counter below reports it next to the throughput/ratio columns:
+/// a cold-vs-warm or jobs-scaling claim is only as honest as this number.
+double effective_parallelism(const obs::RunContext& run, std::size_t jobs) {
+  const auto busy = run.busy_fractions();
+  if (busy.empty()) return jobs <= 1 ? 1.0 : 0.0;  // inline run: no pool
+  return std::accumulate(busy.begin(), busy.end(), 0.0);
 }
 
 const batch::Family& bench_family() {
@@ -39,8 +52,11 @@ const batch::Family& bench_family() {
 void BM_SurveyJobs(benchmark::State& state) {
   const auto& family = bench_family();
   const auto jobs = static_cast<std::size_t>(state.range(0));
+  obs::RunContext run("bench-survey-jobs", "survey");
+  auto options = survey_options(jobs);
+  options.run = &run;
   for (auto _ : state) {
-    const auto report = batch::run_survey(family, survey_options(jobs));
+    const auto report = batch::run_survey(family, options);
     bench::keep(report.problems);
   }
   state.counters["jobs"] = static_cast<double>(jobs);
@@ -48,6 +64,7 @@ void BM_SurveyJobs(benchmark::State& state) {
   state.counters["problems_per_s"] = benchmark::Counter(
       static_cast<double>(family.members.size() * state.iterations()),
       benchmark::Counter::kIsRate);
+  state.counters["effective_parallelism"] = effective_parallelism(run, jobs);
 }
 BENCHMARK(BM_SurveyJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
@@ -56,14 +73,18 @@ BENCHMARK(BM_SurveyJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 /// price (plus insert overhead) - the baseline for the warm column.
 void BM_SurveyCacheCold(benchmark::State& state) {
   const auto& family = bench_family();
+  obs::RunContext run("bench-survey-cold", "survey");
   for (auto _ : state) {
     batch::Cache cache;
-    const auto report = batch::run_survey(family, survey_options(4, &cache));
+    auto options = survey_options(4, &cache);
+    options.run = &run;
+    const auto report = batch::run_survey(family, options);
     bench::keep(report.problems);
   }
   state.counters["problems_per_s"] = benchmark::Counter(
       static_cast<double>(family.members.size() * state.iterations()),
       benchmark::Counter::kIsRate);
+  state.counters["effective_parallelism"] = effective_parallelism(run, 4);
 }
 BENCHMARK(BM_SurveyCacheCold)->Unit(benchmark::kMillisecond);
 
@@ -73,10 +94,13 @@ BENCHMARK(BM_SurveyCacheCold)->Unit(benchmark::kMillisecond);
 void BM_SurveyCacheWarm(benchmark::State& state) {
   const auto& family = bench_family();
   batch::Cache cache;
+  obs::RunContext run("bench-survey-warm", "survey");
   // Prime outside the measurement loop.
   (void)batch::run_survey(family, survey_options(4, &cache));
   for (auto _ : state) {
-    const auto report = batch::run_survey(family, survey_options(4, &cache));
+    auto options = survey_options(4, &cache);
+    options.run = &run;
+    const auto report = batch::run_survey(family, options);
     bench::keep(report.problems);
   }
   const auto stats = cache.stats();
@@ -88,6 +112,7 @@ void BM_SurveyCacheWarm(benchmark::State& state) {
   state.counters["problems_per_s"] = benchmark::Counter(
       static_cast<double>(family.members.size() * state.iterations()),
       benchmark::Counter::kIsRate);
+  state.counters["effective_parallelism"] = effective_parallelism(run, 4);
 }
 BENCHMARK(BM_SurveyCacheWarm)->Unit(benchmark::kMillisecond);
 

@@ -175,7 +175,7 @@ void Cache::insert_memory_locked(Entry entry) {
     }
     lru_.pop_back();
     ++stats_.evictions;
-    LCL_OBS_COUNTER_ADD("batch.cache_evictions", 1);
+    LCL_OBS_COUNTER_ADD("cache.evictions", 1);
   }
 }
 
@@ -191,15 +191,15 @@ std::optional<obs::json::Value> Cache::find(
       if (same_constraints(it->problem, problem)) {
         lru_.splice(lru_.begin(), lru_, it);  // touch for LRU
         ++stats_.hits;
-        LCL_OBS_COUNTER_ADD("batch.cache_hits", 1);
+        LCL_OBS_COUNTER_ADD("cache.hits", 1);
         return it->value;
       }
       ++stats_.collisions;
-      LCL_OBS_COUNTER_ADD("batch.cache_collisions", 1);
+      LCL_OBS_COUNTER_ADD("cache.collisions", 1);
     }
   }
   ++stats_.misses;
-  LCL_OBS_COUNTER_ADD("batch.cache_misses", 1);
+  LCL_OBS_COUNTER_ADD("cache.misses", 1);
   return std::nullopt;
 }
 
@@ -213,7 +213,7 @@ void Cache::insert(std::string_view kind, const NodeEdgeCheckableLcl& problem,
   entry.value = value;
   if (contains_confirmed_locked(entry)) return;  // duplicate: keep the file flat
   ++stats_.insertions;
-  LCL_OBS_COUNTER_ADD("batch.cache_insertions", 1);
+  LCL_OBS_COUNTER_ADD("cache.insertions", 1);
   // Disk first: the append must happen even if the entry is immediately
   // evicted from a tiny in-memory tier.
   append_disk_locked(entry);

@@ -9,14 +9,15 @@ namespace lcl::batch {
 
 Pool::Pool() : Pool(Options{}) {}
 
-Pool::Pool(Options options) {
+Pool::Pool(Options options) : start_(std::chrono::steady_clock::now()) {
   std::size_t threads = options.threads;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  per_worker_ = std::make_unique<PerWorker[]>(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
+    workers_.emplace_back([this, i]() { worker_loop(i); });
   }
 }
 
@@ -70,7 +71,36 @@ std::size_t Pool::queue_depth() const {
   return queue_.size();
 }
 
-void Pool::worker_loop() {
+std::vector<Pool::WorkerStats> Pool::worker_stats() const {
+  std::vector<WorkerStats> stats(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    stats[i].busy_us = per_worker_[i].busy_us.load(std::memory_order_relaxed);
+    stats[i].tasks = per_worker_[i].tasks.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+std::uint64_t Pool::wall_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+std::vector<double> Pool::busy_fractions() const {
+  const std::uint64_t wall = std::max<std::uint64_t>(1, wall_us());
+  std::vector<double> fractions(workers_.size(), 0.0);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    fractions[i] =
+        static_cast<double>(
+            per_worker_[i].busy_us.load(std::memory_order_relaxed)) /
+        static_cast<double>(wall);
+  }
+  return fractions;
+}
+
+void Pool::worker_loop(std::size_t worker_index) {
+  PerWorker& mine = per_worker_[worker_index];
   for (;;) {
     std::function<void()> task;
     {
@@ -84,14 +114,23 @@ void Pool::worker_loop() {
       LCL_OBS_GAUGE_SET("batch.queue_depth", queue_.size());
       LCL_OBS_GAUGE_SET("batch.active_workers", active_);
     }
+    const auto task_start = std::chrono::steady_clock::now();
     {
       // The packaged_task inside captures any exception into its future;
       // nothing propagates into the worker loop.
       LCL_OBS_SPAN(task_span, "batch/task", "batch");
       task();
     }
+    const auto task_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - task_start)
+            .count();
+    mine.busy_us.fetch_add(static_cast<std::uint64_t>(task_us),
+                           std::memory_order_relaxed);
+    mine.tasks.fetch_add(1, std::memory_order_relaxed);
     completed_.fetch_add(1, std::memory_order_relaxed);
     LCL_OBS_COUNTER_ADD("batch.tasks", 1);
+    LCL_OBS_HISTOGRAM_RECORD("batch.task_us", task_us);
     bool idle_now = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);

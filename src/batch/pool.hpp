@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -81,9 +82,28 @@ class Pool {
   }
   std::size_t queue_depth() const;
 
+  /// Per-worker utilization since construction. busy_us counts time spent
+  /// inside tasks; busy_us / pool wall time is the worker's busy fraction,
+  /// and the fractions summed give the pool's effective parallelism -
+  /// the honest denominator for speedup claims on oversubscribed boxes.
+  struct WorkerStats {
+    std::uint64_t busy_us = 0;
+    std::uint64_t tasks = 0;
+  };
+  std::vector<WorkerStats> worker_stats() const;
+  /// Microseconds since the pool was constructed.
+  std::uint64_t wall_us() const;
+  /// busy fraction per worker in [0,1] over the pool's lifetime so far.
+  std::vector<double> busy_fractions() const;
+
  private:
   void enqueue(std::function<void()> run);
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
+
+  struct PerWorker {
+    std::atomic<std::uint64_t> busy_us{0};
+    std::atomic<std::uint64_t> tasks{0};
+  };
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
@@ -95,6 +115,10 @@ class Pool {
   std::atomic<bool> cancel_{false};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  /// Sized to the worker count before any worker starts; workers index it
+  /// without synchronization.
+  std::unique_ptr<PerWorker[]> per_worker_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace lcl::batch

@@ -84,6 +84,9 @@ NodeEdgeCheckableLcl speedup_step_cached(const NodeEdgeCheckableLcl& current,
   const std::string kind = std::string("step:") + (reduce_labels ? "r" : "f") +
                            ":l" + std::to_string(limits.max_labels) + ":c" +
                            std::to_string(limits.max_configs);
+  if (auto* run = obs::RunContext::current(); run != nullptr) {
+    run->bump("engine_steps");
+  }
   if (const auto hit = cache_find(cache, kind, current)) {
     if (const auto* next = hit->find("next"); next != nullptr) {
       return lint::build_spec(lint::spec_from_json_value(*next));
@@ -462,9 +465,29 @@ SurveyReport run_survey(const Family& family, const SurveyOptions& options) {
   report.check_nodes = options.check_nodes;
   report.check_budget = options.check_budget;
 
+  obs::RunContext* run = options.run;
+  if (run != nullptr) {
+    run->set_phase("survey");
+    run->set_rows_total(family.members.size());
+    if (options.cache != nullptr) {
+      Cache* cache = options.cache;
+      run->set_cache_stats_provider([cache]() {
+        const auto stats = cache->stats();
+        return std::make_pair(stats.hits, stats.misses);
+      });
+    }
+  }
+
   std::vector<ProblemOutcome> outcomes(family.members.size());
   const auto work = [&](std::size_t i) {
     outcomes[i] = survey_one(family.members[i], options);
+    if (run != nullptr) {
+      run->add_rows_done(1);
+      if (!outcomes[i].error.empty()) run->add_errors(1);
+      // Gauges track row completions immediately (a scrape between
+      // sampler ticks still sees fresh survey.rows_done).
+      run->publish_gauges();
+    }
   };
 
   std::size_t jobs = options.jobs;
@@ -492,6 +515,11 @@ SurveyReport run_survey(const Family& family, const SurveyOptions& options) {
         outcomes[i].landscape_class = "error";
       }
     }
+    if (run != nullptr) run->record_busy_fractions(pool.busy_fractions());
+  }
+  if (run != nullptr) {
+    run->set_phase("report");
+    run->publish_gauges();
   }
 
   // Canonical order: the report is byte-identical for any thread count.
@@ -511,6 +539,7 @@ SurveyReport run_survey(const Family& family, const SurveyOptions& options) {
 json::Value SurveyReport::to_json_value() const {
   json::Value root = json::Value::make_object();
   auto& top = root.object();
+  top["schema"] = json::Value(std::string("lclscape.survey.v2"));
 
   json::Value survey = json::Value::make_object();
   survey.object()["family"] = json::Value(family);

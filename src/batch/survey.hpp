@@ -9,6 +9,7 @@
 #include "batch/cache.hpp"
 #include "core/lcl.hpp"
 #include "obs/json.hpp"
+#include "obs/run_context.hpp"
 #include "re/engine.hpp"
 
 namespace lcl::batch {
@@ -70,6 +71,11 @@ struct SurveyOptions {
   std::uint64_t check_budget = 250'000;
   /// Shared result cache; nullptr = compute everything.
   Cache* cache = nullptr;
+  /// Optional progress sink: rows done/total, errors, cache hit ratio and
+  /// the pool's per-worker busy fractions are reported here as the sweep
+  /// runs (the caller owns it and typically hands it to an obs::Exporter
+  /// / ResourceSampler). Never influences a verdict or the report bytes.
+  obs::RunContext* run = nullptr;
 };
 
 /// Everything the survey learned about one member. `key` is the canonical
@@ -108,7 +114,11 @@ struct ProblemOutcome {
 /// key, complexity-class counts, and one exemplar per class (the first
 /// member in key order). Contains no timings, thread counts, or cache
 /// statistics, so its JSON rendering is byte-identical for any `jobs`
-/// value and for cold vs. warm caches.
+/// value and for cold vs. warm caches. The JSON document carries
+/// `"schema": "lclscape.survey.v2"`; v2 = v1 plus the schema marker and
+/// the optional CLI-attached "telemetry" block (`lcl_batch` adds that one
+/// outside this struct precisely to keep the library rendering
+/// deterministic).
 struct SurveyReport {
   std::string family;
   std::size_t problems = 0;

@@ -34,6 +34,18 @@ struct SeedOutcome {
   std::vector<SavedCase> to_save;
 };
 
+/// Progress bookkeeping for one finished seed; shared by the sequential
+/// and the pool paths.
+void note_seed_done(const FuzzRunOptions& options, const SeedOutcome& out) {
+  obs::RunContext* run = options.run;
+  if (run == nullptr) return;
+  run->add_rows_done(1);
+  if (out.failures != 0) run->add_errors(out.failures);
+  if (out.checks != 0) run->bump("oracle_checks", out.checks);
+  if (out.failures != 0) run->bump("oracle_failures", out.failures);
+  run->publish_gauges();
+}
+
 SeedOutcome run_seed(std::uint64_t seed, const FuzzRunOptions& options) {
   SeedOutcome out;
   out.ran = true;
@@ -114,6 +126,10 @@ void merge(FuzzReport& report, SeedOutcome&& outcome,
 
 FuzzReport run_fuzz(const FuzzRunOptions& options) {
   FuzzReport report;
+  if (options.run != nullptr) {
+    options.run->set_phase("fuzz");
+    options.run->set_rows_total(options.seeds);
+  }
   const auto started = std::chrono::steady_clock::now();
   const auto over_budget = [&]() {
     if (options.budget_seconds <= 0.0) return false;
@@ -128,7 +144,9 @@ FuzzReport run_fuzz(const FuzzRunOptions& options) {
         report.budget_exhausted = true;
         break;
       }
-      merge(report, run_seed(options.seed_start + i, options), options);
+      SeedOutcome outcome = run_seed(options.seed_start + i, options);
+      note_seed_done(options, outcome);
+      merge(report, std::move(outcome), options);
     }
     return report;
   }
@@ -147,9 +165,13 @@ FuzzReport run_fuzz(const FuzzRunOptions& options) {
         // all.
         if (over_budget()) return;
         outcomes[i] = run_seed(options.seed_start + i, options);
+        note_seed_done(options, outcomes[i]);
       }));
     }
     for (auto& future : futures) future.get();
+    if (options.run != nullptr) {
+      options.run->record_busy_fractions(pool.busy_fractions());
+    }
   }
   for (auto& outcome : outcomes) {
     if (!outcome.ran) report.budget_exhausted = true;

@@ -9,6 +9,7 @@
 #include "fuzz/case.hpp"
 #include "fuzz/generator.hpp"
 #include "fuzz/oracles.hpp"
+#include "obs/run_context.hpp"
 
 namespace lcl::fuzz {
 
@@ -35,6 +36,10 @@ struct FuzzRunOptions {
 
   GeneratorOptions generator;
   OracleOptions oracle;
+
+  /// Optional progress sink: one "row" per seed, plus "oracle_checks" /
+  /// "oracle_failures" unit counters. Never influences verdicts.
+  obs::RunContext* run = nullptr;
 };
 
 /// Per-oracle outcome counts across a campaign.

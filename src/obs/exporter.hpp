@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/prom.hpp"
+
+namespace lcl::obs {
+
+/// True when the obs library was built with LCL_OBS=1, i.e. the exporter
+/// and resource sampler carry their real implementations. In LCL_OBS=0
+/// builds the classes still exist (declarations are unconditional so
+/// mixed-mode programs stay ODR-clean) but `start()` fails fast.
+bool telemetry_compiled_in() noexcept;
+
+/// Dependency-free pull endpoint: a background thread serving
+///
+///   GET /metrics   Prometheus text exposition 0.0.4 of the global
+///                  MetricsRegistry (instrument updates are relaxed
+///                  atomics, so a scrape copies a consistent-enough
+///                  snapshot without ever blocking writers);
+///   GET /healthz   "ok" liveness probe;
+///   GET /progress  the JSON from `progress_provider` (404 when unset).
+///
+/// One request per connection (`Connection: close`); good for curl and
+/// scrape loops, not a general web server. Scrapes never take the
+/// registry's name-map mutex while an instrument is being *updated* -
+/// only concurrent registrations contend, and those are one-time.
+class Exporter {
+ public:
+  struct Options {
+    /// Interface to bind; loopback by default so a survey box does not
+    /// silently expose metrics to the network.
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via `port()`).
+    std::uint16_t port = 0;
+    /// Labels attached to every exported series (e.g. {"run_id", ...}).
+    std::vector<prom::Label> const_labels;
+    /// Supplies the `/progress` JSON body; called per request.
+    std::function<std::string()> progress_provider;
+  };
+
+  Exporter() = default;
+  explicit Exporter(Options options) : options_(std::move(options)) {}
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Binds, listens, and spawns the serving thread. Returns false (with
+  /// `error()` set) if the address is unusable or the library was built
+  /// with LCL_OBS=0. Idempotent while running.
+  bool start();
+
+  /// Stops the serving thread and closes the socket. Idempotent; called
+  /// by the destructor.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (resolves port 0 after a successful `start()`).
+  std::uint16_t port() const noexcept { return bound_port_; }
+  const std::string& error() const noexcept { return error_; }
+  /// Requests served so far (any route).
+  std::uint64_t scrapes() const noexcept {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+
+  Options options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string error_;
+};
+
+/// Minimal blocking HTTP/1.1 GET for tests and CLI self-checks: returns
+/// the response body, optionally the status line ("HTTP/1.1 200 OK").
+/// Throws std::runtime_error on connect/transport failure. Available in
+/// every build mode.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path,
+                     std::string* status_line = nullptr);
+
+}  // namespace lcl::obs

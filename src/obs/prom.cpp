@@ -1,0 +1,141 @@
+#include "obs/prom.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lcl::obs::prom {
+
+namespace {
+
+bool is_name_char(char c, bool allow_colon) {
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  if (c == '_') return true;
+  return allow_colon && c == ':';
+}
+
+std::string sanitize(std::string_view name, bool allow_colon) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    out.push_back(is_name_char(c, allow_colon) ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Renders `{k="v",...}` from the const labels plus an optional extra
+/// label (the histogram `le`); empty string when there are none.
+std::string label_block(const std::vector<Label>& const_labels,
+                        const Label* extra) {
+  if (const_labels.empty() && extra == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  const auto append = [&out, &first](const Label& label) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += sanitize(label.key, /*allow_colon=*/false);
+    out += "=\"";
+    out += escape_label_value(label.value);
+    out += "\"";
+  };
+  for (const auto& label : const_labels) append(label);
+  if (extra != nullptr) append(*extra);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  return sanitize(name, /*allow_colon=*/true);
+}
+
+std::string sanitize_label_key(std::string_view key) {
+  return sanitize(key, /*allow_colon=*/false);
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string render(const MetricsRegistry::Snapshot& snapshot,
+                   const std::vector<Label>& const_labels,
+                   std::string_view prefix) {
+  std::ostringstream out;
+  const std::string labels = label_block(const_labels, nullptr);
+
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string metric = std::string(prefix) + sanitize_metric_name(name);
+    if (!ends_with(metric, "_total")) metric += "_total";
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << labels << " " << value << "\n";
+  }
+
+  for (const auto& [name, gauge] : snapshot.gauges) {
+    const std::string metric =
+        std::string(prefix) + sanitize_metric_name(name);
+    out << "# TYPE " << metric << " gauge\n";
+    out << metric << labels << " " << gauge.value << "\n";
+  }
+
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string metric =
+        std::string(prefix) + sanitize_metric_name(name);
+    out << "# TYPE " << metric << " histogram\n";
+    // The snapshot stores non-empty buckets only; the exposition needs the
+    // cumulative series over every bucket up to the highest occupied one
+    // (empty intermediates included) so `le` edges are monotone.
+    std::size_t highest = 0;
+    for (const auto& [index, count] : hist.buckets) {
+      highest = std::max(highest, index);
+    }
+    std::uint64_t cumulative = 0;
+    auto it = hist.buckets.begin();
+    if (hist.count > 0) {
+      for (std::size_t bucket = 0; bucket <= highest; ++bucket) {
+        if (it != hist.buckets.end() && it->first == bucket) {
+          cumulative += it->second;
+          ++it;
+        }
+        const Label le{"le", std::to_string(Histogram::bucket_ceil(bucket))};
+        out << metric << "_bucket" << label_block(const_labels, &le) << " "
+            << cumulative << "\n";
+      }
+    }
+    const Label inf{"le", "+Inf"};
+    out << metric << "_bucket" << label_block(const_labels, &inf) << " "
+        << hist.count << "\n";
+    out << metric << "_sum" << labels << " " << hist.sum << "\n";
+    out << metric << "_count" << labels << " " << hist.count << "\n";
+  }
+
+  return out.str();
+}
+
+}  // namespace lcl::obs::prom

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lcl::obs::prom {
+
+/// One constant label attached to every series an exposition renders -
+/// the `run_id` correlation label is the canonical use.
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// Maps an instrument name onto the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character (the registry's `.`
+/// separators, spaces, unicode) becomes `_`. A leading digit is prefixed
+/// with `_` so the result is always valid on its own.
+std::string sanitize_metric_name(std::string_view name);
+
+/// Maps a label key onto `[a-zA-Z_][a-zA-Z0-9_]*` (no colons, unlike
+/// metric names).
+std::string sanitize_label_key(std::string_view key);
+
+/// Escapes a label value for the text exposition: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`.
+std::string escape_label_value(std::string_view value);
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// 0.0.4 - what `GET /metrics` serves. Deterministic: series are emitted
+/// in snapshot (name) order, each with a `# TYPE` header.
+///
+///  - counters: `<prefix><name>_total` (the suffix is added unless the
+///    sanitized name already ends in `_total`);
+///  - gauges: last-set value;
+///  - log2 histograms: cumulative `_bucket{le="..."}` series over the
+///    bucket ceilings (0, 1, 3, 7, ... up to the highest non-empty
+///    bucket), a final `le="+Inf"` bucket, and `_sum`/`_count`.
+///
+/// `const_labels` are attached to every series (after sanitization and
+/// value escaping); `prefix` namespaces all metric names.
+std::string render(const MetricsRegistry::Snapshot& snapshot,
+                   const std::vector<Label>& const_labels = {},
+                   std::string_view prefix = "lclscape_");
+
+}  // namespace lcl::obs::prom

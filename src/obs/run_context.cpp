@@ -1,0 +1,162 @@
+#include "obs/run_context.hpp"
+
+#include <ctime>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+
+namespace lcl::obs {
+
+namespace {
+
+std::atomic<RunContext*> g_current_run{nullptr};
+
+}  // namespace
+
+RunContext::RunContext(std::string run_id, std::string metric_prefix)
+    : run_id_(std::move(run_id)),
+      metric_prefix_(std::move(metric_prefix)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void RunContext::set_phase(std::string phase) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  phase_ = std::move(phase);
+}
+
+std::string RunContext::phase() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phase_;
+}
+
+void RunContext::bump(std::string_view key, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  units_[std::string(key)] += n;
+}
+
+void RunContext::set_cache_stats_provider(
+    std::function<std::pair<std::uint64_t, std::uint64_t>()> provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_stats_ = std::move(provider);
+}
+
+void RunContext::record_busy_fractions(std::vector<double> fractions) {
+  if (metrics_enabled()) {
+    // Per-worker busy-fraction gauges (ppm - gauges are integral). On an
+    // oversubscribed box these are what expose "8 workers, 1.3 cores".
+    auto& reg = registry();
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      reg.gauge(metric_prefix_ + ".worker" + std::to_string(i) +
+                ".busy_ppm")
+          .set(static_cast<std::int64_t>(fractions[i] * 1e6));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  busy_fractions_ = std::move(fractions);
+}
+
+std::vector<double> RunContext::busy_fractions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_fractions_;
+}
+
+double RunContext::elapsed_seconds() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+double RunContext::rows_per_second() const {
+  const double elapsed = elapsed_seconds();
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(rows_done()) / elapsed;
+}
+
+double RunContext::eta_seconds() const {
+  const std::uint64_t total = rows_total();
+  const std::uint64_t done = rows_done();
+  if (total == 0 || done == 0) return -1.0;
+  if (done >= total) return 0.0;
+  const double rate = rows_per_second();
+  if (rate <= 0.0) return -1.0;
+  return static_cast<double>(total - done) / rate;
+}
+
+json::Value RunContext::progress_value() const {
+  json::Value out = json::Value::make_object();
+  auto& object = out.object();
+  object.emplace("run_id", json::Value(run_id_));
+  object.emplace("rows_total",
+                 json::Value(static_cast<std::int64_t>(rows_total())));
+  object.emplace("rows_done",
+                 json::Value(static_cast<std::int64_t>(rows_done())));
+  object.emplace("errors",
+                 json::Value(static_cast<std::int64_t>(errors())));
+  object.emplace("elapsed_s", json::Value(elapsed_seconds()));
+  object.emplace("rows_per_s", json::Value(rows_per_second()));
+  object.emplace("eta_s", json::Value(eta_seconds()));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  object.emplace("phase", json::Value(phase_));
+  if (cache_stats_) {
+    const auto [hits, misses] = cache_stats_();
+    json::Value cache = json::Value::make_object();
+    cache.object().emplace("hits",
+                           json::Value(static_cast<std::int64_t>(hits)));
+    cache.object().emplace("misses",
+                           json::Value(static_cast<std::int64_t>(misses)));
+    const std::uint64_t lookups = hits + misses;
+    cache.object().emplace(
+        "hit_ratio",
+        json::Value(lookups == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups)));
+    object.emplace("cache", std::move(cache));
+  }
+  if (!busy_fractions_.empty()) {
+    json::Value busy = json::Value::make_array();
+    for (double fraction : busy_fractions_) {
+      busy.array().emplace_back(fraction);
+    }
+    object.emplace("worker_busy", std::move(busy));
+  }
+  if (!units_.empty()) {
+    json::Value units = json::Value::make_object();
+    for (const auto& [key, count] : units_) {
+      units.object().emplace(key,
+                             json::Value(static_cast<std::int64_t>(count)));
+    }
+    object.emplace("units", std::move(units));
+  }
+  return out;
+}
+
+std::string RunContext::progress_json() const {
+  return json::dump(progress_value());
+}
+
+void RunContext::publish_gauges() {
+  if (!metrics_enabled()) return;
+  auto& reg = registry();
+  reg.gauge(metric_prefix_ + ".rows_total")
+      .set(static_cast<std::int64_t>(rows_total()));
+  reg.gauge(metric_prefix_ + ".rows_done")
+      .set(static_cast<std::int64_t>(rows_done()));
+  reg.gauge(metric_prefix_ + ".errors")
+      .set(static_cast<std::int64_t>(errors()));
+}
+
+RunContext* RunContext::current() noexcept {
+  return g_current_run.load(std::memory_order_acquire);
+}
+
+RunContext* RunContext::set_current(RunContext* run) noexcept {
+  return g_current_run.exchange(run, std::memory_order_acq_rel);
+}
+
+std::string default_run_id() {
+  return "run-" + std::to_string(static_cast<long long>(std::time(nullptr))) +
+         "-" + std::to_string(static_cast<long long>(::getpid()));
+}
+
+}  // namespace lcl::obs

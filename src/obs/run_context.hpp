@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lcl::obs {
+
+/// Per-run progress state with a correlation id. One RunContext spans one
+/// logical run (a survey, a fuzz campaign, a bench repetition); the run_id
+/// ties together the exporter's `/progress` JSON, the `run_id` label on
+/// exported series, progress records in the trace log, and the telemetry
+/// block in survey reports.
+///
+/// Row counts are relaxed atomics so pool workers can bump them from the
+/// hot path; everything stringy (phase, providers, busy fractions) sits
+/// behind a mutex and is only touched at run boundaries or by the sampler
+/// thread. Functional in both LCL_OBS build modes - progress accounting is
+/// program logic, not instrumentation.
+class RunContext {
+ public:
+  /// `metric_prefix` namespaces the gauges `publish_gauges` writes
+  /// ("survey" -> survey.rows_done / survey.rows_total / survey.errors).
+  explicit RunContext(std::string run_id,
+                      std::string metric_prefix = "survey");
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  const std::string& run_id() const noexcept { return run_id_; }
+  const std::string& metric_prefix() const noexcept {
+    return metric_prefix_;
+  }
+
+  void set_phase(std::string phase);
+  std::string phase() const;
+
+  void set_rows_total(std::uint64_t total) noexcept {
+    rows_total_.store(total, std::memory_order_relaxed);
+  }
+  void add_rows_done(std::uint64_t n = 1) noexcept {
+    rows_done_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_errors(std::uint64_t n = 1) noexcept {
+    errors_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t rows_total() const noexcept {
+    return rows_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rows_done() const noexcept {
+    return rows_done_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t errors() const noexcept {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+  /// Named unit counters for work that is not a row: engine speedup steps,
+  /// fuzz oracle checks. Appears under "units" in the progress JSON.
+  void bump(std::string_view key, std::uint64_t n = 1);
+
+  /// Supplies (hits, misses) of the run's result cache for the progress
+  /// hit-ratio; unset means no cache line in the JSON.
+  void set_cache_stats_provider(
+      std::function<std::pair<std::uint64_t, std::uint64_t>()> provider);
+
+  /// Latest per-worker busy fractions in [0,1]; sticky - the last recorded
+  /// vector is what `/progress` reports after the pool has drained.
+  void record_busy_fractions(std::vector<double> fractions);
+  std::vector<double> busy_fractions() const;
+
+  double elapsed_seconds() const;
+  double rows_per_second() const;
+  /// Estimated seconds to completion from the mean row rate; -1 when
+  /// unknown (no rows done yet or no total).
+  double eta_seconds() const;
+
+  /// The `/progress` document: run_id, phase, rows done/total, errors,
+  /// elapsed_s, rows_per_s, eta_s, cache hit ratio, per-worker busy
+  /// fractions, unit counters.
+  json::Value progress_value() const;
+  std::string progress_json() const;
+
+  /// Pushes rows_done / rows_total / errors into `<prefix>.*` gauges (a
+  /// no-op unless metrics are enabled), so `/metrics` carries survey
+  /// progress without the scraper having to parse `/progress`.
+  void publish_gauges();
+
+  /// The process-wide current run, or nullptr. Not owned; installers must
+  /// clear it before the context dies. Same pattern as
+  /// `TraceSession::current`.
+  static RunContext* current() noexcept;
+  static RunContext* set_current(RunContext* run) noexcept;
+
+ private:
+  std::string run_id_;
+  std::string metric_prefix_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> rows_total_{0};
+  std::atomic<std::uint64_t> rows_done_{0};
+  std::atomic<std::uint64_t> errors_{0};
+
+  mutable std::mutex mutex_;
+  std::string phase_;
+  std::map<std::string, std::uint64_t> units_;
+  std::function<std::pair<std::uint64_t, std::uint64_t>()> cache_stats_;
+  std::vector<double> busy_fractions_;
+};
+
+/// A default run id: "run-<unix-seconds>-<pid>".
+std::string default_run_id();
+
+}  // namespace lcl::obs

@@ -115,6 +115,43 @@ void TraceSession::emit_instant(std::string_view name,
   write_record(out.str());
 }
 
+void TraceSession::emit_progress(std::string_view run_id,
+                                 std::string_view phase,
+                                 const TraceArg* args,
+                                 std::size_t arg_count) {
+  if (closed_.load(std::memory_order_acquire)) return;
+  const std::int64_t ts = now_us();
+  std::ostringstream out;
+  if (format_ == TraceFormat::kChromeJson) {
+    out << "{\"name\":" << json::quote("progress/" + std::string(phase))
+        << ",\"cat\":\"obs\",\"ph\":\"i\",\"s\":\"p\",\"ts\":" << ts
+        << ",\"pid\":1,\"tid\":1,\"args\":"
+        << format_args_object(args, arg_count) << '}';
+  } else {
+    out << "{\"t\":\"progress\",\"run_id\":" << json::quote(run_id)
+        << ",\"phase\":" << json::quote(phase) << ",\"ts\":" << ts
+        << ",\"args\":" << format_args_object(args, arg_count) << '}';
+  }
+  write_record(out.str());
+}
+
+void TraceSession::emit_resource(const TraceArg* args,
+                                 std::size_t arg_count) {
+  if (closed_.load(std::memory_order_acquire)) return;
+  const std::int64_t ts = now_us();
+  std::ostringstream out;
+  if (format_ == TraceFormat::kChromeJson) {
+    out << "{\"name\":\"resource\",\"cat\":\"obs\",\"ph\":\"i\",\"s\":\"p\","
+           "\"ts\":"
+        << ts << ",\"pid\":1,\"tid\":1,\"args\":"
+        << format_args_object(args, arg_count) << '}';
+  } else {
+    out << "{\"t\":\"resource\",\"ts\":" << ts
+        << ",\"args\":" << format_args_object(args, arg_count) << '}';
+  }
+  write_record(out.str());
+}
+
 void TraceSession::close() {
   // Exactly one caller wins the exchange and finalizes; late emitters see
   // the flag and bail (and any emit already past that check is stopped by

@@ -61,6 +61,18 @@ class TraceSession {
   void emit_instant(std::string_view name, std::string_view category,
                     const TraceArg* args, std::size_t arg_count);
 
+  /// A run-progress record: `{"t":"progress","ts":...,"run_id":...,
+  /// "phase":...,"args":{...}}` in JSONL; an instant event named
+  /// "progress" (run id and phase folded into cat/name slots are lossy,
+  /// so Chrome gets them as a "progress/<phase>" instant) otherwise.
+  void emit_progress(std::string_view run_id, std::string_view phase,
+                     const TraceArg* args, std::size_t arg_count);
+
+  /// A resource-usage record: `{"t":"resource","ts":...,"args":{rss_kb,
+  /// peak_rss_kb,cpu_ms,queue_depth}}` in JSONL; a "resource" instant in
+  /// Chrome format.
+  void emit_resource(const TraceArg* args, std::size_t arg_count);
+
   /// Writes the metrics footer and the format trailer, then closes the
   /// file. Idempotent; called by the destructor if not called explicitly.
   void close();

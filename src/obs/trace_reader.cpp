@@ -86,6 +86,20 @@ bool parse_jsonl_record(const json::Value& record, ParsedTrace* out,
         !read_args(record, &parsed, error, where)) {
       return false;
     }
+  } else if (type == "progress") {
+    parsed.kind = TraceRecord::Kind::kProgress;
+    if (!read_string_field(record, "run_id", &parsed.run_id, error, where) ||
+        !read_string_field(record, "phase", &parsed.name, error, where) ||
+        !read_int_field(record, "ts", &parsed.ts_us, error, where) ||
+        !read_args(record, &parsed, error, where)) {
+      return false;
+    }
+  } else if (type == "resource") {
+    parsed.kind = TraceRecord::Kind::kResource;
+    if (!read_int_field(record, "ts", &parsed.ts_us, error, where) ||
+        !read_args(record, &parsed, error, where)) {
+      return false;
+    }
   } else if (type == "metrics") {
     parsed.kind = TraceRecord::Kind::kMetrics;
     const json::Value* reg = record.find("registry");
@@ -217,6 +231,12 @@ TraceSummary summarize(const ParsedTrace& trace) {
         break;
       case TraceRecord::Kind::kMetrics:
         summary.registry_json = record.registry_json;
+        break;
+      case TraceRecord::Kind::kProgress:
+        ++summary.progress_records;
+        break;
+      case TraceRecord::Kind::kResource:
+        ++summary.resource_records;
         break;
       case TraceRecord::Kind::kMeta:
         break;
@@ -364,8 +384,111 @@ std::string format_summary(const TraceSummary& summary) {
     }
   }
 
+  if (summary.progress_records != 0 || summary.resource_records != 0) {
+    out << "\ntelemetry records: " << summary.progress_records
+        << " progress, " << summary.resource_records
+        << " resource (see --progress)\n";
+  }
+
   out << "\nmetrics footer: "
       << (summary.registry_json.empty() ? "absent" : "present") << '\n';
+  return out.str();
+}
+
+ProgressSummary summarize_progress(const ParsedTrace& trace) {
+  ProgressSummary summary;
+
+  const auto arg_or = [](const TraceRecord& record, const char* key,
+                         std::int64_t fallback) {
+    const auto it = record.args.find(key);
+    return it == record.args.end() ? fallback : it->second;
+  };
+
+  for (const auto& record : trace.records) {
+    if (record.kind == TraceRecord::Kind::kResource) {
+      ++summary.resource_records;
+      summary.last_ts_us = std::max(summary.last_ts_us, record.ts_us);
+      summary.peak_rss_kb = std::max(
+          summary.peak_rss_kb,
+          static_cast<std::uint64_t>(arg_or(record, "peak_rss_kb", 0)));
+      continue;
+    }
+    if (record.kind != TraceRecord::Kind::kProgress) continue;
+
+    ++summary.progress_records;
+    summary.last_ts_us = std::max(summary.last_ts_us, record.ts_us);
+    if (summary.run_id.empty()) summary.run_id = record.run_id;
+    summary.rows_done = arg_or(record, "rows_done", summary.rows_done);
+    summary.rows_total = arg_or(record, "rows_total", summary.rows_total);
+    summary.errors = arg_or(record, "errors", summary.errors);
+
+    // The phase name rides in `name`; records arrive in emit order, so a
+    // phase is the run of records between first appearances.
+    if (summary.phases.empty() ||
+        summary.phases.back().phase != record.name) {
+      ProgressPhase phase;
+      phase.phase = record.name;
+      phase.start_us = record.ts_us;
+      summary.phases.push_back(std::move(phase));
+    }
+    ProgressPhase& phase = summary.phases.back();
+    ++phase.samples;
+    phase.rows_done = arg_or(record, "rows_done", phase.rows_done);
+  }
+
+  // Phase windows: each phase runs until the next one starts; the last one
+  // until the final telemetry timestamp.
+  for (std::size_t i = 0; i < summary.phases.size(); ++i) {
+    const std::int64_t end = i + 1 < summary.phases.size()
+                                 ? summary.phases[i + 1].start_us
+                                 : summary.last_ts_us;
+    summary.phases[i].wall_us = std::max<std::int64_t>(
+        0, end - summary.phases[i].start_us);
+  }
+
+  if (summary.rows_done > 0 && summary.last_ts_us > 0) {
+    summary.rows_per_second = static_cast<double>(summary.rows_done) /
+                              (static_cast<double>(summary.last_ts_us) / 1e6);
+  }
+  return summary;
+}
+
+std::string format_progress(const ProgressSummary& summary) {
+  std::ostringstream out;
+  if (summary.progress_records == 0 && summary.resource_records == 0) {
+    out << "no progress or resource records in this trace\n";
+    return out.str();
+  }
+
+  if (!summary.run_id.empty()) out << "run_id: " << summary.run_id << '\n';
+  out << "telemetry: " << summary.progress_records << " progress record(s), "
+      << summary.resource_records << " resource record(s)\n";
+
+  if (!summary.phases.empty()) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "\n%-24s %12s %10s %12s\n", "phase",
+                  "wall", "samples", "rows_done");
+    out << line;
+    for (const auto& phase : summary.phases) {
+      std::snprintf(line, sizeof(line), "%-24s %12s %10llu %12lld\n",
+                    phase.phase.c_str(), format_us(phase.wall_us).c_str(),
+                    static_cast<unsigned long long>(phase.samples),
+                    static_cast<long long>(phase.rows_done));
+      out << line;
+    }
+  }
+
+  out << "\nrows: " << summary.rows_done << "/" << summary.rows_total;
+  if (summary.errors != 0) out << "  errors: " << summary.errors;
+  out << '\n';
+  if (summary.rows_per_second > 0.0) {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.2f", summary.rows_per_second);
+    out << "final rate: " << rate << " rows/s\n";
+  }
+  if (summary.peak_rss_kb != 0) {
+    out << "peak RSS: " << summary.peak_rss_kb << " kB\n";
+  }
   return out.str();
 }
 

@@ -10,8 +10,9 @@ namespace lcl::obs {
 /// A parsed trace record - the reader-side mirror of what `TraceSession`
 /// writes, for both the JSONL and the Chrome `trace_event` formats.
 struct TraceRecord {
-  enum class Kind { kMeta, kSpan, kEvent, kMetrics };
+  enum class Kind { kMeta, kSpan, kEvent, kMetrics, kProgress, kResource };
   Kind kind = Kind::kSpan;
+  /// Span/event name; for kProgress the phase travels here.
   std::string name;
   std::string category;
   std::int64_t ts_us = 0;
@@ -19,6 +20,8 @@ struct TraceRecord {
   std::map<std::string, std::int64_t> args;
   /// Raw registry JSON for kMetrics records.
   std::string registry_json;
+  /// Correlation id on kProgress records.
+  std::string run_id;
 };
 
 struct ParsedTrace {
@@ -57,6 +60,10 @@ struct TraceSummary {
   /// run's wall time the instrumentation explains.
   std::int64_t top_level_us = 0;
   std::string registry_json;  // metrics footer, if present
+  /// Periodic telemetry records seen alongside the spans (not broken down
+  /// here - `summarize_progress` does that).
+  std::uint64_t progress_records = 0;
+  std::uint64_t resource_records = 0;
 };
 
 /// Aggregates spans by name, computing self-times via the single-threaded
@@ -67,5 +74,37 @@ TraceSummary summarize(const ParsedTrace& trace);
 /// prints: wall time, coverage, and a per-phase breakdown with self/total
 /// times, counts and aggregated args.
 std::string format_summary(const TraceSummary& summary);
+
+/// One run phase as reconstructed from the "progress" records: the window
+/// from this phase's first record to the next phase's first record (the
+/// last phase extends to the final progress/resource timestamp).
+struct ProgressPhase {
+  std::string phase;
+  std::int64_t start_us = 0;
+  std::int64_t wall_us = 0;
+  std::uint64_t samples = 0;
+  /// rows_done at the last sample inside this phase.
+  std::int64_t rows_done = 0;
+};
+
+/// What `trace_summary --progress` prints: the run's phase timeline plus
+/// final throughput and peak RSS pulled from the telemetry records.
+struct ProgressSummary {
+  std::string run_id;
+  std::vector<ProgressPhase> phases;  // in first-appearance order
+  std::uint64_t progress_records = 0;
+  std::uint64_t resource_records = 0;
+  std::int64_t rows_done = 0;   // from the last progress record
+  std::int64_t rows_total = 0;
+  std::int64_t errors = 0;
+  std::int64_t last_ts_us = 0;  // timestamp of the last telemetry record
+  std::uint64_t peak_rss_kb = 0;
+  /// rows_done over the last progress timestamp; 0 when indeterminate.
+  double rows_per_second = 0.0;
+};
+
+ProgressSummary summarize_progress(const ParsedTrace& trace);
+
+std::string format_progress(const ProgressSummary& summary);
 
 }  // namespace lcl::obs

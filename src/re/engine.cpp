@@ -7,6 +7,7 @@
 
 #include "lint/analyzer.hpp"
 #include "obs/obs.hpp"
+#include "obs/run_context.hpp"
 #include "re/operators.hpp"
 #include "re/reduce.hpp"
 
@@ -238,6 +239,9 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
       return outcome;
     }
     LCL_OBS_COUNTER_ADD("re.steps", 1);
+    if (auto* run = obs::RunContext::current(); run != nullptr) {
+      run->bump("engine_steps");
+    }
     LCL_OBS_HISTOGRAM_RECORD("re.labels_per_step", stats.labels_next);
     LCL_OBS_HISTOGRAM_RECORD("re.node_configs_per_step", stats.node_configs);
     LCL_OBS_GAUGE_SET("re.current_labels", stats.labels_next);

@@ -251,6 +251,7 @@ TEST(Survey, MatchesTheCommittedGoldenReport) {
   EXPECT_EQ(report.to_json() + "\n", golden)
       << "the Delta=2 landscape drifted; if intentional, regenerate with\n"
          "  lcl_batch --family=exhaustive --delta=2 --labels=2 "
+         "--report-telemetry=off "
          "--report-json=tests/golden/survey-d2-l2.json";
 }
 #endif

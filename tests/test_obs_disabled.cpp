@@ -9,6 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
+
+#include "obs/exporter.hpp"
+#include "obs/resource_sampler.hpp"
 
 namespace lcl {
 namespace {
@@ -63,6 +67,42 @@ TEST(ObsDisabled, EventMacroWritesNothingToTheCurrentSession) {
   obs::TraceSession::set_current(previous);
   EXPECT_EQ(session.records_written(), records_before);
   session.close();
+}
+
+// The exporter and sampler are *library* facilities: whether they work is
+// decided by the mode lcl_obs was built in (telemetry_compiled_in()), not
+// by this TU's LCL_OBS=0. These tests pass in every preset - default
+// (library enabled, started) and obs-off (library disabled, fails fast).
+
+TEST(ObsDisabled, ExporterStartMatchesTheLibraryMode) {
+  obs::Exporter exporter;
+  const bool started = exporter.start();
+  EXPECT_EQ(started, obs::telemetry_compiled_in());
+  if (started) {
+    EXPECT_TRUE(exporter.running());
+    EXPECT_NE(exporter.port(), 0);
+    EXPECT_EQ(obs::http_get("127.0.0.1", exporter.port(), "/healthz"),
+              "ok\n");
+    exporter.stop();
+  } else {
+    EXPECT_FALSE(exporter.running());
+    EXPECT_NE(exporter.error().find("LCL_OBS=0"), std::string::npos)
+        << exporter.error();
+  }
+}
+
+TEST(ObsDisabled, ResourceSamplerStartMatchesTheLibraryMode) {
+  obs::ResourceSampler sampler;
+  const bool started = sampler.start();
+  EXPECT_EQ(started, obs::telemetry_compiled_in());
+  if (started) {
+    EXPECT_TRUE(sampler.running());
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+  } else {
+    EXPECT_NE(sampler.error().find("LCL_OBS=0"), std::string::npos)
+        << sampler.error();
+  }
 }
 
 }  // namespace

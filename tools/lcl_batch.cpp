@@ -13,7 +13,9 @@
 // Exit codes: 0 = survey completed and every member was processed cleanly,
 // 1 = at least one member recorded a task error, 2 = usage or I/O error.
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -25,6 +27,10 @@
 #include "batch/cache.hpp"
 #include "batch/survey.hpp"
 #include "fuzz/generator.hpp"
+#include "obs/exporter.hpp"
+#include "obs/obs.hpp"
+#include "obs/resource_sampler.hpp"
+#include "obs/run_context.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -32,6 +38,55 @@ namespace {
 using lcl::batch::Cache;
 using lcl::batch::Family;
 using lcl::batch::SurveyOptions;
+namespace json = lcl::obs::json;
+
+/// Runtime leg of the LCL_OBS kill switch: telemetry defaults on in this
+/// tool, LCL_OBS=0 in the environment turns it off (and an LCL_OBS=0
+/// *build* compiles it out - telemetry_compiled_in() is then false).
+bool telemetry_wanted() {
+  if (!lcl::obs::telemetry_compiled_in()) return false;
+  const char* env = std::getenv("LCL_OBS");
+  return env == nullptr || std::string(env) != "0";
+}
+
+/// The obs counter/gauge delta (start -> end) embedded in v2 reports:
+/// cache hit/miss/evict/collision stats and peak RSS travel with the
+/// report instead of requiring a separate trace file.
+json::Value telemetry_block(const lcl::obs::RunContext& run,
+                            const lcl::obs::MetricsRegistry::Snapshot& start,
+                            const lcl::obs::MetricsRegistry::Snapshot& end) {
+  json::Value block = json::Value::make_object();
+  auto& top = block.object();
+  top.emplace("run_id", json::Value(run.run_id()));
+  top.emplace("elapsed_s", json::Value(run.elapsed_seconds()));
+  top.emplace("rows_per_s", json::Value(run.rows_per_second()));
+
+  json::Value counters = json::Value::make_object();
+  for (const auto& [name, value] : end.counters) {
+    const auto before = start.counters.find(name);
+    const std::uint64_t delta =
+        value - (before == start.counters.end() ? 0 : before->second);
+    if (delta != 0) {
+      counters.object().emplace(
+          name, json::Value(static_cast<std::int64_t>(delta)));
+    }
+  }
+  top.emplace("counters", std::move(counters));
+
+  json::Value gauges = json::Value::make_object();
+  for (const auto& [name, gauge] : end.gauges) {
+    gauges.object().emplace(name, json::Value(gauge.value));
+  }
+  top.emplace("gauges", std::move(gauges));
+
+  const auto busy = run.busy_fractions();
+  if (!busy.empty()) {
+    json::Value fractions = json::Value::make_array();
+    for (const double f : busy) fractions.array().emplace_back(f);
+    top.emplace("worker_busy", std::move(fractions));
+  }
+  return block;
+}
 
 int usage(std::ostream& out, int code) {
   out << "usage: lcl_batch [options]\n"
@@ -61,7 +116,22 @@ int usage(std::ostream& out, int code) {
          "path\n"
          "  --check-budget=N       cross-check step budget (default "
          "250000)\n"
-         "  --quiet                suppress the per-class summary\n";
+         "  --quiet                suppress the per-class summary\n"
+         "  --run-id=ID            correlation id for telemetry (default\n"
+         "                         run-<unix-time>-<pid>)\n"
+         "  --metrics-port=N       serve GET /metrics, /healthz, /progress\n"
+         "                         on 127.0.0.1:N (0 = pick a free port;\n"
+         "                         the bound port is printed)\n"
+         "  --progress-interval=MS periodic progress records every MS ms\n"
+         "                         (default 2000; resource samples at the\n"
+         "                         same cadence)\n"
+         "  --progress-log=FILE    append progress/resource JSONL records\n"
+         "                         (trace dialect; see trace_summary "
+         "--progress)\n"
+         "  --report-telemetry=B   on (default) | off: embed the obs\n"
+         "                         counter/gauge delta in --report-json\n"
+         "                         (off gives byte-reproducible reports)\n"
+         "  (set LCL_OBS=0 in the environment to disable all telemetry)\n";
   return code;
 }
 
@@ -102,6 +172,12 @@ int main(int argc, char** argv) {
   lcl::batch::ExhaustiveFamilyOptions exhaustive;
   std::uint64_t seeds = 50;
   std::uint64_t seed_start = 1;
+  std::string run_id;
+  bool metrics_server = false;
+  std::uint64_t metrics_port = 0;
+  std::uint64_t progress_interval_ms = 2000;
+  std::string progress_log;
+  bool report_telemetry = true;
   SurveyOptions survey;
   survey.engine.max_steps = 3;
 
@@ -167,6 +243,32 @@ int main(int argc, char** argv) {
       if (!parse_u64(value_of("--check-budget="), survey.check_budget)) {
         return usage(std::cerr, 2);
       }
+    } else if (arg.rfind("--run-id=", 0) == 0) {
+      run_id = value_of("--run-id=");
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      if (!parse_u64(value_of("--metrics-port="), metrics_port) ||
+          metrics_port > 65535) {
+        return usage(std::cerr, 2);
+      }
+      metrics_server = true;
+    } else if (arg.rfind("--progress-interval=", 0) == 0) {
+      if (!parse_u64(value_of("--progress-interval="),
+                     progress_interval_ms) ||
+          progress_interval_ms == 0) {
+        return usage(std::cerr, 2);
+      }
+    } else if (arg.rfind("--progress-log=", 0) == 0) {
+      progress_log = value_of("--progress-log=");
+    } else if (arg.rfind("--report-telemetry=", 0) == 0) {
+      const std::string mode = value_of("--report-telemetry=");
+      if (mode == "on") {
+        report_telemetry = true;
+      } else if (mode == "off") {
+        report_telemetry = false;
+      } else {
+        std::cerr << "lcl_batch: --report-telemetry wants on|off\n";
+        return 2;
+      }
     } else {
       std::cerr << "lcl_batch: unknown option '" << arg << "'\n";
       return usage(std::cerr, 2);
@@ -174,6 +276,59 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const bool telemetry = telemetry_wanted();
+    if (telemetry) lcl::obs::set_metrics_enabled(true);
+    if (run_id.empty()) run_id = lcl::obs::default_run_id();
+
+    // Declaration order doubles as teardown order: the exporter and the
+    // sampler (destroyed first) must stop before the RunContext and the
+    // progress log they read from go away.
+    lcl::obs::RunContext run(run_id, "survey");
+    survey.run = &run;
+    lcl::obs::RunContext::set_current(&run);
+
+    std::unique_ptr<lcl::obs::TraceSession> progress_session;
+    if (!progress_log.empty()) {
+      progress_session = std::make_unique<lcl::obs::TraceSession>(
+          progress_log, lcl::obs::TraceFormat::kJsonl);
+      lcl::obs::TraceSession::set_current(progress_session.get());
+    }
+
+    lcl::obs::ResourceSampler::Options sampler_options;
+    sampler_options.resource_interval =
+        std::chrono::milliseconds(progress_interval_ms);
+    sampler_options.progress_interval =
+        std::chrono::milliseconds(progress_interval_ms);
+    sampler_options.run = &run;
+    lcl::obs::ResourceSampler sampler(std::move(sampler_options));
+    if (telemetry) sampler.start();
+
+    lcl::obs::Exporter::Options exporter_options;
+    exporter_options.port = static_cast<std::uint16_t>(metrics_port);
+    exporter_options.const_labels = {{"run_id", run_id}};
+    exporter_options.progress_provider = [&run]() {
+      return run.progress_json() + "\n";
+    };
+    lcl::obs::Exporter exporter(std::move(exporter_options));
+    if (metrics_server) {
+      if (!telemetry) {
+        std::cerr << "lcl_batch: --metrics-port ignored: telemetry is "
+                     "disabled (LCL_OBS=0)\n";
+      } else if (!exporter.start()) {
+        std::cerr << "lcl_batch: metrics exporter: " << exporter.error()
+                  << "\n";
+        return 2;
+      } else if (!quiet) {
+        std::cout << "metrics:   http://127.0.0.1:" << exporter.port()
+                  << "/metrics  (run_id " << run_id << ")\n";
+      }
+    }
+
+    lcl::obs::MetricsRegistry::Snapshot start_snapshot;
+    if (telemetry && report_telemetry) {
+      start_snapshot = lcl::obs::registry().snapshot();
+    }
+
     Family family;
     if (!spec_dir.empty()) {
       family = lcl::batch::spec_dir_family(spec_dir);
@@ -209,13 +364,22 @@ int main(int argc, char** argv) {
 
     const auto report = lcl::batch::run_survey(family, survey);
 
+    // Final samples + gauges land before the end snapshot is taken.
+    sampler.stop();
+    lcl::obs::RunContext::set_current(nullptr);
+
     if (!report_path.empty()) {
       std::ofstream out(report_path);
       if (!out.is_open()) {
         std::cerr << "lcl_batch: cannot write '" << report_path << "'\n";
         return 2;
       }
-      out << report.to_json() << "\n";
+      json::Value document = report.to_json_value();
+      if (telemetry && report_telemetry) {
+        document.object()["telemetry"] = telemetry_block(
+            run, start_snapshot, lcl::obs::registry().snapshot());
+      }
+      out << json::dump(document) << "\n";
     }
     if (!quiet) {
       std::cout << "family:    " << report.family << "\n";

@@ -8,20 +8,34 @@
 // Exit codes: 0 = all checks passed, 1 = at least one oracle failure,
 // 2 = usage or I/O error.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fuzz/case_io.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/oracles.hpp"
+#include "obs/exporter.hpp"
+#include "obs/obs.hpp"
+#include "obs/resource_sampler.hpp"
+#include "obs/run_context.hpp"
 
 namespace {
 
 using lcl::fuzz::FuzzRunOptions;
+
+/// Runtime leg of the LCL_OBS kill switch (same contract as lcl_batch):
+/// telemetry defaults on, LCL_OBS=0 in the environment disables it.
+bool telemetry_wanted() {
+  if (!lcl::obs::telemetry_compiled_in()) return false;
+  const char* env = std::getenv("LCL_OBS");
+  return env == nullptr || std::string(env) != "0";
+}
 
 int usage(std::ostream& out, int code) {
   out << "usage: lcl_fuzz [options]\n"
@@ -38,7 +52,15 @@ int usage(std::ostream& out, int code) {
          "  --no-shrink            keep failing cases unminimized\n"
          "  --inject-bug=NAME      fault injection (drop-rbar-config)\n"
          "  --replay=FILE_OR_DIR   replay saved case(s) instead of fuzzing\n"
-         "  --list-oracles         print the oracle bank and exit\n";
+         "  --list-oracles         print the oracle bank and exit\n"
+         "  --run-id=ID            correlation id for telemetry (default\n"
+         "                         run-<unix-time>-<pid>)\n"
+         "  --metrics-port=N       serve GET /metrics, /healthz, /progress\n"
+         "                         on 127.0.0.1:N (0 = pick a free port)\n"
+         "  --progress-interval=MS periodic progress/resource records\n"
+         "                         every MS ms (default 2000)\n"
+         "  --progress-log=FILE    append progress/resource JSONL records\n"
+         "  (set LCL_OBS=0 in the environment to disable all telemetry)\n";
   return code;
 }
 
@@ -120,6 +142,11 @@ int main(int argc, char** argv) {
   FuzzRunOptions options;
   std::string replay_target;
   bool list_oracles = false;
+  std::string run_id;
+  bool metrics_server = false;
+  std::uint64_t metrics_port = 0;
+  std::uint64_t progress_interval_ms = 2000;
+  std::string progress_log;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -176,6 +203,23 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--replay=", 0) == 0) {
       replay_target = value_of("--replay=");
+    } else if (arg.rfind("--run-id=", 0) == 0) {
+      run_id = value_of("--run-id=");
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      std::uint64_t port = 0;
+      if (!parse_u64(value_of("--metrics-port="), port) || port > 65535) {
+        return usage(std::cerr, 2);
+      }
+      metrics_port = port;
+      metrics_server = true;
+    } else if (arg.rfind("--progress-interval=", 0) == 0) {
+      if (!parse_u64(value_of("--progress-interval="),
+                     progress_interval_ms) ||
+          progress_interval_ms == 0) {
+        return usage(std::cerr, 2);
+      }
+    } else if (arg.rfind("--progress-log=", 0) == 0) {
+      progress_log = value_of("--progress-log=");
     } else {
       std::cerr << "lcl_fuzz: unknown option '" << arg << "'\n";
       return usage(std::cerr, 2);
@@ -209,7 +253,61 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool telemetry = telemetry_wanted();
+  if (telemetry) lcl::obs::set_metrics_enabled(true);
+  if (run_id.empty()) run_id = lcl::obs::default_run_id();
+
+  // Teardown order mirrors declaration order: exporter and sampler stop
+  // before the RunContext / progress log they read go away.
+  lcl::obs::RunContext run(run_id, "fuzz");
+  options.run = &run;
+  lcl::obs::RunContext::set_current(&run);
+
+  std::unique_ptr<lcl::obs::TraceSession> progress_session;
+  if (!progress_log.empty()) {
+    try {
+      progress_session = std::make_unique<lcl::obs::TraceSession>(
+          progress_log, lcl::obs::TraceFormat::kJsonl);
+    } catch (const std::exception& e) {
+      std::cerr << "lcl_fuzz: " << e.what() << "\n";
+      return 2;
+    }
+    lcl::obs::TraceSession::set_current(progress_session.get());
+  }
+
+  lcl::obs::ResourceSampler::Options sampler_options;
+  sampler_options.resource_interval =
+      std::chrono::milliseconds(progress_interval_ms);
+  sampler_options.progress_interval =
+      std::chrono::milliseconds(progress_interval_ms);
+  sampler_options.run = &run;
+  lcl::obs::ResourceSampler sampler(std::move(sampler_options));
+  if (telemetry) sampler.start();
+
+  lcl::obs::Exporter::Options exporter_options;
+  exporter_options.port = static_cast<std::uint16_t>(metrics_port);
+  exporter_options.const_labels = {{"run_id", run_id}};
+  exporter_options.progress_provider = [&run]() {
+    return run.progress_json() + "\n";
+  };
+  lcl::obs::Exporter exporter(std::move(exporter_options));
+  if (metrics_server) {
+    if (!telemetry) {
+      std::cerr << "lcl_fuzz: --metrics-port ignored: telemetry is "
+                   "disabled (LCL_OBS=0)\n";
+    } else if (!exporter.start()) {
+      std::cerr << "lcl_fuzz: metrics exporter: " << exporter.error() << "\n";
+      return 2;
+    } else {
+      std::cout << "metrics:    http://127.0.0.1:" << exporter.port()
+                << "/metrics  (run_id " << run_id << ")\n";
+    }
+  }
+
   const auto report = lcl::fuzz::run_fuzz(options);
+
+  sampler.stop();
+  lcl::obs::RunContext::set_current(nullptr);
 
   std::cout << "seeds run:  " << report.seeds_run << "/" << options.seeds
             << (report.budget_exhausted ? " (budget exhausted)" : "") << "\n";

@@ -7,6 +7,9 @@
 //   trace_summary out.jsonl
 //   trace_summary --validate out.jsonl   # parse only; exit status is the
 //                                        # well-formedness verdict
+//   trace_summary --progress out.jsonl   # per-phase wall-clock breakdown
+//                                        # of the run's progress/resource
+//                                        # telemetry + final rows/s
 //
 // Exit codes: 0 ok, 1 usage/IO error, 2 malformed trace.
 
@@ -21,8 +24,10 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--validate] <trace.jsonl | trace.json>\n", argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--validate | --progress] <trace.jsonl | trace.json>\n",
+      argv0);
   return 1;
 }
 
@@ -30,10 +35,13 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool validate_only = false;
+  bool progress_only = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--validate") == 0) {
       validate_only = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress_only = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -60,6 +68,11 @@ int main(int argc, char** argv) {
   if (validate_only) {
     std::printf("ok: %zu records, metrics footer %s\n", trace.records.size(),
                 trace.has_metrics_footer ? "present" : "absent");
+    return 0;
+  }
+  if (progress_only) {
+    const auto progress = lcl::obs::summarize_progress(trace);
+    std::fputs(lcl::obs::format_progress(progress).c_str(), stdout);
     return 0;
   }
 
