@@ -30,12 +30,12 @@ void run_ablation(benchmark::State& state,
     try {
       ReStep psi = apply_r(problem, limits);
       if (with_reduce) {
-        auto red = reduce(psi.problem);
+        auto red = reduce(psi.problem, kernel);
         psi.problem = std::move(red.problem);
       }
       ReStep next = apply_rbar(psi.problem, limits);
       if (with_reduce) {
-        auto red = reduce(next.problem);
+        auto red = reduce(next.problem, kernel);
         next.problem = std::move(red.problem);
       }
       labels_psi = psi.problem.output_alphabet().size();
@@ -98,6 +98,78 @@ void BM_KernelSlice_D3K5_Mask(benchmark::State& state) {
   run_kernel_slice(state, problems::coloring(5, 3), ReKernel::kMask);
 }
 BENCHMARK(BM_KernelSlice_D3K5_Mask)->Unit(benchmark::kMillisecond);
+
+// Forced multi-word tiers on the same slice: kMask2/kMask4 widen every
+// word-parallel loop to 2/4 words even though one would do, bounding the
+// cost of the 65-128 and 129-256 label tiers relative to both endpoints
+// (they must stay well ahead of the generic enumeration; the CI gate pins
+// that ratio per tier).
+void BM_KernelSlice_D3K5_Mask2(benchmark::State& state) {
+  run_kernel_slice(state, problems::coloring(5, 3), ReKernel::kMask2);
+}
+BENCHMARK(BM_KernelSlice_D3K5_Mask2)->Unit(benchmark::kMillisecond);
+
+void BM_KernelSlice_D3K5_Mask4(benchmark::State& state) {
+  run_kernel_slice(state, problems::coloring(5, 3), ReKernel::kMask4);
+}
+BENCHMARK(BM_KernelSlice_D3K5_Mask4)->Unit(benchmark::kMillisecond);
+
+// Reduce slice past the one-word seam. The dominated-label pass is the one
+// per-iterate pass whose cost is quadratic in the alphabet, and its worst
+// case is a *fruitless* scan: every ordered pair passes the edge-partner and
+// g-preimage inclusions and is rejected only at the node-configuration
+// probe, so the full n^2 sweep runs to completion. This problem pins that
+// shape at 96 labels (W=2 tier under kAuto): all edges allowed (partner
+// inclusions always hold), node constraint = {l, l} doubles only (replacing
+// one occurrence yields a forbidden mixed pair, so no label is ever
+// dominated, and the per-label node contexts keep merge_once from firing).
+NodeEdgeCheckableLcl wide_probe_wall(int labels) {
+  Alphabet output;
+  for (int l = 0; l < labels; ++l) {
+    std::string name = "w";
+    name += std::to_string(l);
+    output.add(name);
+  }
+  NodeEdgeCheckableLcl::Builder b("wide-probe-wall", Alphabet({"-"}),
+                                  std::move(output), /*max_degree=*/2);
+  for (Label l = 0; l < static_cast<Label>(labels); ++l) {
+    b.allow_node({l, l});
+  }
+  for (Label a = 0; a < static_cast<Label>(labels); ++a) {
+    for (Label c = a; c < static_cast<Label>(labels); ++c) {
+      b.allow_edge(a, c);
+    }
+  }
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+void run_reduce_slice(benchmark::State& state,
+                      const NodeEdgeCheckableLcl& problem, ReKernel kernel) {
+  std::size_t labels_out = 0, configs_out = 0;
+  const bench::ObsCounters obs_counters;
+  for (auto _ : state) {
+    auto red = reduce(problem, kernel);
+    labels_out = red.problem.output_alphabet().size();
+    configs_out = red.problem.total_node_configs() +
+                  red.problem.edge_configs().size();
+    lcl::bench::keep(labels_out);
+  }
+  obs_counters.report(state);
+  state.counters["labels_out"] = static_cast<double>(labels_out);
+  state.counters["configs_out"] = static_cast<double>(configs_out);
+  state.counters["mask_kernel"] = kernel == ReKernel::kGeneric ? 0 : 1;
+}
+
+void BM_ReduceSlice_Wide96_Generic(benchmark::State& state) {
+  run_reduce_slice(state, wide_probe_wall(96), ReKernel::kGeneric);
+}
+BENCHMARK(BM_ReduceSlice_Wide96_Generic)->Unit(benchmark::kMillisecond);
+
+void BM_ReduceSlice_Wide96_Auto(benchmark::State& state) {
+  run_reduce_slice(state, wide_probe_wall(96), ReKernel::kAuto);
+}
+BENCHMARK(BM_ReduceSlice_Wide96_Auto)->Unit(benchmark::kMillisecond);
 
 #define ABLATION_BENCH(name, expr)                              \
   void BM_Ablation_##name##_Reduced(benchmark::State& state) {  \

@@ -93,9 +93,9 @@ NodeEdgeCheckableLcl speedup_step_cached(const NodeEdgeCheckableLcl& current,
     }
   }
   ReStep psi = apply_r(current, limits);
-  if (reduce_labels) psi = reduce_step(std::move(psi));
+  if (reduce_labels) psi = reduce_step(std::move(psi), limits.kernel);
   ReStep next = apply_rbar(psi.problem, limits);
-  if (reduce_labels) next = reduce_step(std::move(next));
+  if (reduce_labels) next = reduce_step(std::move(next), limits.kernel);
   json::Value value = json::Value::make_object();
   value.object()["next"] =
       lint::spec_to_json_value(lint::spec_from_problem(next.problem));

@@ -1,5 +1,7 @@
 #include "core/problems.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -13,6 +15,14 @@ Alphabet no_input_alphabet() { return Alphabet({"-"}); }
 
 void require(bool condition, const char* message) {
   if (!condition) throw std::invalid_argument(message);
+}
+
+// Builds "<prefix><index><suffix>" without std::string operator+ chains
+// (GCC 12's -Wrestrict misfires on the inlined char* + to_string overload).
+std::string numbered(const char* prefix, int index, const char* suffix = "") {
+  std::ostringstream os;
+  os << prefix << index << suffix;
+  return os.str();
 }
 
 }  // namespace
@@ -33,9 +43,9 @@ NodeEdgeCheckableLcl coloring(int colors, int max_degree) {
   require(colors >= 1, "coloring: colors >= 1");
   require(max_degree >= 1, "coloring: max_degree >= 1");
   std::vector<std::string> names;
-  for (int c = 0; c < colors; ++c) names.push_back("c" + std::to_string(c));
+  for (int c = 0; c < colors; ++c) names.push_back(numbered("c", c));
   NodeEdgeCheckableLcl::Builder b(
-      std::to_string(colors) + "-coloring", no_input_alphabet(),
+      numbered("", colors, "-coloring"), no_input_alphabet(),
       Alphabet(names), max_degree);
   for (Label c = 0; c < static_cast<Label>(colors); ++c) {
     for (int d = 1; d <= max_degree; ++d) {
@@ -135,9 +145,9 @@ NodeEdgeCheckableLcl edge_coloring(int colors, int max_degree) {
   require(colors >= max_degree,
           "edge_coloring: need colors >= max_degree for solvability");
   std::vector<std::string> names;
-  for (int c = 0; c < colors; ++c) names.push_back("e" + std::to_string(c));
+  for (int c = 0; c < colors; ++c) names.push_back(numbered("e", c));
   NodeEdgeCheckableLcl::Builder b(
-      std::to_string(colors) + "-edge-coloring", no_input_alphabet(),
+      numbered("", colors, "-edge-coloring"), no_input_alphabet(),
       Alphabet(names), max_degree);
   // Node: pairwise distinct colors. Enumerate strictly increasing tuples.
   for (int d = 1; d <= max_degree; ++d) {
@@ -173,11 +183,11 @@ NodeEdgeCheckableLcl forbidden_color(int colors, int max_degree) {
   require(max_degree >= 1, "forbidden_color: max_degree >= 1");
   std::vector<std::string> in_names;
   for (int c = 0; c < colors; ++c) {
-    in_names.push_back("forbid" + std::to_string(c));
+    in_names.push_back(numbered("forbid", c));
   }
   in_names.push_back("free");
   std::vector<std::string> out_names;
-  for (int c = 0; c < colors; ++c) out_names.push_back("c" + std::to_string(c));
+  for (int c = 0; c < colors; ++c) out_names.push_back(numbered("c", c));
   NodeEdgeCheckableLcl::Builder b("forbidden-color", Alphabet(in_names),
                                   Alphabet(out_names), max_degree);
   for (Label c = 0; c < static_cast<Label>(colors); ++c) {
@@ -221,13 +231,12 @@ NodeEdgeCheckableLcl weak_coloring(int colors, int max_degree) {
   // a differently-colored neighbor.
   std::vector<std::string> names;
   for (int c = 0; c < colors; ++c) {
-    names.push_back("c" + std::to_string(c));
-    names.push_back("c" + std::to_string(c) + "!");
+    names.push_back(numbered("c", c));
+    names.push_back(numbered("c", c, "!"));
   }
   const auto plain = [](int c) { return static_cast<Label>(2 * c); };
   const auto witness = [](int c) { return static_cast<Label>(2 * c + 1); };
-  NodeEdgeCheckableLcl::Builder b("weak-" + std::to_string(colors) +
-                                      "-coloring",
+  NodeEdgeCheckableLcl::Builder b(numbered("weak-", colors, "-coloring"),
                                   no_input_alphabet(), Alphabet(names),
                                   max_degree);
   for (int c = 0; c < colors; ++c) {
@@ -248,6 +257,29 @@ NodeEdgeCheckableLcl weak_coloring(int colors, int max_degree) {
       } else {
         b.allow_edge(plain(c1), plain(c2));  // same color: only unflagged
       }
+    }
+  }
+  b.unrestricted_inputs();
+  return b.build();
+}
+
+NodeEdgeCheckableLcl threshold_band(int labels, int window) {
+  require(labels >= 2, "threshold_band: labels >= 2");
+  require(window >= 1, "threshold_band: window >= 1");
+  std::vector<std::string> names;
+  for (int l = 0; l < labels; ++l) names.push_back(numbered("t", l));
+  NodeEdgeCheckableLcl::Builder b(numbered("threshold-band-", labels),
+                                  no_input_alphabet(), Alphabet(names),
+                                  /*max_degree=*/2);
+  for (Label a = 0; a < static_cast<Label>(labels); ++a) {
+    b.allow_node({a});
+    const Label hi = std::min<Label>(static_cast<Label>(labels) - 1,
+                                     a + static_cast<Label>(window));
+    for (Label c = a; c <= hi; ++c) b.allow_node({a, c});
+  }
+  for (Label a = 0; a < static_cast<Label>(labels); ++a) {
+    for (Label c = a; c < static_cast<Label>(labels); ++c) {
+      if (a + c >= static_cast<Label>(labels) - 1) b.allow_edge(a, c);
     }
   }
   b.unrestricted_inputs();

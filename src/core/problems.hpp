@@ -83,5 +83,21 @@ NodeEdgeCheckableLcl perfect_matching(int max_degree);
 /// incident edge as the "witness" edge which must be bichromatic.
 NodeEdgeCheckableLcl weak_coloring(int colors, int max_degree);
 
+/// Synthetic wide-alphabet stress family (not from the paper): `labels`
+/// output labels `t0..t(n-1)` at max degree 2, with
+///   - node configurations: every single `{a}`, and every pair `{a, b}`
+///     with `|a - b| <= window`;
+///   - edge configurations: `{a, b}` allowed iff `a + b >= labels - 1`;
+///   - unrestricted inputs.
+/// The threshold edge constraint makes the partner sets a strict chain
+/// (partners(a) subset partners(b) for a < b) while the banded node
+/// constraint limits which replacements stay legal, so `reduce()`'s
+/// dominated-label pass keeps firing - one label per pass - across the
+/// whole alphabet. Sized at 63..129+ labels this is the workload that
+/// drives the multi-word mask tiers (the parity battery) and the wide
+/// kernel-slice benchmarks; nothing else in the canonical battery has
+/// alphabets past 64 labels before an operator is applied.
+NodeEdgeCheckableLcl threshold_band(int labels, int window);
+
 }  // namespace problems
 }  // namespace lcl

@@ -38,8 +38,116 @@ std::vector<std::string> degenerate_codes(const NodeEdgeCheckableLcl& problem) {
   return codes;
 }
 
+/// Wide-alphabet draw (see `GeneratorOptions::wide_alphabets`): a 64..130
+/// label output alphabet whose constraints touch only a small scattered live
+/// core. Degree is pinned to 2 - a 130-label alphabet already yields ~8.6k
+/// candidate pair multisets; degree 3 would be ~380k per seed.
+NodeEdgeCheckableLcl draw_wide_problem(const GeneratorOptions& options,
+                                       SplitRng& rng) {
+  const int delta = 2;
+  const std::size_t out_size = pick_in_range(
+      std::max<std::size_t>(options.wide_min_labels, 2),
+      std::max(options.wide_max_labels, options.wide_min_labels), rng);
+  const std::size_t in_size =
+      pick_in_range(2, std::max<std::size_t>(options.max_input_labels, 2),
+                    rng);
+
+  Alphabet output;
+  for (std::size_t l = 0; l < out_size; ++l) {
+    std::string name = "x";
+    name += std::to_string(l);
+    output.add(name);
+  }
+  Alphabet input;
+  for (std::size_t l = 0; l < in_size; ++l) {
+    std::string name = "i";
+    name += std::to_string(l);
+    input.add(name);
+  }
+
+  NodeEdgeCheckableLcl::Builder builder("fuzz-wide", std::move(input),
+                                        std::move(output), delta);
+
+  // Live core: scattered distinct labels, always straddling the 64-bit word
+  // seam when the alphabet reaches past it.
+  const std::size_t live_count = std::min(
+      out_size, pick_in_range(std::max<std::size_t>(options.wide_min_live, 1),
+                              std::max(options.wide_max_live,
+                                       options.wide_min_live),
+                              rng));
+  std::vector<char> is_live(out_size, 0);
+  std::vector<Label> live;
+  if (out_size > 64) {
+    const auto seam = static_cast<Label>(64 + rng.next_below(out_size - 64));
+    is_live[static_cast<std::size_t>(seam)] = 1;
+    live.push_back(seam);
+  }
+  while (live.size() < live_count) {
+    const auto candidate = static_cast<Label>(rng.next_below(out_size));
+    if (is_live[static_cast<std::size_t>(candidate)]) continue;
+    is_live[static_cast<std::size_t>(candidate)] = 1;
+    live.push_back(candidate);
+  }
+  std::sort(live.begin(), live.end());
+
+  // Node constraint: singles and pairs over the live core only.
+  std::size_t node_total = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (flip(options.node_density, rng)) {
+      builder.allow_node({live[i]});
+      ++node_total;
+    }
+    for (std::size_t j = i; j < live.size(); ++j) {
+      if (flip(options.node_density, rng)) {
+        builder.allow_node({live[i], live[j]});
+        ++node_total;
+      }
+    }
+  }
+  if (node_total == 0) {
+    builder.allow_node({live[rng.next_below(live.size())]});
+  }
+
+  // Edge constraint over the live core.
+  std::size_t edge_total = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (std::size_t j = i; j < live.size(); ++j) {
+      if (flip(options.edge_density, rng)) {
+        builder.allow_edge(live[i], live[j]);
+        ++edge_total;
+      }
+    }
+  }
+  if (edge_total == 0) {
+    builder.allow_edge(live[rng.next_below(live.size())],
+                       live[rng.next_below(live.size())]);
+  }
+
+  // g: mostly live grants, with the occasional dead label so the trim /
+  // lint passes have real work; every input keeps at least one live grant.
+  for (Label in = 0; in < static_cast<Label>(in_size); ++in) {
+    bool any = false;
+    for (Label out = 0; out < static_cast<Label>(out_size); ++out) {
+      const double density = is_live[static_cast<std::size_t>(out)]
+                                 ? options.g_density
+                                 : options.wide_dead_g_density;
+      if (flip(density, rng)) {
+        builder.allow_output_for_input(in, out);
+        any = true;
+      }
+    }
+    if (!any) {
+      builder.allow_output_for_input(in,
+                                     live[rng.next_below(live.size())]);
+    }
+  }
+
+  return builder.build();
+}
+
 NodeEdgeCheckableLcl draw_problem(const GeneratorOptions& options,
                                   SplitRng& rng) {
+  if (options.wide_alphabets) return draw_wide_problem(options, rng);
   const int delta = static_cast<int>(
       pick_in_range(static_cast<std::size_t>(options.min_degree),
                     static_cast<std::size_t>(options.max_degree), rng));

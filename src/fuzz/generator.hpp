@@ -50,6 +50,29 @@ struct GeneratorOptions {
   /// Redraw budget under `kReject`; after this many degenerate draws in a
   /// row the last one is emitted anyway (the stream must stay total).
   int lint_reject_attempts = 32;
+
+  /// Wide-alphabet mode (`--wide-alphabets`): instead of the small dense
+  /// problems above, draw output alphabets of `wide_min_labels ..
+  /// wide_max_labels` labels (straddling the 64-label word seam) whose
+  /// *live core* - the only labels appearing in the node and edge
+  /// constraints - is a small scattered subset, always including a label at
+  /// or past index 64 when the alphabet allows. `g` grants mostly live
+  /// labels plus the occasional dead one. The point is the pipeline's
+  /// wide-alphabet plumbing: lint preflight must prune the dead bulk,
+  /// operators see the live core, and the derived iterates (up to
+  /// `2^live - 1` labels) walk `reduce()`'s dominated pass through the
+  /// multi-word mask tiers. Degree is pinned to 2 so enumeration over a
+  /// 130-label alphabet stays affordable per seed.
+  bool wide_alphabets = false;
+  std::size_t wide_min_labels = 64;
+  std::size_t wide_max_labels = 130;
+  /// Live-core size range (kept <= 8 so a derived alphabet fits 255
+  /// labels - inside the widest mask tier, past the one-word seam).
+  std::size_t wide_min_live = 4;
+  std::size_t wide_max_live = 8;
+  /// Probability that `g` grants a *dead* (non-core) label - rare, so the
+  /// trim pass has something to do without drowning the live structure.
+  double wide_dead_g_density = 0.03;
 };
 
 /// Draws a random node-edge-checkable LCL. Deterministic in (options, rng

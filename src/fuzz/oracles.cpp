@@ -88,8 +88,8 @@ OracleResult oracle_lift_soundness(const FuzzCase& c,
   ReStep psi;
   ReStep next;
   try {
-    psi = reduce_step(apply_r(c.problem, o.limits));
-    next = reduce_step(apply_rbar(psi.problem, o.limits));
+    psi = reduce_step(apply_r(c.problem, o.limits), o.limits.kernel);
+    next = reduce_step(apply_rbar(psi.problem, o.limits), o.limits.kernel);
   } catch (const ReBlowupError&) {
     return r;  // enumeration budget - skip, don't judge
   } catch (const std::logic_error&) {

@@ -219,9 +219,13 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
       const NodeEdgeCheckableLcl& current =
           levels_.empty() ? effective_base_ : levels_.back().next.problem;
       ReStep psi = apply_r(current, options.limits);
-      if (options.reduce) psi = reduce_step(std::move(psi));
+      if (options.reduce) {
+        psi = reduce_step(std::move(psi), options.limits.kernel);
+      }
       ReStep next = apply_rbar(psi.problem, options.limits);
-      if (options.reduce) next = reduce_step(std::move(next));
+      if (options.reduce) {
+        next = reduce_step(std::move(next), options.limits.kernel);
+      }
       stats.labels_psi = psi.problem.output_alphabet().size();
       stats.labels_next = next.problem.output_alphabet().size();
       stats.node_configs = next.problem.total_node_configs();

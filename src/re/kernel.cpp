@@ -1,9 +1,14 @@
 #include "re/kernel.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
+#include <future>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "batch/pool.hpp"
 #include "util/combinatorics.hpp"
 #include "util/label_mask.hpp"
 
@@ -13,28 +18,42 @@ NodeConfigIndex::NodeConfigIndex(const NodeEdgeCheckableLcl& pi) : pi_(&pi) {
   const std::size_t n = pi.output_alphabet().size();
   bits_per_label_ =
       n <= 1 ? 1u : static_cast<unsigned>(std::bit_width(n - 1));
-  packed_.resize(static_cast<std::size_t>(pi.max_degree()) + 1);
+  packed1_.resize(static_cast<std::size_t>(pi.max_degree()) + 1);
+  packed2_.resize(static_cast<std::size_t>(pi.max_degree()) + 1);
   for (int d = 1; d <= pi.max_degree(); ++d) {
     const auto degree = static_cast<std::size_t>(d);
-    if (!packable(degree)) continue;
-    auto& keys = packed_[degree];
+    const std::size_t words = packed_words(degree);
+    if (words == 0) continue;
     const auto& configs = pi.node_configs(d);
-    keys.reserve(configs.size() * 2);
-    for (const auto& config : configs) {
-      // Configuration stores its labels in canonical ascending order, so
-      // the stored key matches what `allows_sorted` packs for a probe.
-      keys.insert(pack(config.labels().data(), config.size()));
+    if (words == 1) {
+      auto& keys = packed1_[degree];
+      keys.reserve(configs.size() * 2);
+      for (const auto& config : configs) {
+        // Configuration stores its labels in canonical ascending order, so
+        // the stored key matches what `allows_sorted` packs for a probe.
+        keys.insert(pack1(config.labels().data(), config.size()));
+      }
+    } else {
+      auto& keys = packed2_[degree];
+      keys.reserve(configs.size() * 2);
+      for (const auto& config : configs) {
+        keys.insert(pack2(config.labels().data(), config.size()));
+      }
     }
   }
 }
 
 bool NodeConfigIndex::allows_sorted(const Label* labels,
                                     std::size_t degree) const {
-  if (degree < packed_.size() && packable(degree)) {
-    return packed_[degree].contains(pack(labels, degree));
+  switch (degree < packed1_.size() ? packed_words(degree) : 0) {
+    case 1:
+      return packed1_[degree].contains(pack1(labels, degree));
+    case 2:
+      return packed2_[degree].contains(pack2(labels, degree));
+    default:
+      return pi_->node_allows(
+          Configuration(std::vector<Label>(labels, labels + degree)));
   }
-  return pi_->node_allows(
-      Configuration(std::vector<Label>(labels, labels + degree)));
 }
 
 namespace re_kernel {
@@ -83,24 +102,35 @@ bool all_selections_in_node_constraint(const NodeEdgeCheckableLcl& pi,
   return !found_bad;
 }
 
+template <std::size_t W>
+using Words = std::array<std::uint64_t, W>;
+
+/// Bit `l` of the W-word mask. The `% W` keeps the word index provably in
+/// range for the optimizer (labels are range-checked upstream).
+template <std::size_t W>
+inline bool words_bit(const Words<W>& words, Label l) {
+  return (words[(l >> 6) % W] >> (l & 63)) & 1;
+}
+
 /// One step of the config-into-slots matching: can occurrences
 /// `labels[pos..degree)` be assigned to distinct unused slots whose words
 /// contain them? `used` is a slot bitmask. Since configurations are sorted,
 /// equal labels are adjacent; forcing equal occurrences into increasing
 /// slots (`min_slot`) collapses the permutations of identical labels to one
 /// canonical assignment.
+template <std::size_t W>
 bool config_fits_slots(const Label* labels, std::size_t degree,
-                       const std::uint64_t* slots, std::uint32_t used,
+                       const Words<W>* slots, std::uint32_t used,
                        std::size_t pos, std::size_t min_slot) {
   if (pos == degree) return true;
   const Label l = labels[pos];
   const std::size_t start =
       pos > 0 && labels[pos - 1] == l ? min_slot + 1 : 0;
   for (std::size_t slot = start; slot < degree; ++slot) {
-    if (((used >> slot) & 1) == 0 && ((slots[slot] >> l) & 1) != 0) {
-      if (config_fits_slots(labels, degree, slots,
-                            used | (std::uint32_t{1} << slot), pos + 1,
-                            slot)) {
+    if (((used >> slot) & 1) == 0 && words_bit<W>(slots[slot], l)) {
+      if (config_fits_slots<W>(labels, degree, slots,
+                               used | (std::uint32_t{1} << slot), pos + 1,
+                               slot)) {
         return true;
       }
     }
@@ -111,10 +141,12 @@ bool config_fits_slots(const Label* labels, std::size_t degree,
 /// Mask variant of the EXISTS quantifier: a selection exists iff some
 /// stored configuration (flattened, `degree` labels per row) matches into
 /// the slot words.
+template <std::size_t W>
 bool exists_selection_mask(const std::vector<Label>& flat_configs,
-                           const std::uint64_t* slots, std::size_t degree) {
+                           const Words<W>* slots, std::size_t degree) {
   for (std::size_t at = 0; at < flat_configs.size(); at += degree) {
-    if (config_fits_slots(flat_configs.data() + at, degree, slots, 0, 0, 0)) {
+    if (config_fits_slots<W>(flat_configs.data() + at, degree, slots, 0, 0,
+                             0)) {
       return true;
     }
   }
@@ -122,12 +154,12 @@ bool exists_selection_mask(const std::vector<Label>& flat_configs,
 }
 
 /// Mask variant of the FORALL quantifier: walks the cartesian product of
-/// the slot words' set bits, canonicalizes each selection by insertion sort
-/// into `sorted` (degrees are tiny), and probes the packed memo; aborts on
-/// the first disallowed selection.
-bool all_selections_mask(const NodeConfigIndex& index,
-                         const std::uint64_t* slots, std::size_t degree,
-                         Label* selection, Label* sorted) {
+/// the slot words' set bits (across all W words), canonicalizes each
+/// selection by insertion sort into `sorted` (degrees are tiny), and probes
+/// the packed memo; aborts on the first disallowed selection.
+template <std::size_t W>
+bool all_selections_mask(const NodeConfigIndex& index, const Words<W>* slots,
+                         std::size_t degree, Label* selection, Label* sorted) {
   const auto walk = [&](auto&& self, std::size_t slot) -> bool {
     if (slot == degree) {
       for (std::size_t i = 0; i < degree; ++i) {
@@ -141,11 +173,14 @@ bool all_selections_mask(const NodeConfigIndex& index,
       }
       return index.allows_sorted(sorted, degree);
     }
-    std::uint64_t word = slots[slot];
-    while (word != 0) {
-      selection[slot] = static_cast<Label>(std::countr_zero(word));
-      word &= word - 1;
-      if (!self(self, slot + 1)) return false;
+    for (std::size_t wi = 0; wi < W; ++wi) {
+      std::uint64_t word = slots[slot][wi];
+      while (word != 0) {
+        selection[slot] = static_cast<Label>(
+            64 * wi + static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+        if (!self(self, slot + 1)) return false;
+      }
     }
     return true;
   };
@@ -153,15 +188,235 @@ bool all_selections_mask(const NodeConfigIndex& index,
 }
 
 /// Advances `idx` to the lexicographically next non-decreasing tuple over
-/// `{0, .., limit-1}`; returns false when exhausted. Matches the order of
-/// `enumerate_multisets` without materializing the enumeration.
-bool next_multiset(std::vector<std::uint32_t>& idx, std::uint32_t limit) {
+/// `{floor, .., limit-1}` whose FIRST entry stays fixed; returns false when
+/// the suffix is exhausted. With `floor = 0` and a free first entry this is
+/// the order of `enumerate_multisets` without materializing it.
+bool next_multiset_suffix(std::vector<std::uint32_t>& idx, std::uint32_t limit,
+                          std::size_t first_free) {
   std::size_t pos = idx.size();
-  while (pos > 0 && idx[pos - 1] == limit - 1) --pos;
-  if (pos == 0) return false;
+  while (pos > first_free && idx[pos - 1] == limit - 1) --pos;
+  if (pos <= first_free) return false;
   const std::uint32_t next = idx[pos - 1] + 1;
   for (std::size_t i = pos - 1; i < idx.size(); ++i) idx[i] = next;
   return true;
+}
+
+/// Contiguous near-even split of `[begin, end)` into at most `parts`
+/// non-empty chunks, in order.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> split_range(
+    std::uint64_t begin, std::uint64_t end, std::size_t parts) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> chunks;
+  if (begin >= end) return chunks;
+  const std::uint64_t total = end - begin;
+  const std::uint64_t count =
+      std::min<std::uint64_t>(total, parts == 0 ? 1 : parts);
+  chunks.reserve(static_cast<std::size_t>(count));
+  std::uint64_t at = begin;
+  for (std::uint64_t c = 0; c < count; ++c) {
+    const std::uint64_t size = total / count + (c < total % count ? 1 : 0);
+    chunks.emplace_back(at, at + size);
+    at += size;
+  }
+  return chunks;
+}
+
+/// Runs `task(chunk)` over every chunk and feeds the results to
+/// `merge(chunk_result)` in chunk order. With `jobs <= 1` everything runs
+/// inline; otherwise the tasks fan out across a `batch::Pool` and the merge
+/// consumes the futures in submission order - either way `merge` sees the
+/// same results in the same order, which is what makes the parallel
+/// enumeration deterministic.
+template <typename Chunk, typename Task, typename Merge>
+void run_deterministic(const std::vector<Chunk>& chunks, std::size_t jobs,
+                       Task&& task, Merge&& merge) {
+  if (jobs <= 1 || chunks.size() <= 1) {
+    for (const auto& chunk : chunks) merge(task(chunk));
+    return;
+  }
+  batch::Pool pool(batch::Pool::Options{jobs});
+  using Result = decltype(task(chunks.front()));
+  std::vector<std::future<Result>> futures;
+  futures.reserve(chunks.size());
+  for (const auto& chunk : chunks) {
+    futures.push_back(pool.submit([&task, &chunk]() { return task(chunk); }));
+  }
+  for (auto& future : futures) merge(future.get());
+}
+
+/// How many chunks to cut an outer loop into: enough that the skewed low
+/// ends (first-index partitions shrink as the index grows) balance out.
+constexpr std::size_t kChunksPerJob = 16;
+
+template <std::size_t W>
+std::vector<LabelSet> fill_mask_w(NodeEdgeCheckableLcl::Builder& builder,
+                                  const NodeEdgeCheckableLcl& pi,
+                                  bool exists_node, std::size_t jobs) {
+  const std::size_t base = pi.output_alphabet().size();
+  // The derived label indices (2^base - 1 of them) must fit one word no
+  // matter how wide the masks are; the public operators' alphabet guard
+  // rejects such bases long before dispatch, so this only fences direct
+  // callers.
+  if (base >= 63) {
+    std::ostringstream os;
+    os << "re_kernel::fill_mask: base alphabet of " << base
+       << " labels does not leave room for the 2^base-1 derived masks in one "
+          "word";
+    throw std::invalid_argument(os.str());
+  }
+  const std::uint64_t label_count = (std::uint64_t{1} << base) - 1;
+  const std::size_t chunk_target = jobs <= 1 ? 1 : jobs * kChunksPerJob;
+
+  // Per-base-label edge partner words.
+  std::vector<Words<W>> partners(base);
+  for (std::size_t b = 0; b < base; ++b) {
+    partners[b] =
+        LabelMaskW<W>::from_label_set(pi.edge_partners(static_cast<Label>(b)))
+            .words();
+  }
+
+  // Subset DP: partner words of every derived mask from its
+  // lowest-bit-removed predecessor - one W-word AND/OR per mask. Masks over
+  // the base alphabet live in word 0 (base < 63), so the DP is indexed by
+  // the plain word-0 value; the *partner* sides are full W-word vectors.
+  std::vector<Words<W>> forall(label_count + 1, Words<W>{});
+  std::vector<Words<W>> exists(label_count + 1, Words<W>{});
+  for (std::uint64_t m = 1; m <= label_count; ++m) {
+    const std::size_t b = static_cast<std::size_t>(std::countr_zero(m));
+    const std::uint64_t rest = m & (m - 1);
+    for (std::size_t w = 0; w < W; ++w) {
+      forall[m][w] =
+          rest != 0 ? (forall[rest][w] & partners[b][w]) : partners[b][w];
+      exists[m][w] =
+          rest != 0 ? (exists[rest][w] | partners[b][w]) : partners[b][w];
+    }
+  }
+
+  // Edge constraint. For R ({B1,B2} allowed iff B2 subseteq
+  // forall_partners(B1), a symmetric relation) the allowed partners of B1
+  // are exactly the non-empty submasks of its FORALL word - a subset walk
+  // visits just those instead of testing every pair. For Rbar a W-word AND
+  // decides each pair. The outer row loop partitions into contiguous
+  // chunks; each task collects its allowed pairs into a flat arena, merged
+  // in chunk order.
+  {
+    const auto chunks = split_range(1, label_count + 1, chunk_target);
+    const auto edge_task =
+        [&](const std::pair<std::uint64_t, std::uint64_t>& chunk) {
+          std::vector<std::pair<Label, Label>> allowed;
+          for (std::uint64_t mi = chunk.first; mi < chunk.second; ++mi) {
+            if (exists_node) {
+              for_each_nonempty_submask_words<W>(
+                  forall[mi], [&](const Words<W>& sub) {
+                    // Submasks of a base-alphabet word stay in word 0.
+                    const std::uint64_t value = sub[0];
+                    if (value >= mi) {
+                      allowed.emplace_back(static_cast<Label>(mi - 1),
+                                           static_cast<Label>(value - 1));
+                    }
+                  });
+            } else {
+              const Words<W>& any = exists[mi];
+              for (std::uint64_t mj = mi; mj <= label_count; ++mj) {
+                if ((mj & any[0]) != 0) {
+                  allowed.emplace_back(static_cast<Label>(mi - 1),
+                                       static_cast<Label>(mj - 1));
+                }
+              }
+            }
+          }
+          return allowed;
+        };
+    run_deterministic(chunks, jobs, edge_task,
+                      [&](const std::vector<std::pair<Label, Label>>& pairs) {
+                        for (const auto& [a, b] : pairs) {
+                          builder.allow_edge(a, b);
+                        }
+                      });
+  }
+
+  // Node constraint per degree: walk the non-decreasing index tuples in
+  // enumerate_multisets order (without materializing them) and evaluate the
+  // quantifier on the slot words. Derived label i IS the mask i + 1. The
+  // walk partitions by the tuple's first index: a task owns the contiguous
+  // first-index range [chunk.first, chunk.second) and appends each allowed
+  // multiset to its flat arena (degree labels per row); arenas merge in
+  // chunk order, reproducing the serial enumeration order exactly.
+  NodeConfigIndex index(pi);
+  for (int d = 1; d <= pi.max_degree(); ++d) {
+    const auto degree = static_cast<std::size_t>(d);
+    // The EXISTS matching iterates the stored configurations; copy them out
+    // of the std::set once into one flat row-per-config array so the inner
+    // loop is a contiguous scan.
+    std::vector<Label> flat_configs;
+    if (exists_node) {
+      const auto& stored = pi.node_configs(d);
+      flat_configs.reserve(stored.size() * degree);
+      for (const auto& config : stored) {
+        flat_configs.insert(flat_configs.end(), config.labels().begin(),
+                            config.labels().end());
+      }
+    }
+    const auto chunks = split_range(0, label_count, chunk_target);
+    const auto node_task =
+        [&](const std::pair<std::uint64_t, std::uint64_t>& chunk) {
+          std::vector<Label> arena;
+          std::vector<std::uint32_t> idx(degree);
+          std::vector<Words<W>> slots(degree);
+          std::vector<Label> selection(degree);
+          std::vector<Label> sorted(degree);
+          for (std::uint64_t first = chunk.first; first < chunk.second;
+               ++first) {
+            std::fill(idx.begin(), idx.end(),
+                      static_cast<std::uint32_t>(first));
+            do {
+              for (std::size_t t = 0; t < degree; ++t) {
+                slots[t] = Words<W>{};
+                slots[t][0] = static_cast<std::uint64_t>(idx[t]) + 1;
+              }
+              const bool allowed =
+                  exists_node
+                      ? exists_selection_mask<W>(flat_configs, slots.data(),
+                                                 degree)
+                      : all_selections_mask<W>(index, slots.data(), degree,
+                                               selection.data(),
+                                               sorted.data());
+              if (allowed) {
+                arena.insert(arena.end(), idx.begin(), idx.end());
+              }
+            } while (next_multiset_suffix(
+                idx, static_cast<std::uint32_t>(label_count), 1));
+          }
+          return arena;
+        };
+    run_deterministic(chunks, jobs, node_task,
+                      [&](const std::vector<Label>& arena) {
+                        for (std::size_t at = 0; at < arena.size();
+                             at += degree) {
+                          builder.allow_node(std::vector<Label>(
+                              arena.begin() + static_cast<std::ptrdiff_t>(at),
+                              arena.begin() +
+                                  static_cast<std::ptrdiff_t>(at + degree)));
+                        }
+                      });
+  }
+
+  // g: the derived labels compatible with input l are exactly the
+  // non-empty submasks of g_Pi(l) - enumerated directly by a subset walk.
+  for (Label in = 0; in < pi.input_alphabet().size(); ++in) {
+    const Words<W> g =
+        LabelMaskW<W>::from_label_set(pi.allowed_outputs(in)).words();
+    for_each_nonempty_submask_words<W>(g, [&](const Words<W>& sub) {
+      builder.allow_output_for_input(in, static_cast<Label>(sub[0] - 1));
+    });
+  }
+
+  // Meanings: mask m denotes the base-label set with exactly m's bits.
+  std::vector<LabelSet> meaning;
+  meaning.reserve(label_count);
+  for (std::uint64_t m = 1; m <= label_count; ++m) {
+    meaning.push_back(LabelMask(base, m).to_label_set());
+  }
+  return meaning;
 }
 
 }  // namespace
@@ -238,117 +493,22 @@ std::vector<LabelSet> fill_generic(NodeEdgeCheckableLcl::Builder& builder,
 
 std::vector<LabelSet> fill_mask(NodeEdgeCheckableLcl::Builder& builder,
                                 const NodeEdgeCheckableLcl& pi,
-                                bool exists_node) {
-  const std::size_t base = pi.output_alphabet().size();
-  // The public operators' alphabet guard rejects bases >= 63 long before
-  // dispatch; this check only fences direct callers.
-  if (base >= 63) {
-    throw std::invalid_argument(
-        "re_kernel::fill_mask: base alphabet of " + std::to_string(base) +
-        " labels does not leave room for the 2^base-1 derived masks in one "
-        "word");
+                                bool exists_node, std::size_t words,
+                                std::size_t jobs) {
+  switch (words) {
+    case 1:
+      return fill_mask_w<1>(builder, pi, exists_node, jobs);
+    case 2:
+      return fill_mask_w<2>(builder, pi, exists_node, jobs);
+    case 4:
+      return fill_mask_w<4>(builder, pi, exists_node, jobs);
+    case 8:
+      return fill_mask_w<8>(builder, pi, exists_node, jobs);
+    default:
+      throw std::invalid_argument(
+          "re_kernel::fill_mask: supported mask tiers are 1, 2, 4 or 8 "
+          "words");
   }
-  const std::uint64_t label_count = (std::uint64_t{1} << base) - 1;
-
-  // Per-base-label edge partner words.
-  std::vector<std::uint64_t> partners(base);
-  for (std::size_t b = 0; b < base; ++b) {
-    partners[b] =
-        LabelMask::from_label_set(pi.edge_partners(static_cast<Label>(b)))
-            .word();
-  }
-
-  // Subset DP: partner words of every derived mask from its
-  // lowest-bit-removed predecessor - one AND/OR per mask.
-  std::vector<std::uint64_t> forall(label_count + 1, 0);
-  std::vector<std::uint64_t> exists(label_count + 1, 0);
-  for (std::uint64_t m = 1; m <= label_count; ++m) {
-    const std::size_t b = static_cast<std::size_t>(std::countr_zero(m));
-    const std::uint64_t rest = m & (m - 1);
-    forall[m] = rest != 0 ? (forall[rest] & partners[b]) : partners[b];
-    exists[m] = rest != 0 ? (exists[rest] | partners[b]) : partners[b];
-  }
-
-  // Edge constraint. For R ({B1,B2} allowed iff B2 subseteq
-  // forall_partners(B1), a symmetric relation) the allowed partners of B1
-  // are exactly the non-empty submasks of its FORALL word - a subset walk
-  // visits just those instead of testing every pair. For Rbar one
-  // single-word AND decides each pair.
-  if (exists_node) {
-    for (std::uint64_t mi = 1; mi <= label_count; ++mi) {
-      for_each_nonempty_submask(forall[mi], [&](std::uint64_t sub) {
-        if (sub >= mi) {
-          builder.allow_edge(static_cast<Label>(mi - 1),
-                             static_cast<Label>(sub - 1));
-        }
-      });
-    }
-  } else {
-    for (std::uint64_t mi = 1; mi <= label_count; ++mi) {
-      const std::uint64_t any = exists[mi];
-      for (std::uint64_t mj = mi; mj <= label_count; ++mj) {
-        if ((mj & any) != 0) {
-          builder.allow_edge(static_cast<Label>(mi - 1),
-                             static_cast<Label>(mj - 1));
-        }
-      }
-    }
-  }
-
-  // Node constraint per degree: walk the non-decreasing index tuples in
-  // enumerate_multisets order (without materializing them) and evaluate the
-  // quantifier on the slot words. Derived label i IS the mask i + 1.
-  NodeConfigIndex index(pi);
-  for (int d = 1; d <= pi.max_degree(); ++d) {
-    const auto degree = static_cast<std::size_t>(d);
-    // The EXISTS matching iterates the stored configurations; copy them out
-    // of the std::set once into one flat row-per-config array so the inner
-    // loop is a contiguous scan.
-    std::vector<Label> flat_configs;
-    if (exists_node) {
-      const auto& stored = pi.node_configs(d);
-      flat_configs.reserve(stored.size() * degree);
-      for (const auto& config : stored) {
-        flat_configs.insert(flat_configs.end(), config.labels().begin(),
-                            config.labels().end());
-      }
-    }
-    std::vector<std::uint32_t> idx(degree, 0);
-    std::vector<std::uint64_t> slots(degree);
-    std::vector<Label> selection(degree);
-    std::vector<Label> sorted(degree);
-    do {
-      for (std::size_t t = 0; t < degree; ++t) {
-        slots[t] = static_cast<std::uint64_t>(idx[t]) + 1;
-      }
-      const bool allowed =
-          exists_node
-              ? exists_selection_mask(flat_configs, slots.data(), degree)
-              : all_selections_mask(index, slots.data(), degree,
-                                    selection.data(), sorted.data());
-      if (allowed) {
-        builder.allow_node(std::vector<Label>(idx.begin(), idx.end()));
-      }
-    } while (next_multiset(idx, static_cast<std::uint32_t>(label_count)));
-  }
-
-  // g: the derived labels compatible with input l are exactly the
-  // non-empty submasks of g_Pi(l) - enumerated directly by a subset walk.
-  for (Label in = 0; in < pi.input_alphabet().size(); ++in) {
-    const std::uint64_t g =
-        LabelMask::from_label_set(pi.allowed_outputs(in)).word();
-    for_each_nonempty_submask(g, [&](std::uint64_t sub) {
-      builder.allow_output_for_input(in, static_cast<Label>(sub - 1));
-    });
-  }
-
-  // Meanings: mask m denotes the base-label set with exactly m's bits.
-  std::vector<LabelSet> meaning;
-  meaning.reserve(label_count);
-  for (std::uint64_t m = 1; m <= label_count; ++m) {
-    meaning.push_back(LabelMask(base, m).to_label_set());
-  }
-  return meaning;
 }
 
 }  // namespace re_kernel

@@ -11,51 +11,117 @@ namespace lcl {
 
 /// Canonical-form memo of a problem's allowed node configurations: every
 /// stored configuration (a sorted multiset of output labels) is packed into
-/// a single 64-bit key and hashed exactly once at construction; membership
+/// a 64- or 128-bit key and hashed exactly once at construction; membership
 /// probes are then one pack + one flat hash lookup instead of an ordered-set
 /// walk with vector comparisons. This is the shared lookup structure of the
-/// mask kernels (`ReKernel::kMask`) and of `reduce()`'s dominated-label
-/// pass, both of which probe the same configurations over and over across
-/// different derived multisets.
+/// mask kernels (`ReKernel::kMask` and the wider tiers) and of `reduce()`'s
+/// dominated-label pass, both of which probe the same configurations over
+/// and over across different derived multisets.
 ///
 /// Packing uses `bits_per_label = bit_width(|Sigma_out| - 1)` bits per
-/// label; a degree packs when `degree * bits_per_label <= 64`. Unpackable
-/// degrees (or alphabets beyond 64 labels) transparently fall back to
+/// label; a degree packs into one word when `degree * bits_per_label <= 64`
+/// and into a two-word key when `<= 128` - the second tier is what keeps
+/// 65..128-label iterates (where `bits_per_label` is 7) on the fast path up
+/// to degree 18. Unpackable degrees transparently fall back to
 /// `NodeEdgeCheckableLcl::node_allows`, so `allows_sorted` is always exact.
 class NodeConfigIndex {
  public:
   explicit NodeConfigIndex(const NodeEdgeCheckableLcl& pi);
 
-  /// True when degree-`degree` probes run on the packed fast path.
-  bool packable(std::size_t degree) const {
-    return degree >= 1 && degree * bits_per_label_ <= 64;
+  /// Words of the packed key for degree-`degree` probes: 1, 2, or 0 when
+  /// the degree does not pack (falls back to `node_allows`).
+  std::size_t packed_words(std::size_t degree) const {
+    if (degree < 1) return 0;
+    const std::size_t bits = degree * bits_per_label_;
+    if (bits <= 64) return 1;
+    if (bits <= 128) return 2;
+    return 0;
   }
+
+  /// True when degree-`degree` probes run on a packed fast path.
+  bool packable(std::size_t degree) const { return packed_words(degree) != 0; }
 
   /// True iff the canonical (ascending) multiset `labels[0..degree)` is an
   /// allowed node configuration. `labels` MUST be sorted ascending.
   bool allows_sorted(const Label* labels, std::size_t degree) const;
 
  private:
-  std::uint64_t pack(const Label* labels, std::size_t degree) const {
+  /// A 128-bit packed key; `lo` holds the least-significant bits.
+  struct Key128 {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    bool operator==(const Key128& o) const { return hi == o.hi && lo == o.lo; }
+  };
+  struct Key128Hash {
+    std::size_t operator()(const Key128& k) const noexcept {
+      // Same splitmix-style fold LabelSet::hash uses per word.
+      std::size_t h = static_cast<std::size_t>(k.lo);
+      h ^= static_cast<std::size_t>(k.hi) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+      return h;
+    }
+  };
+
+  std::uint64_t pack1(const Label* labels, std::size_t degree) const {
     std::uint64_t key = 0;
     for (std::size_t i = 0; i < degree; ++i) {
       key = (key << bits_per_label_) | labels[i];
     }
     return key;
   }
+  Key128 pack2(const Label* labels, std::size_t degree) const {
+    // Big-integer shift-or: bits_per_label_ < 64 always (alphabets are
+    // size_t-indexed), so the cross-word carry shift is well-defined.
+    Key128 key;
+    for (std::size_t i = 0; i < degree; ++i) {
+      key.hi = (key.hi << bits_per_label_) | (key.lo >> (64 - bits_per_label_));
+      key.lo = (key.lo << bits_per_label_) | labels[i];
+    }
+    return key;
+  }
 
   const NodeEdgeCheckableLcl* pi_;
   unsigned bits_per_label_ = 1;
-  /// Indexed by degree (0..max_degree); empty for unpackable degrees.
-  std::vector<std::unordered_set<std::uint64_t>> packed_;
+  /// Indexed by degree (0..max_degree); empty for degrees stored in the
+  /// other tier (or not packable at all).
+  std::vector<std::unordered_set<std::uint64_t>> packed1_;
+  std::vector<std::unordered_set<Key128, Key128Hash>> packed2_;
 };
 
-/// Internal entry points of the two operator enumeration paths; the public
-/// `apply_r`/`apply_rbar` dispatch here on `ReLimits::kernel`. Both paths
+/// Internal entry points of the operator enumeration paths; the public
+/// `apply_r`/`apply_rbar` dispatch here on `ReLimits::kernel`. All paths
 /// share the alphabet/configuration guards (performed by the dispatcher),
 /// emit identical obs counters, and build constraint-identical problems
 /// with identical label names - `test_re_kernel_parity` fences that.
 namespace re_kernel {
+
+/// Narrowest supported `LabelMaskW` tier (in 64-bit words) covering an
+/// alphabet of `n` labels: 1, 2, 4 or 8; 0 when `n > 512` (no tier fits -
+/// callers fall back to the generic path and record `re.kernel_fallback`).
+constexpr std::size_t mask_tier_words(std::size_t n) {
+  if (n <= 64) return 1;
+  if (n <= 128) return 2;
+  if (n <= 256) return 4;
+  if (n <= 512) return 8;
+  return 0;
+}
+
+/// Word count a forced kernel choice pins (0 for `kAuto`/`kGeneric`, which
+/// do not force a tier).
+constexpr std::size_t forced_tier_words(ReKernel kernel) {
+  switch (kernel) {
+    case ReKernel::kMask:
+      return 1;
+    case ReKernel::kMask2:
+      return 2;
+    case ReKernel::kMask4:
+      return 4;
+    case ReKernel::kMask8:
+      return 8;
+    default:
+      return 0;
+  }
+}
 
 /// Fills `builder` (already carrying the derived alphabet) with the edge,
 /// node and `g` constraints of `R(pi)` / `Rbar(pi)`, and returns the
@@ -63,18 +129,28 @@ namespace re_kernel {
 /// edge FORALL) and false for `Rbar` (node FORALL / edge EXISTS).
 ///
 /// The generic path walks `LabelSet` containers; the mask path identifies
-/// derived label `i` with the single-word mask `i + 1`, computes per-label
-/// FORALL/EXISTS partner words by a subset DP, enumerates `g`-compatible
-/// labels by subset walks, and answers node-quantifier queries through a
-/// `NodeConfigIndex`. The mask path requires the base output alphabet of
-/// `pi` to fit one word (`<= 64` labels) and throws
+/// derived label `i` with the mask `i + 1` (a `LabelMaskW<words>` value),
+/// computes per-label FORALL/EXISTS partner words by a subset DP,
+/// enumerates `g`-compatible labels by multi-word subset walks, and answers
+/// node-quantifier queries through a `NodeConfigIndex`. `words` selects the
+/// mask tier (1, 2, 4 or 8); every tier produces byte-identical output (the
+/// parity battery fences this). The mask path requires the base output
+/// alphabet of `pi` to satisfy `base < 63` - the derived label *indices*
+/// (2^base - 1 of them) must fit one word regardless of tier - and throws
 /// `std::invalid_argument` otherwise.
+///
+/// `jobs > 1` partitions the outer enumeration (edge rows, node multisets
+/// keyed by their first index) across a `batch::Pool` of that many workers,
+/// each appending allowed configurations to a flat per-worker arena; the
+/// arenas are merged in partition order, so the built problem is identical
+/// for every jobs value.
 std::vector<LabelSet> fill_generic(NodeEdgeCheckableLcl::Builder& builder,
                                    const NodeEdgeCheckableLcl& pi,
                                    bool exists_node);
 std::vector<LabelSet> fill_mask(NodeEdgeCheckableLcl::Builder& builder,
                                 const NodeEdgeCheckableLcl& pi,
-                                bool exists_node);
+                                bool exists_node, std::size_t words = 1,
+                                std::size_t jobs = 1);
 
 }  // namespace re_kernel
 

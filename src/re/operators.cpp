@@ -1,5 +1,6 @@
 #include "re/operators.hpp"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -73,9 +74,12 @@ ReStep apply_operator(const NodeEdgeCheckableLcl& pi, const ReLimits& limits,
   LCL_OBS_SPAN_ARG(span, "configs", candidates);
 
   // Kernel dispatch. The alphabet guard above already rejected bases that
-  // do not fit one word, so kAuto always resolves to the mask kernels; the
-  // generic path stays reachable explicitly (ablation benches, parity
-  // fences, hypothetical multi-word bases).
+  // do not fit one word, so kAuto always resolves to the one-word mask
+  // kernel here; forced tiers (kMask2/kMask4/kMask8) run the same fill over
+  // wider words (the extra words are zero for these bases - the parity
+  // battery leans on that to fence the word-seam arithmetic). The generic
+  // path stays reachable explicitly (ablation benches, parity fences).
+  const std::size_t forced = re_kernel::forced_tier_words(limits.kernel);
   const bool use_mask = limits.kernel != ReKernel::kGeneric &&
                         base <= LabelMask::kMaxUniverse;
   if (limits.kernel == ReKernel::kMask && base > LabelMask::kMaxUniverse) {
@@ -83,15 +87,17 @@ ReStep apply_operator(const NodeEdgeCheckableLcl& pi, const ReLimits& limits,
         "round elimination: ReKernel::kMask requires a base alphabet of at "
         "most 64 labels");
   }
-  LCL_OBS_SPAN_ARG(span, "kernel", use_mask ? 1 : 0);
+  const std::size_t words = use_mask ? std::max<std::size_t>(forced, 1) : 0;
+  LCL_OBS_SPAN_ARG(span, "kernel", static_cast<std::int64_t>(words));
 
   NodeEdgeCheckableLcl::Builder builder(
       std::string(name_prefix) + "(" + pi.name() + ")", pi.input_alphabet(),
       std::move(derived), pi.max_degree());
   const bool exists_node = node_quantifier == Quantifier::kExists;
   std::vector<LabelSet> meaning =
-      use_mask ? re_kernel::fill_mask(builder, pi, exists_node)
-               : re_kernel::fill_generic(builder, pi, exists_node);
+      use_mask
+          ? re_kernel::fill_mask(builder, pi, exists_node, words, limits.jobs)
+          : re_kernel::fill_generic(builder, pi, exists_node);
 
   return ReStep{builder.build(), std::move(meaning)};
 }

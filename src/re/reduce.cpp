@@ -9,6 +9,7 @@
 
 #include "obs/obs.hpp"
 #include "re/kernel.hpp"
+#include "util/label_mask.hpp"
 #include "util/label_set.hpp"
 
 namespace lcl {
@@ -211,12 +212,11 @@ bool merge_once(NodeEdgeCheckableLcl& p, std::vector<Label>& global_map,
 /// so dropping `a` preserves solvability and 0-round solvability. This is
 /// the classic "non-maximal label" simplification of round-elimination
 /// practice that the paper's Definition 3.1 deliberately does not apply.
-bool drop_dominated_once(NodeEdgeCheckableLcl& p,
-                         std::vector<Label>& global_map,
-                         std::vector<Label>& reps) {
+/// Generic domination scan: the original `LabelSet`-based pair search.
+/// Returns the first (dropped, dominator) pair in scan order, or false.
+bool find_dominated_generic(const NodeEdgeCheckableLcl& p, Label& out_a,
+                            Label& out_b) {
   const std::size_t n = p.output_alphabet().size();
-  if (n < 2 || n > 4096) return false;  // quadratic pass: cap the size
-
   // The pass probes the same node configurations for every candidate pair;
   // the packed canonical-form memo answers each probe with one hash lookup.
   const NodeConfigIndex config_index(p);
@@ -245,41 +245,176 @@ bool drop_dominated_once(NodeEdgeCheckableLcl& p,
     return true;
   };
 
-  // Drop at most one label per pass (the outer loop in reduce() iterates to
-  // a fixed point); mutual domination keeps the smaller label.
   for (Label a = 0; a < n; ++a) {
     for (Label b = 0; b < n; ++b) {
       if (a == b) continue;
       if (!dominated_by(a, b)) continue;
       if (dominated_by(b, a) && b > a) continue;  // tie: keep the smaller
-      std::vector<Label> old_to_new(n, Reduction::kDropped);
-      std::vector<Label> new_to_old;
-      for (Label l = 0; l < n; ++l) {
-        if (l == a) continue;
-        old_to_new[l] = static_cast<Label>(new_to_old.size());
-        new_to_old.push_back(l);
-      }
-      p = rebuild(p, old_to_new, new_to_old);
-      for (auto& m : global_map) {
-        if (m == Reduction::kDropped) continue;
-        // A solution label that pointed at the dropped label follows its
-        // dominator.
-        m = old_to_new[m == a ? b : m];
-      }
-      std::vector<Label> new_reps(new_to_old.size());
-      for (std::size_t m = 0; m < new_to_old.size(); ++m) {
-        new_reps[m] = reps[new_to_old[m]];
-      }
-      reps = std::move(new_reps);
+      out_a = a;
+      out_b = b;
       return true;
     }
   }
   return false;
 }
 
+/// Masked domination scan: identical pair order and verdicts to the generic
+/// scan (the parity battery fences this), but with the per-pair work done on
+/// precomputed dense structures - `LabelMaskW<W>` partner masks (the subset
+/// test is W ANDNOT words instead of an ordered-set walk), `LabelSet`
+/// g-preimages over the input alphabet, and per-label occurrence lists so a
+/// `dominated_by(a, b)` probe touches only the configurations that actually
+/// contain `a`. This is the pass where the multi-word tiers genuinely fire:
+/// operator iterates carry 2^base - 1 labels, so alphabets of 65..512 labels
+/// are the common case right after a step.
+template <std::size_t W>
+bool find_dominated_masked(const NodeEdgeCheckableLcl& p, Label& out_a,
+                           Label& out_b) {
+  const std::size_t n = p.output_alphabet().size();
+  const NodeConfigIndex config_index(p);
+
+  std::vector<LabelMaskW<W>> partners;
+  partners.reserve(n);
+  for (Label l = 0; l < n; ++l) {
+    partners.push_back(LabelMaskW<W>::from_label_set(p.edge_partners(l)));
+  }
+
+  const std::size_t inputs = p.input_alphabet().size();
+  std::vector<LabelSet> g_preimage(n, LabelSet(inputs));
+  for (Label in = 0; in < inputs; ++in) {
+    for (const auto l : p.allowed_outputs(in).to_vector()) {
+      g_preimage[l].insert(in);
+    }
+  }
+
+  // occurrences[l] = the node configurations containing l (each once, even
+  // when l occurs multiple times - replacing any one occurrence yields the
+  // same multiset after sorting).
+  std::vector<std::vector<const Configuration*>> occurrences(n);
+  for (int d = 1; d <= p.max_degree(); ++d) {
+    for (const auto& c : p.node_configs(d)) {
+      const auto& labels = c.labels();
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0 && labels[i] == labels[i - 1]) continue;  // sorted: dedup
+        occurrences[labels[i]].push_back(&c);
+      }
+    }
+  }
+
+  std::vector<Label> replaced;
+  const auto dominated_by = [&](Label a, Label b) {
+    if (!partners[a].is_subset_of(partners[b])) return false;
+    if (!g_preimage[a].is_subset_of(g_preimage[b])) return false;
+    for (const Configuration* c : occurrences[a]) {
+      replaced.assign(c->labels().begin(), c->labels().end());
+      *std::find(replaced.begin(), replaced.end(), a) = b;
+      std::sort(replaced.begin(), replaced.end());
+      if (!config_index.allows_sorted(replaced.data(), replaced.size())) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (Label a = 0; a < n; ++a) {
+    for (Label b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (!dominated_by(a, b)) continue;
+      if (dominated_by(b, a) && b > a) continue;  // tie: keep the smaller
+      out_a = a;
+      out_b = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One dominated-label elimination pass; returns false if nothing dropped.
+///
+/// Label `a` is dominated by `b != a` when
+///   - partners(a) subseteq partners(b),
+///   - g-preimage(a) subseteq g-preimage(b), and
+///   - every node configuration containing `a` stays allowed when one
+///     occurrence of `a` is replaced by `b`.
+/// Replacing every occurrence of `a` by `b` then maps correct solutions to
+/// correct solutions (nodes by induction over occurrences, edges by the
+/// partner inclusion - including {b,b}: a in partners(a) subseteq
+/// partners(b) gives {a,b} in E, so b in partners(a) subseteq partners(b)),
+/// so dropping `a` preserves solvability and 0-round solvability. This is
+/// the classic "non-maximal label" simplification of round-elimination
+/// practice that the paper's Definition 3.1 deliberately does not apply.
+///
+/// `kernel` picks the scan implementation: `kGeneric` runs the original
+/// `LabelSet` scan; everything else resolves to the narrowest `LabelMaskW`
+/// tier covering the alphabet (a forced tier acts as a floor). When no tier
+/// fits (> 512 labels) the pass falls back to the generic scan and says so
+/// through the `re.kernel_fallback` counter and a `re/kernel_fallback`
+/// event - previously this slowdown was silent.
+bool drop_dominated_once(NodeEdgeCheckableLcl& p,
+                         std::vector<Label>& global_map,
+                         std::vector<Label>& reps, ReKernel kernel) {
+  const std::size_t n = p.output_alphabet().size();
+  if (n < 2 || n > 4096) return false;  // quadratic pass: cap the size
+
+  Label a = 0;
+  Label b = 0;
+  bool found = false;
+  std::size_t words = 0;
+  if (kernel != ReKernel::kGeneric) {
+    words = std::max(re_kernel::mask_tier_words(n),
+                     re_kernel::forced_tier_words(kernel));
+  }
+  switch (words) {
+    case 1:
+      found = find_dominated_masked<1>(p, a, b);
+      break;
+    case 2:
+      found = find_dominated_masked<2>(p, a, b);
+      break;
+    case 4:
+      found = find_dominated_masked<4>(p, a, b);
+      break;
+    case 8:
+      found = find_dominated_masked<8>(p, a, b);
+      break;
+    default:
+      if (kernel != ReKernel::kGeneric) {
+        // A mask kernel was requested but the iterate outgrew the widest
+        // tier: record the (otherwise silent) generic fallback.
+        LCL_OBS_COUNTER_ADD("re.kernel_fallback", 1);
+        LCL_OBS_EVENT1("re/kernel_fallback", "re", "labels",
+                       static_cast<std::int64_t>(n));
+      }
+      found = find_dominated_generic(p, a, b);
+      break;
+  }
+  if (!found) return false;
+
+  std::vector<Label> old_to_new(n, Reduction::kDropped);
+  std::vector<Label> new_to_old;
+  for (Label l = 0; l < n; ++l) {
+    if (l == a) continue;
+    old_to_new[l] = static_cast<Label>(new_to_old.size());
+    new_to_old.push_back(l);
+  }
+  p = rebuild(p, old_to_new, new_to_old);
+  for (auto& m : global_map) {
+    if (m == Reduction::kDropped) continue;
+    // A solution label that pointed at the dropped label follows its
+    // dominator.
+    m = old_to_new[m == a ? b : m];
+  }
+  std::vector<Label> new_reps(new_to_old.size());
+  for (std::size_t m = 0; m < new_to_old.size(); ++m) {
+    new_reps[m] = reps[new_to_old[m]];
+  }
+  reps = std::move(new_reps);
+  return true;
+}
+
 }  // namespace
 
-Reduction reduce(const NodeEdgeCheckableLcl& problem) {
+Reduction reduce(const NodeEdgeCheckableLcl& problem, ReKernel kernel) {
   LCL_OBS_SPAN(span, "re/reduce", "re");
   Reduction result;
   const std::size_t n = problem.output_alphabet().size();
@@ -312,7 +447,8 @@ Reduction reduce(const NodeEdgeCheckableLcl& problem) {
                           before - result.problem.output_alphabet().size());
       changed = true;
     }
-    if (drop_dominated_once(result.problem, result.old_to_new, reps)) {
+    if (drop_dominated_once(result.problem, result.old_to_new, reps,
+                            kernel)) {
       LCL_OBS_COUNTER_ADD("re.labels_dominated", 1);
       changed = true;
     }
@@ -324,8 +460,8 @@ Reduction reduce(const NodeEdgeCheckableLcl& problem) {
   return result;
 }
 
-ReStep reduce_step(ReStep step) {
-  Reduction red = reduce(step.problem);
+ReStep reduce_step(ReStep step, ReKernel kernel) {
+  Reduction red = reduce(step.problem, kernel);
   ReStep out;
   out.meaning.reserve(red.new_to_old.size());
   for (const auto rep : red.new_to_old) {

@@ -38,12 +38,20 @@ struct Reduction {
 /// Definition 3.1); `reduce` is the practical counterpart that keeps the
 /// faithful sequence computable for a few extra steps. The ablation bench
 /// `bench_re_ablation` quantifies the difference.
-Reduction reduce(const NodeEdgeCheckableLcl& problem);
+///
+/// `kernel` selects the implementation of the quadratic dominated-label
+/// pass (the reduction's hot spot on post-operator iterates, whose
+/// alphabets routinely exceed 64 labels): any mask kernel resolves to the
+/// narrowest `LabelMaskW` tier covering the alphabet, `kGeneric` keeps the
+/// original ordered-set scan. Every choice drops the same labels in the
+/// same order - `test_re_kernel_parity`'s boundary battery fences that.
+Reduction reduce(const NodeEdgeCheckableLcl& problem,
+                 ReKernel kernel = ReKernel::kAuto);
 
 /// Composes an operator step with a label reduction: the reduced problem's
 /// label `l` means whatever the representative pre-reduction label meant.
 /// This is how the engine (and the fuzzer's differential oracles) keep the
 /// sequence computable while preserving the Lemma 3.9 lifting data.
-ReStep reduce_step(ReStep step);
+ReStep reduce_step(ReStep step, ReKernel kernel = ReKernel::kAuto);
 
 }  // namespace lcl

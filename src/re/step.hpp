@@ -35,13 +35,19 @@ class ReBlowupError : public std::runtime_error {
 /// constraint-identical problems (fenced by `test_re_kernel_parity`); they
 /// differ only in speed.
 enum class ReKernel {
-  /// Dense bitmask kernels when the base output alphabet fits one 64-bit
-  /// word (always the case today: the alphabet guard rejects bases >= 63
-  /// before enumeration), the generic path otherwise.
+  /// Narrowest mask tier that fits the alphabet at hand: one word for the
+  /// operators' base alphabets (the alphabet guard rejects bases >= 63
+  /// before enumeration), and for the per-iterate passes (`reduce`'s
+  /// dominated-label elimination, whose alphabets are the operators'
+  /// 2^base - 1 sized outputs) the `LabelMaskW<W>` tier with
+  /// 64 * W >= labels - W in {1, 2, 4, 8}, so alphabets up to 512 labels
+  /// stay on mask kernels. Beyond 512 labels the pass falls back to the
+  /// generic path and says so: the `re.kernel_fallback` counter and a
+  /// `re/kernel_fallback` event record the (previously silent) slowdown.
   kAuto,
   /// The original ordered-container enumeration over `LabelSet`s - kept as
   /// the ablation baseline (`bench_re_ablation`'s old-kernel columns) and
-  /// as the fallback for hypothetical > 64-label bases.
+  /// as the fallback for alphabets beyond the widest mask tier.
   kGeneric,
   /// Dense single-word `LabelMask` kernels: derived label `i` *is* the mask
   /// `i + 1`, support tests are popcounts/ANDs, power sets are subset
@@ -49,6 +55,15 @@ enum class ReKernel {
   /// canonical-form memo. Throws `std::invalid_argument` if the base
   /// alphabet exceeds 64 labels (unreachable through the public operators).
   kMask,
+  /// Forced multi-word tiers: the same kernels instantiated over
+  /// `LabelMaskW<2>`/`<4>`/`<8>` words. Functionally identical to `kMask`
+  /// on alphabets that fit fewer words (the upper words are zero) - that
+  /// redundancy is exactly what the parity battery exploits to fence the
+  /// word-seam arithmetic. `kAuto` picks these tiers on its own when an
+  /// iterate's alphabet genuinely needs them.
+  kMask2,
+  kMask4,
+  kMask8,
 };
 
 /// Enumeration budgets (and kernel choice) for the operators.
@@ -61,6 +76,13 @@ struct ReLimits {
   /// caller threading `ReLimits` (engine, batch surveys, fuzz oracles)
   /// picks the kernel up transparently.
   ReKernel kernel = ReKernel::kAuto;
+  /// Worker threads for the operators' outer configuration enumeration
+  /// (node-constraint multiset walk and edge-constraint rows). 1 = run
+  /// inline on the calling thread; N > 1 partitions the enumeration across
+  /// a `batch::Pool` and merges the per-worker results in deterministic
+  /// order, so the built problem is byte-identical for every jobs value
+  /// (fenced by the `--jobs=1` vs `--jobs=4` determinism test).
+  std::size_t jobs = 1;
 };
 
 }  // namespace lcl

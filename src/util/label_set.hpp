@@ -81,6 +81,13 @@ class LabelSet {
   /// Stable hash of the contents (universe size included).
   std::size_t hash() const noexcept;
 
+  /// Raw storage, least-significant word first: bit `b` of word `b / 64` is
+  /// set iff label `b` is a member. `word_count() == ceil(universe / 64)`.
+  /// Exposed so the fixed-width mask tiers (`LabelMaskW`) and the batch
+  /// cache signature can convert / fold without per-label round trips.
+  std::size_t word_count() const noexcept { return words_.size(); }
+  std::uint64_t word(std::size_t i) const { return words_.at(i); }
+
  private:
   void check_label(std::uint32_t label) const;
   void check_compatible(const LabelSet& other) const;

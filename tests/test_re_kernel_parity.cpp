@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "batch/cache.hpp"
 #include "core/lcl.hpp"
 #include "core/problems.hpp"
+#include "obs/exporter.hpp"
+#include "obs/obs.hpp"
 #include "re/kernel.hpp"
 #include "re/operators.hpp"
 #include "re/reduce.hpp"
@@ -22,8 +26,46 @@ ReLimits with_kernel(ReKernel kernel) {
   return limits;
 }
 
-/// The parity fence of the kernel rewrite: on every battery problem, the
-/// mask kernels and the original generic enumeration must build the *same*
+/// Metrics collection is off by default; the fallback-counter fences flip
+/// it on for their scope (and restore the previous state on exit).
+class MetricsOn {
+ public:
+  MetricsOn() : previous_(obs::metrics_enabled()) {
+    obs::set_metrics_enabled(true);
+  }
+  ~MetricsOn() { obs::set_metrics_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+/// Every mask tier the battery compares against the generic baseline. The
+/// wider tiers run the same fill with zero upper words on these bases -
+/// that redundancy is deliberate: a word-seam arithmetic slip shows up as a
+/// constraint difference here long before a 65+-label iterate hits it.
+const ReKernel kMaskTiers[] = {ReKernel::kMask, ReKernel::kMask2,
+                               ReKernel::kMask4, ReKernel::kAuto};
+
+const char* tier_name(ReKernel k) {
+  switch (k) {
+    case ReKernel::kAuto:
+      return "kAuto";
+    case ReKernel::kGeneric:
+      return "kGeneric";
+    case ReKernel::kMask:
+      return "kMask";
+    case ReKernel::kMask2:
+      return "kMask2";
+    case ReKernel::kMask4:
+      return "kMask4";
+    case ReKernel::kMask8:
+      return "kMask8";
+  }
+  return "?";
+}
+
+/// The parity fence of the kernel rewrite: on every battery problem, every
+/// mask tier and the original generic enumeration must build the *same*
 /// derived problem - same alphabet names in the same order, same
 /// constraints, same g, same meanings - for both operators. Anything the
 /// engine, batch surveys, lint preflight, or fuzz oracles observe is
@@ -32,23 +74,25 @@ void expect_kernels_agree(const NodeEdgeCheckableLcl& pi) {
   for (const bool use_r : {true, false}) {
     const auto apply = use_r ? &apply_r : &apply_rbar;
     const ReStep generic = apply(pi, with_kernel(ReKernel::kGeneric));
-    const ReStep mask = apply(pi, with_kernel(ReKernel::kMask));
-    const ReStep automatic = apply(pi, with_kernel(ReKernel::kAuto));
-    SCOPED_TRACE(pi.name() + (use_r ? " / R" : " / Rbar"));
+    for (const ReKernel tier : kMaskTiers) {
+      const ReStep mask = apply(pi, with_kernel(tier));
+      SCOPED_TRACE(pi.name() + (use_r ? " / R / " : " / Rbar / ") +
+                   tier_name(tier));
 
-    ASSERT_EQ(generic.problem.output_alphabet().size(),
-              mask.problem.output_alphabet().size());
-    for (Label l = 0; l < generic.problem.output_alphabet().size(); ++l) {
-      ASSERT_EQ(generic.problem.output_alphabet().name(l),
-                mask.problem.output_alphabet().name(l));
-    }
-    EXPECT_TRUE(same_constraints(generic.problem, mask.problem));
-    EXPECT_TRUE(same_constraints(generic.problem, automatic.problem));
-    EXPECT_EQ(generic.problem.name(), mask.problem.name());
-    ASSERT_EQ(generic.meaning.size(), mask.meaning.size());
-    for (std::size_t i = 0; i < generic.meaning.size(); ++i) {
-      EXPECT_EQ(generic.meaning[i], mask.meaning[i]) << "meaning " << i;
-      EXPECT_EQ(generic.meaning[i], automatic.meaning[i]);
+      ASSERT_EQ(generic.problem.output_alphabet().size(),
+                mask.problem.output_alphabet().size());
+      for (Label l = 0; l < generic.problem.output_alphabet().size(); ++l) {
+        ASSERT_EQ(generic.problem.output_alphabet().name(l),
+                  mask.problem.output_alphabet().name(l));
+      }
+      EXPECT_TRUE(same_constraints(generic.problem, mask.problem));
+      EXPECT_EQ(generic.problem.name(), mask.problem.name());
+      ASSERT_EQ(generic.meaning.size(), mask.meaning.size());
+      for (std::size_t i = 0; i < generic.meaning.size(); ++i) {
+        EXPECT_EQ(generic.meaning[i], mask.meaning[i]) << "meaning " << i;
+      }
+      EXPECT_EQ(batch::constraint_signature(generic.problem),
+                batch::constraint_signature(mask.problem));
     }
   }
 }
@@ -79,24 +123,187 @@ TEST(ReKernelParity, HoldsOnReducedFirstIterates) {
 
 TEST(ReKernelParity, BlowupErrorsMatchAcrossKernels) {
   // 13 output labels -> 2^13 - 1 = 8191 derived labels > max_labels = 4096:
-  // both kernels must refuse identically (the guard runs pre-dispatch).
+  // every kernel must refuse identically (the guard runs pre-dispatch), so
+  // ReLimits blow-up diagnostics never depend on the tier in use.
   const auto big = problems::coloring(13, 2);
   std::string generic_message;
-  std::string mask_message;
   try {
     apply_r(big, with_kernel(ReKernel::kGeneric));
     FAIL() << "expected ReBlowupError";
   } catch (const ReBlowupError& e) {
     generic_message = e.what();
   }
+  EXPECT_FALSE(generic_message.empty());
+  for (const ReKernel tier : kMaskTiers) {
+    SCOPED_TRACE(tier_name(tier));
+    std::string mask_message;
+    try {
+      apply_r(big, with_kernel(tier));
+      FAIL() << "expected ReBlowupError";
+    } catch (const ReBlowupError& e) {
+      mask_message = e.what();
+    }
+    EXPECT_EQ(generic_message, mask_message);
+  }
+}
+
+TEST(ReKernelParity, ConfigBlowupErrorsMatchAcrossKernels) {
+  // A base that passes the alphabet guard but trips the configuration-count
+  // guard: 11 labels at degree 3 -> 2047 derived labels, ~1.4e9 candidate
+  // multisets > max_configs. The counting happens pre-dispatch too.
+  const auto big = problems::coloring(11, 3);
+  std::string generic_message;
   try {
-    apply_r(big, with_kernel(ReKernel::kMask));
+    apply_rbar(big, with_kernel(ReKernel::kGeneric));
     FAIL() << "expected ReBlowupError";
   } catch (const ReBlowupError& e) {
-    mask_message = e.what();
+    generic_message = e.what();
   }
-  EXPECT_EQ(generic_message, mask_message);
-  EXPECT_FALSE(generic_message.empty());
+  EXPECT_NE(generic_message.find("candidate configurations"),
+            std::string::npos);
+  for (const ReKernel tier : kMaskTiers) {
+    SCOPED_TRACE(tier_name(tier));
+    std::string mask_message;
+    try {
+      apply_rbar(big, with_kernel(tier));
+      FAIL() << "expected ReBlowupError";
+    } catch (const ReBlowupError& e) {
+      mask_message = e.what();
+    }
+    EXPECT_EQ(generic_message, mask_message);
+  }
+}
+
+/// Reduction parity on a wide-alphabet problem: every kernel choice must
+/// drop/merge exactly the same labels in the same order - the maps record
+/// the full history, so comparing them fences the scan order, not just the
+/// fixed point.
+void expect_reduce_parity(const NodeEdgeCheckableLcl& p) {
+  const Reduction generic = reduce(p, ReKernel::kGeneric);
+  for (const ReKernel tier : kMaskTiers) {
+    SCOPED_TRACE(p.name() + " / " + tier_name(tier));
+    const Reduction masked = reduce(p, tier);
+    EXPECT_TRUE(same_constraints(generic.problem, masked.problem));
+    ASSERT_EQ(generic.problem.output_alphabet().size(),
+              masked.problem.output_alphabet().size());
+    for (Label l = 0; l < generic.problem.output_alphabet().size(); ++l) {
+      EXPECT_EQ(generic.problem.output_alphabet().name(l),
+                masked.problem.output_alphabet().name(l));
+    }
+    EXPECT_EQ(generic.old_to_new, masked.old_to_new);
+    EXPECT_EQ(generic.new_to_old, masked.new_to_old);
+  }
+}
+
+TEST(ReKernelParity, ReduceAgreesOnWordBoundaryAlphabets) {
+  // threshold_band keeps the dominated-label pass firing across the whole
+  // alphabet, so reducing a 65..129-label instance walks the pass through
+  // every intermediate size - every mask tier transition included. The
+  // sizes bracket both word seams of the 1->2 and 2->4 tier boundaries.
+  for (const int labels : {63, 64, 65, 127, 128, 129}) {
+    expect_reduce_parity(problems::threshold_band(labels, 8));
+  }
+}
+
+TEST(ReKernelParity, WideIterateStaysOnMaskTiersUnderAuto) {
+  // The acceptance case of the multi-word lift: a 7-label base derives a
+  // 2^7 - 1 = 127-label iterate; reducing it under kAuto must run entirely
+  // on mask tiers (no re.kernel_fallback increment) and agree with the
+  // generic scan byte for byte. Degree 1 keeps the (many) dominated-label
+  // cascades cheap while still walking the pass through every alphabet
+  // size from 127 down across the 64-label seam.
+  const auto base = problems::coloring(7, 1);
+  ReStep step = apply_r(base, with_kernel(ReKernel::kAuto));
+  ASSERT_EQ(step.problem.output_alphabet().size(), 127u);
+
+  const MetricsOn metrics;
+  const std::uint64_t fallbacks_before =
+      obs::registry().counter("re.kernel_fallback").value();
+  const Reduction masked = reduce(step.problem, ReKernel::kAuto);
+  EXPECT_EQ(obs::registry().counter("re.kernel_fallback").value(),
+            fallbacks_before)
+      << "a 127-label iterate must fit the 2-word tier, not fall back";
+
+  const Reduction generic = reduce(step.problem, ReKernel::kGeneric);
+  EXPECT_TRUE(same_constraints(generic.problem, masked.problem));
+  EXPECT_EQ(generic.old_to_new, masked.old_to_new);
+  EXPECT_EQ(generic.new_to_old, masked.new_to_old);
+  EXPECT_EQ(batch::constraint_signature(generic.problem),
+            batch::constraint_signature(masked.problem));
+}
+
+TEST(ReKernelParity, KernelFallbackPastWidestTierIsCountedAndSound) {
+  // 516 labels > the widest (8-word, 512-label) tier: the dominated pass
+  // must fall back to the generic scan, say so through re.kernel_fallback,
+  // and still produce the generic result. Degree-1 band problem so the
+  // cascade of drops stays cheap.
+  constexpr int kLabels = 516;
+  NodeEdgeCheckableLcl::Builder b("wide-band", Alphabet({"-"}),
+                                  [] {
+                                    Alphabet out;
+                                    for (int l = 0; l < kLabels; ++l) {
+                                      std::ostringstream os;
+                                      os << 'w' << l;
+                                      out.add(os.str());
+                                    }
+                                    return out;
+                                  }(),
+                                  /*max_degree=*/1);
+  for (Label l = 0; l < kLabels; ++l) {
+    b.allow_node({l});
+    for (Label p = l; p < std::min<Label>(kLabels, l + 9); ++p) {
+      b.allow_edge(l, p);
+    }
+  }
+  b.unrestricted_inputs();
+  const auto wide = b.build();
+
+  const MetricsOn metrics;
+  const std::uint64_t fallbacks_before =
+      obs::registry().counter("re.kernel_fallback").value();
+  const Reduction masked = reduce(wide, ReKernel::kAuto);
+  if (obs::telemetry_compiled_in()) {  // counters are no-ops under LCL_OBS=0
+    EXPECT_GT(obs::registry().counter("re.kernel_fallback").value(),
+              fallbacks_before)
+        << "a 516-label alphabet outgrows every mask tier - the generic "
+           "fallback must be recorded, not silent";
+  }
+
+  const Reduction generic = reduce(wide, ReKernel::kGeneric);
+  EXPECT_TRUE(same_constraints(generic.problem, masked.problem));
+  EXPECT_EQ(generic.old_to_new, masked.old_to_new);
+  EXPECT_EQ(generic.new_to_old, masked.new_to_old);
+}
+
+TEST(ReKernelParity, ParallelEnumerationIsDeterministic) {
+  // jobs=1 (inline) vs jobs=4 (pool-partitioned) must build byte-identical
+  // problems - constraints, meanings, and batch cache signatures - for both
+  // operators. The merge happens in partition order, so this holds exactly,
+  // not just up to reordering.
+  for (const auto& pi :
+       {problems::coloring(5, 3), problems::sinkless_orientation(3),
+        problems::mis(3), problems::forbidden_color(4, 2)}) {
+    for (const bool use_r : {true, false}) {
+      const auto apply = use_r ? &apply_r : &apply_rbar;
+      ReLimits serial = with_kernel(ReKernel::kMask);
+      serial.jobs = 1;
+      ReLimits parallel = with_kernel(ReKernel::kMask);
+      parallel.jobs = 4;
+      const ReStep one = apply(pi, serial);
+      const ReStep four = apply(pi, parallel);
+      SCOPED_TRACE(pi.name() + (use_r ? " / R" : " / Rbar"));
+      EXPECT_TRUE(same_constraints(one.problem, four.problem));
+      ASSERT_EQ(one.meaning.size(), four.meaning.size());
+      for (std::size_t i = 0; i < one.meaning.size(); ++i) {
+        EXPECT_EQ(one.meaning[i], four.meaning[i]);
+      }
+      EXPECT_EQ(batch::constraint_signature(one.problem),
+                batch::constraint_signature(four.problem));
+      // And the parallel result agrees with the generic baseline too.
+      const ReStep generic = apply(pi, with_kernel(ReKernel::kGeneric));
+      EXPECT_TRUE(same_constraints(generic.problem, four.problem));
+    }
+  }
 }
 
 TEST(NodeConfigIndexTest, AgreesWithNodeAllowsOnAllMultisets) {
@@ -125,19 +332,52 @@ TEST(NodeConfigIndexTest, AgreesWithNodeAllowsOnAllMultisets) {
   }
 }
 
-TEST(NodeConfigIndexTest, FallsBackWhenDegreeDoesNotPack) {
-  // 5 labels -> 3 bits per label; degree 22 needs 66 bits, so the packed
-  // path is off and probes must still answer through the fallback.
+TEST(NodeConfigIndexTest, TwoWordKeysCoverDegreesPast64Bits) {
+  // 5 labels -> 3 bits per label. One word covers degrees up to 21
+  // (63 bits); the two-word tier picks up 22..42 (66..126 bits); degree 43
+  // (129 bits) is the first unpackable one.
   const auto pi = problems::coloring(5, 22);
   const NodeConfigIndex index(pi);
-  EXPECT_FALSE(index.packable(22));
-  EXPECT_TRUE(index.packable(21));
+  EXPECT_EQ(index.packed_words(21), 1u);
+  EXPECT_EQ(index.packed_words(22), 2u);
+  EXPECT_EQ(index.packed_words(42), 2u);
+  EXPECT_EQ(index.packed_words(43), 0u);
+  EXPECT_TRUE(index.packable(22));
+
+  // Probes through the two-word tier answer exactly like node_allows.
   std::vector<Label> rainbow;
   for (Label l = 0; l < 22; ++l) rainbow.push_back(l % 5);
   std::sort(rainbow.begin(), rainbow.end());
   EXPECT_EQ(index.allows_sorted(rainbow.data(), rainbow.size()),
             pi.node_allows(Configuration(rainbow)));
-  const std::vector<Label> mono(22, 0);
+  for (Label c = 0; c < 5; ++c) {
+    const std::vector<Label> mono(22, c);
+    EXPECT_EQ(index.allows_sorted(mono.data(), mono.size()),
+              pi.node_allows(Configuration(mono)));
+    EXPECT_TRUE(index.allows_sorted(mono.data(), mono.size()));
+  }
+  // Two configs differing only in the highest-order (first) label must not
+  // collide across the hi/lo word split.
+  std::vector<Label> near_mono(22, 1);
+  near_mono[21] = 2;  // sorted: {1 x21, 2}
+  EXPECT_EQ(index.allows_sorted(near_mono.data(), near_mono.size()),
+            pi.node_allows(Configuration(near_mono)));
+  EXPECT_FALSE(index.allows_sorted(near_mono.data(), near_mono.size()));
+}
+
+TEST(NodeConfigIndexTest, FallsBackWhenDegreeDoesNotPack) {
+  // 5 labels -> 3 bits per label; degree 43 needs 129 bits, beyond even the
+  // two-word keys, so probes must still answer through the fallback.
+  const auto pi = problems::coloring(5, 43);
+  const NodeConfigIndex index(pi);
+  EXPECT_FALSE(index.packable(43));
+  EXPECT_TRUE(index.packable(42));
+  std::vector<Label> rainbow;
+  for (Label l = 0; l < 43; ++l) rainbow.push_back(l % 5);
+  std::sort(rainbow.begin(), rainbow.end());
+  EXPECT_EQ(index.allows_sorted(rainbow.data(), rainbow.size()),
+            pi.node_allows(Configuration(rainbow)));
+  const std::vector<Label> mono(43, 0);
   EXPECT_EQ(index.allows_sorted(mono.data(), mono.size()),
             pi.node_allows(Configuration(mono)));
 }

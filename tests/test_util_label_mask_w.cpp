@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "util/label_mask.hpp"
+#include "util/label_set.hpp"
+
+namespace lcl {
+namespace {
+
+// The multi-word tiers must agree with LabelSet operation-for-operation on
+// every shared universe - in particular across the 64-bit word seams, which
+// the historical single-word mask never exercised. Everything here is
+// deterministic (fixed seeds) so failures reproduce.
+
+LabelSet random_set(std::mt19937_64& rng, std::size_t universe,
+                    double density) {
+  LabelSet set(universe);
+  std::bernoulli_distribution flip(density);
+  for (std::uint32_t l = 0; l < universe; ++l) {
+    if (flip(rng)) set.insert(l);
+  }
+  return set;
+}
+
+/// Universes worth probing for a W-word tier: tiny ones, every word seam
+/// (63/64/65, 127/128/129, ..), and the tier's cap.
+std::vector<std::size_t> seam_universes(std::size_t max_universe) {
+  std::vector<std::size_t> out = {1, 2, 40};
+  for (std::size_t seam = 64; seam < max_universe; seam += 64) {
+    out.push_back(seam - 1);
+    out.push_back(seam);
+    out.push_back(seam + 1);
+  }
+  out.push_back(max_universe);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](std::size_t u) { return u > max_universe; }),
+            out.end());
+  return out;
+}
+
+template <std::size_t W>
+void expect_matches_label_set() {
+  std::mt19937_64 rng(0xB17'5E7 + W);
+  for (const std::size_t universe : seam_universes(LabelMaskW<W>::kMaxUniverse)) {
+    for (const double density : {0.05, 0.5, 0.95}) {
+      for (int round = 0; round < 8; ++round) {
+        const LabelSet a_set = random_set(rng, universe, density);
+        const LabelSet b_set = random_set(rng, universe, density);
+        const auto a = LabelMaskW<W>::from_label_set(a_set);
+        const auto b = LabelMaskW<W>::from_label_set(b_set);
+        SCOPED_TRACE("W=" + std::to_string(W) +
+                     " universe=" + std::to_string(universe) +
+                     " a=" + a_set.to_string() + " b=" + b_set.to_string());
+
+        // Round trip, membership, cardinality, extremes.
+        EXPECT_EQ(a.to_label_set(), a_set);
+        EXPECT_EQ(a.size(), a_set.size());
+        EXPECT_EQ(a.empty(), a_set.empty());
+        EXPECT_EQ(a.to_vector(), a_set.to_vector());
+        for (std::uint32_t l = 0; l < universe; ++l) {
+          EXPECT_EQ(a.contains(l), a_set.contains(l));
+        }
+        if (!a_set.empty()) {
+          EXPECT_EQ(a.min(), a_set.min());
+        }
+
+        // Hash bit-identity and order agreement: masks and sets must be
+        // interchangeable as hashed or ordered keys.
+        EXPECT_EQ(a.hash(), a_set.hash());
+        EXPECT_EQ(b.hash(), b_set.hash());
+        EXPECT_EQ(a < b, a_set < b_set);
+        EXPECT_EQ(b < a, b_set < a_set);
+        EXPECT_EQ(a == b, a_set == b_set);
+
+        // Binary operations, word seams included.
+        EXPECT_EQ(a.is_subset_of(b), a_set.is_subset_of(b_set));
+        EXPECT_EQ(a.intersects(b), a_set.intersects(b_set));
+        EXPECT_EQ(a.union_with(b).to_label_set(), a_set.union_with(b_set));
+        EXPECT_EQ(a.intersect_with(b).to_label_set(),
+                  a_set.intersect_with(b_set));
+        EXPECT_EQ(a.minus(b).to_label_set(), a_set.minus(b_set));
+        EXPECT_EQ(a.complement().to_label_set(),
+                  LabelSet::full(universe).minus(a_set));
+
+        // Derived identities that catch stray bits beyond the universe cap:
+        // |A| + |~A| = universe, A \ B and A cap B partition A.
+        EXPECT_EQ(a.size() + a.complement().size(), universe);
+        EXPECT_EQ(a.minus(b).size() + a.intersect_with(b).size(), a.size());
+        EXPECT_TRUE(a.intersect_with(b).is_subset_of(a));
+        EXPECT_FALSE(a.minus(b).intersects(b));
+
+        // Mutation parity.
+        auto mutated = a;
+        LabelSet mutated_set = a_set;
+        std::uniform_int_distribution<std::uint32_t> pick(
+            0, static_cast<std::uint32_t>(universe - 1));
+        for (int i = 0; i < 16; ++i) {
+          const std::uint32_t l = pick(rng);
+          if (mutated_set.contains(l)) {
+            mutated.erase(l);
+            mutated_set.erase(l);
+          } else {
+            mutated.insert(l);
+            mutated_set.insert(l);
+          }
+          EXPECT_EQ(mutated.hash(), mutated_set.hash());
+        }
+        EXPECT_EQ(mutated.to_label_set(), mutated_set);
+      }
+    }
+  }
+}
+
+TEST(LabelMaskWTest, MatchesLabelSetAcrossWordSeams2) {
+  expect_matches_label_set<2>();
+}
+TEST(LabelMaskWTest, MatchesLabelSetAcrossWordSeams4) {
+  expect_matches_label_set<4>();
+}
+TEST(LabelMaskWTest, MatchesLabelSetAcrossWordSeams8) {
+  expect_matches_label_set<8>();
+}
+
+TEST(LabelMaskWTest, SingleWordTierStaysBitCompatible) {
+  // LabelMask is LabelMaskW<1>; the template must preserve the historical
+  // raw-word accessors the kernels build on.
+  LabelMask m(10, 0b1011);
+  EXPECT_EQ(m.word(), 0b1011u);
+  EXPECT_EQ(LabelMask::universe_word(10), (std::uint64_t{1} << 10) - 1);
+  EXPECT_EQ(LabelMask::universe_word(64), ~std::uint64_t{0});
+  EXPECT_EQ(m.words()[0], m.word());
+}
+
+TEST(LabelMaskWTest, WordCapCoversPartialWords) {
+  // universe 129 over 4 words: full, full, one bit, empty.
+  EXPECT_EQ(LabelMaskW<4>::word_cap(129, 0), ~std::uint64_t{0});
+  EXPECT_EQ(LabelMaskW<4>::word_cap(129, 1), ~std::uint64_t{0});
+  EXPECT_EQ(LabelMaskW<4>::word_cap(129, 2), std::uint64_t{1});
+  EXPECT_EQ(LabelMaskW<4>::word_cap(129, 3), std::uint64_t{0});
+  const auto full = LabelMaskW<4>::full(129);
+  EXPECT_EQ(full.size(), 129u);
+  EXPECT_TRUE(full.contains(128));
+  EXPECT_EQ(full.complement().size(), 0u);
+}
+
+TEST(LabelMaskWTest, ErrorBehaviourMirrorsLabelSet) {
+  EXPECT_THROW(LabelMaskW<2>(129), std::invalid_argument);
+  EXPECT_THROW(LabelMaskW<4>(257), std::invalid_argument);
+  EXPECT_NO_THROW(LabelMaskW<2>(128));
+  LabelMaskW<2> m(100);
+  EXPECT_THROW(m.contains(100), std::out_of_range);
+  EXPECT_THROW(m.insert(200), std::out_of_range);
+  EXPECT_THROW(m.erase(1000), std::out_of_range);
+  const LabelMaskW<2> other(99);
+  EXPECT_THROW((void)m.is_subset_of(other), std::invalid_argument);
+  EXPECT_THROW((void)m.union_with(other), std::invalid_argument);
+  // Word-0 bits constructor range-checks against the universe cap.
+  EXPECT_THROW(LabelMaskW<2>(3, 0b1000), std::out_of_range);
+  EXPECT_NO_THROW(LabelMaskW<2>(3, 0b101));
+}
+
+/// Brute-force reference: all non-empty subsets of the given support,
+/// materialized as masks, sorted descending by the mask order.
+template <std::size_t W>
+std::vector<LabelMaskW<W>> all_nonempty_submasks(
+    std::size_t universe, const std::vector<std::uint32_t>& support) {
+  std::vector<LabelMaskW<W>> out;
+  const std::size_t count = std::size_t{1} << support.size();
+  for (std::size_t pick = 1; pick < count; ++pick) {
+    LabelMaskW<W> sub(universe);
+    for (std::size_t i = 0; i < support.size(); ++i) {
+      if ((pick >> i) & 1) sub.insert(support[i]);
+    }
+    out.push_back(sub);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return b < a; });
+  return out;
+}
+
+template <std::size_t W>
+void expect_subset_walk_exact(std::size_t universe,
+                              const std::vector<std::uint32_t>& support) {
+  LabelMaskW<W> mask(universe);
+  for (const auto l : support) mask.insert(l);
+
+  std::vector<LabelMaskW<W>> visited;
+  for_each_nonempty_submask<W>(mask, [&](const LabelMaskW<W>& sub) {
+    visited.push_back(sub);
+  });
+
+  // Completeness: exactly the 2^k - 1 non-empty subsets, each a subset of
+  // the mask, in strictly decreasing numeric order.
+  const auto expected = all_nonempty_submasks<W>(universe, support);
+  ASSERT_EQ(visited.size(), expected.size());
+  for (std::size_t i = 0; i < visited.size(); ++i) {
+    EXPECT_EQ(visited[i], expected[i]) << "position " << i;
+    EXPECT_TRUE(visited[i].is_subset_of(mask));
+    if (i > 0) {
+      EXPECT_TRUE(visited[i] < visited[i - 1])
+          << "walk not strictly decreasing at " << i;
+    }
+  }
+}
+
+TEST(LabelMaskWTest, SubmaskWalkCompleteAndDecreasingAcrossSeams) {
+  // Supports straddling every seam a 2- or 4-word walk can borrow across:
+  // the ripple step must clear whole zero words between set bits.
+  expect_subset_walk_exact<2>(128, {0, 63, 64, 127});
+  expect_subset_walk_exact<2>(100, {1, 2, 62, 65, 99});
+  expect_subset_walk_exact<4>(256, {0, 63, 64, 127, 128, 191, 192, 255});
+  expect_subset_walk_exact<4>(200, {5, 64, 130, 199});
+  expect_subset_walk_exact<8>(512, {0, 100, 200, 300, 400, 511});
+  // Degenerate cases: empty mask visits nothing; singleton visits itself.
+  LabelMaskW<2> empty(128);
+  std::size_t visits = 0;
+  for_each_nonempty_submask<2>(empty, [&](const auto&) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+  expect_subset_walk_exact<2>(128, {64});
+}
+
+TEST(LabelMaskWTest, WordsLevelWalkMatchesMaskLevelWalk) {
+  // The raw-words walk is what the kernels consume; it must visit the same
+  // sequence the mask-level wrapper reports.
+  LabelMaskW<2> mask(128);
+  for (const auto l : {3u, 63u, 64u, 127u}) mask.insert(l);
+  std::vector<std::array<std::uint64_t, 2>> raw;
+  for_each_nonempty_submask_words<2>(
+      mask.words(),
+      [&](const std::array<std::uint64_t, 2>& sub) { raw.push_back(sub); });
+  std::vector<std::array<std::uint64_t, 2>> wrapped;
+  for_each_nonempty_submask<2>(mask, [&](const LabelMaskW<2>& sub) {
+    wrapped.push_back(sub.words());
+  });
+  EXPECT_EQ(raw, wrapped);
+}
+
+}  // namespace
+}  // namespace lcl

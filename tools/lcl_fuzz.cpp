@@ -49,6 +49,10 @@ int usage(std::ostream& out, int code) {
          "  --lint=POLICY          degenerate-problem policy: off, annotate\n"
          "                         (default; lint codes land in the case\n"
          "                         note), or reject (redraw)\n"
+         "  --wide-alphabets       draw 64-130 label alphabets with a small\n"
+         "                         live core (exercises the multi-word mask\n"
+         "                         tiers; pairs well with --oracle=synthesis\n"
+         "                         or --oracle=lift-soundness)\n"
          "  --no-shrink            keep failing cases unminimized\n"
          "  --inject-bug=NAME      fault injection (drop-rbar-config)\n"
          "  --replay=FILE_OR_DIR   replay saved case(s) instead of fuzzing\n"
@@ -159,6 +163,8 @@ int main(int argc, char** argv) {
       list_oracles = true;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
+    } else if (arg == "--wide-alphabets") {
+      options.generator.wide_alphabets = true;
     } else if (arg.rfind("--seeds=", 0) == 0) {
       if (!parse_u64(value_of("--seeds="), options.seeds)) {
         return usage(std::cerr, 2);
