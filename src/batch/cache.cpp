@@ -2,10 +2,12 @@
 
 #include <filesystem>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "lint/canonical.hpp"
 #include "lint/spec.hpp"
 #include "lint/spec_io.hpp"
 #include "obs/obs.hpp"
@@ -137,7 +139,12 @@ void Cache::load_disk_locked() {
     // deliberate test overrides).
     entry.signature = options_.signature(entry.problem);
     entry.value = *value;
+    if (const auto* canon = record->find("canon");
+        canon != nullptr && canon->is_bool()) {
+      entry.canonical_eligible = canon->as_bool();
+    }
     if (contains_confirmed_locked(entry)) continue;
+    fill_canonical_fields(entry, nullptr);
     insert_memory_locked(std::move(entry));
     ++stats_.disk_loaded;
   }
@@ -155,6 +162,9 @@ void Cache::append_disk_locked(const Entry& entry) {
   record.object()["problem"] =
       lint::spec_to_json_value(lint::spec_from_problem(entry.problem));
   record.object()["value"] = entry.value;
+  if (!entry.canonical_eligible) {
+    record.object()["canon"] = obs::json::Value(false);
+  }
   *disk_ << obs::json::dump(record) << '\n';
   // Flush per record: a killed survey loses at most the line being written.
   disk_->flush();
@@ -170,10 +180,30 @@ bool Cache::contains_confirmed_locked(const Entry& entry) {
   return false;
 }
 
+void Cache::fill_canonical_fields(Entry& entry,
+                                  const lint::CanonicalForm* form) {
+  if (!options_.canonical_tier || !entry.canonical_eligible) return;
+  lint::CanonicalForm computed;
+  if (form == nullptr) {
+    computed = lint::canonical_form(lint::spec_from_problem(entry.problem));
+    form = &computed;
+  }
+  // An exhausted branch-and-bound is deterministic for this spec but no
+  // longer permutation-invariant; keep such entries out of the tier (they
+  // still serve exact hits).
+  if (!form->complete) return;
+  entry.has_canonical = true;
+  entry.canonical_sig = lint::spec_signature(form->spec);
+  entry.canonical_old_to_new = form->old_to_new;
+}
+
 void Cache::insert_memory_locked(Entry entry) {
   const IndexKey key{entry.kind, entry.signature};
+  const bool has_canonical = entry.has_canonical;
+  const IndexKey canonical_key{entry.kind, entry.canonical_sig};
   lru_.push_front(std::move(entry));
   index_[key].push_back(lru_.begin());
+  if (has_canonical) canonical_index_[canonical_key].push_back(lru_.begin());
   while (lru_.size() > options_.capacity) {
     const auto victim = std::prev(lru_.end());
     auto& victim_bucket = index_[IndexKey{victim->kind, victim->signature}];
@@ -181,29 +211,107 @@ void Cache::insert_memory_locked(Entry entry) {
     if (victim_bucket.empty()) {
       index_.erase(IndexKey{victim->kind, victim->signature});
     }
+    if (victim->has_canonical) {
+      const IndexKey victim_key{victim->kind, victim->canonical_sig};
+      auto& bucket = canonical_index_[victim_key];
+      std::erase(bucket, victim);
+      if (bucket.empty()) canonical_index_.erase(victim_key);
+    }
     lru_.pop_back();
     ++stats_.evictions;
     LCL_OBS_COUNTER_ADD("cache.evictions", 1);
   }
 }
 
+std::optional<obs::json::Value> Cache::find_exact_locked(
+    const std::string& kind, const NodeEdgeCheckableLcl& problem,
+    std::uint64_t sig) {
+  const auto bucket = index_.find(IndexKey{kind, sig});
+  if (bucket == index_.end()) return std::nullopt;
+  for (const auto& it : bucket->second) {
+    // Collision-safe exact confirmation: the signature narrows the
+    // candidates, `same_constraints` decides.
+    if (same_constraints(it->problem, problem)) {
+      lru_.splice(lru_.begin(), lru_, it);  // touch for LRU
+      ++stats_.hits;
+      LCL_OBS_COUNTER_ADD("cache.hits", 1);
+      return it->value;
+    }
+    ++stats_.collisions;
+    LCL_OBS_COUNTER_ADD("cache.collisions", 1);
+  }
+  return std::nullopt;
+}
+
 std::optional<obs::json::Value> Cache::find(
     std::string_view kind, const NodeEdgeCheckableLcl& problem) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const std::uint64_t sig = options_.signature(problem);
-  const auto bucket = index_.find(IndexKey{std::string(kind), sig});
-  if (bucket != index_.end()) {
-    for (const auto& it : bucket->second) {
-      // Collision-safe exact confirmation: the signature narrows the
-      // candidates, `same_constraints` decides.
-      if (same_constraints(it->problem, problem)) {
-        lru_.splice(lru_.begin(), lru_, it);  // touch for LRU
-        ++stats_.hits;
-        LCL_OBS_COUNTER_ADD("cache.hits", 1);
-        return it->value;
+  auto exact = find_exact_locked(std::string(kind), problem,
+                                 options_.signature(problem));
+  if (exact.has_value()) return exact;
+  ++stats_.misses;
+  LCL_OBS_COUNTER_ADD("cache.misses", 1);
+  return std::nullopt;
+}
+
+std::optional<Cache::CanonicalHit> Cache::find_canonical(
+    std::string_view kind, const NodeEdgeCheckableLcl& problem,
+    const lint::CanonicalForm* form) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string kind_str(kind);
+  const std::size_t k = problem.output_alphabet().size();
+  auto exact = find_exact_locked(kind_str, problem,
+                                 options_.signature(problem));
+  if (exact.has_value()) {
+    CanonicalHit hit;
+    hit.value = std::move(*exact);
+    hit.old_to_new.resize(k);
+    std::iota(hit.old_to_new.begin(), hit.old_to_new.end(), Label{0});
+    return hit;
+  }
+  if (options_.canonical_tier) {
+    lint::CanonicalForm computed;
+    if (form == nullptr) {
+      computed = lint::canonical_form(lint::spec_from_problem(problem));
+      form = &computed;
+    }
+    if (form->complete) {
+      const std::uint64_t canonical_sig = lint::spec_signature(form->spec);
+      const auto bucket =
+          canonical_index_.find(IndexKey{kind_str, canonical_sig});
+      if (bucket != canonical_index_.end()) {
+        for (const auto& it : bucket->second) {
+          if (it->canonical_old_to_new.size() != k) {
+            ++stats_.canonical_collisions;
+            LCL_OBS_COUNTER_ADD("cache.canonical_collisions", 1);
+            continue;
+          }
+          // Stored -> query evidence: through the shared canonical form,
+          // p = query_new_to_old o stored_old_to_new.
+          std::vector<Label> old_to_new(k);
+          for (std::size_t e = 0; e < k; ++e) {
+            old_to_new[e] = form->new_to_old[it->canonical_old_to_new[e]];
+          }
+          // Confirmed exactly, mirroring the raw tier: relabel the stored
+          // constraints through the evidence map and compare. A canonical
+          // signature collision therefore costs one rebuild, never a wrong
+          // answer.
+          const auto permuted = lint::build_spec(lint::permute_spec(
+              lint::spec_from_problem(it->problem), old_to_new));
+          if (same_constraints(permuted, problem)) {
+            lru_.splice(lru_.begin(), lru_, it);  // touch for LRU
+            ++stats_.canonical_hits;
+            LCL_OBS_COUNTER_ADD("cache.canonical_hits", 1);
+            CanonicalHit hit;
+            hit.value = it->value;
+            hit.old_to_new = std::move(old_to_new);
+            hit.permuted = true;
+            return hit;
+          }
+          ++stats_.canonical_collisions;
+          LCL_OBS_COUNTER_ADD("cache.canonical_collisions", 1);
+        }
       }
-      ++stats_.collisions;
-      LCL_OBS_COUNTER_ADD("cache.collisions", 1);
     }
   }
   ++stats_.misses;
@@ -212,14 +320,17 @@ std::optional<obs::json::Value> Cache::find(
 }
 
 void Cache::insert(std::string_view kind, const NodeEdgeCheckableLcl& problem,
-                   const obs::json::Value& value) {
+                   const obs::json::Value& value,
+                   const lint::CanonicalForm* form, bool index_canonical) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry entry;
   entry.kind = std::string(kind);
   entry.signature = options_.signature(problem);
   entry.problem = problem;
   entry.value = value;
+  entry.canonical_eligible = index_canonical;
   if (contains_confirmed_locked(entry)) return;  // duplicate: keep the file flat
+  fill_canonical_fields(entry, form);
   ++stats_.insertions;
   LCL_OBS_COUNTER_ADD("cache.insertions", 1);
   // Disk first: the append must happen even if the entry is immediately

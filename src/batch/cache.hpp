@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/lcl.hpp"
+#include "lint/canonical.hpp"
 #include "obs/json.hpp"
 
 namespace lcl::batch {
@@ -43,6 +44,12 @@ struct CacheStats {
   /// Trailing/torn lines skipped while replaying (a killed writer leaves at
   /// most one).
   std::uint64_t disk_skipped = 0;
+  /// Canonical-tier lookups served through a nontrivial relabeling
+  /// (`find_canonical` only; exact-tier hits count under `hits`).
+  std::uint64_t canonical_hits = 0;
+  /// Canonical-signature matches whose permuted constraints did NOT match
+  /// exactly - collisions the canonical confirmation step absorbed.
+  std::uint64_t canonical_collisions = 0;
 };
 
 /// Content-addressed result cache for landscape surveys: maps
@@ -80,6 +87,27 @@ class Cache {
     /// signatures to exercise the collision path. Default:
     /// `constraint_signature`.
     SignatureFn signature;
+    /// Opt-in second key tier (`lcl_batch --cache-key=canonical`): entries
+    /// are additionally indexed by `lint::canonical_signature`, and
+    /// `find_canonical` can serve a stored verdict for any
+    /// permutation-equivalent problem, returning the label permutation as
+    /// evidence. Costs one orbit search per insert/lookup; every canonical
+    /// hit is confirmed exactly (permute + `same_constraints`) before being
+    /// served, mirroring the raw tier's collision safety.
+    bool canonical_tier = false;
+  };
+
+  /// A `find_canonical` hit: the stored value plus the evidence needed to
+  /// replay it for the query problem.
+  struct CanonicalHit {
+    obs::json::Value value;
+    /// Stored-entry output label -> query output label (total permutation;
+    /// identity for exact-tier hits). Verdicts that mention labels replay
+    /// through this map.
+    std::vector<Label> old_to_new;
+    /// True when served through the canonical tier (the stored problem is a
+    /// permuted copy, not an exact match).
+    bool permuted = false;
   };
 
   /// Opens the cache (and disk tier, when configured). Throws
@@ -96,11 +124,32 @@ class Cache {
   std::optional<obs::json::Value> find(std::string_view kind,
                                        const NodeEdgeCheckableLcl& problem);
 
+  /// Two-tier confirmed lookup: the exact tier first (identity evidence);
+  /// on miss, when `Options::canonical_tier` is on, any stored
+  /// permutation-equivalent problem of this `kind` (confirmed by permuting
+  /// its constraints through the evidence map and comparing exactly).
+  /// Callers that already computed the query's canonical form pass it via
+  /// `form` to skip the second orbit search; `form` must be complete - an
+  /// incomplete form is ignored and only the exact tier is probed (an
+  /// exhausted branch-and-bound is no longer permutation-invariant).
+  /// With the tier off this is `find` with identity evidence.
+  std::optional<CanonicalHit> find_canonical(
+      std::string_view kind, const NodeEdgeCheckableLcl& problem,
+      const lint::CanonicalForm* form = nullptr);
+
   /// Inserts (and appends to disk). A duplicate of an existing confirmed
   /// entry is a no-op, so re-running a survey over a warm cache does not
-  /// grow the file.
+  /// grow the file. `form`, when provided, is the problem's canonical form
+  /// (saves the orbit search when the canonical tier is on; ignored
+  /// otherwise). `index_canonical = false` keeps the entry out of the
+  /// canonical index even when the tier is on - for kinds whose payloads
+  /// are NOT label-invariant (the survey's "step:" records embed a derived
+  /// spec); such entries are never probed canonically, so skipping the
+  /// orbit search at insert saves its cost.
   void insert(std::string_view kind, const NodeEdgeCheckableLcl& problem,
-              const obs::json::Value& value);
+              const obs::json::Value& value,
+              const lint::CanonicalForm* form = nullptr,
+              bool index_canonical = true);
 
   CacheStats stats() const;
   std::size_t size() const;
@@ -111,6 +160,17 @@ class Cache {
     std::uint64_t signature = 0;
     NodeEdgeCheckableLcl problem;  // kept built for exact confirmation
     obs::json::Value value;
+    /// False for kinds whose payloads are not label-invariant (persisted to
+    /// disk as "canon" so replay skips their orbit search too).
+    bool canonical_eligible = true;
+    /// Canonical-tier key material, filled only when the tier is on, the
+    /// entry is eligible, and its canonical form completed within budget:
+    /// the permutation-invariant signature and the entry's own
+    /// label -> canonical-position map (composed with the query's inverse
+    /// map to produce stored -> query evidence).
+    bool has_canonical = false;
+    std::uint64_t canonical_sig = 0;
+    std::vector<Label> canonical_old_to_new;
   };
   struct IndexKey {
     std::string kind;
@@ -129,6 +189,14 @@ class Cache {
   /// Unconditional insert into the in-memory tier, evicting beyond
   /// capacity.
   void insert_memory_locked(Entry entry);
+  /// Fills the entry's canonical key fields when the tier is on (reusing
+  /// `form` when the caller supplied one).
+  void fill_canonical_fields(Entry& entry, const lint::CanonicalForm* form);
+  /// Exact-tier probe without touching hit/miss counters; used by both
+  /// `find` and `find_canonical`.
+  std::optional<obs::json::Value> find_exact_locked(
+      const std::string& kind, const NodeEdgeCheckableLcl& problem,
+      std::uint64_t sig);
 
   mutable std::mutex mutex_;
   Options options_;
@@ -136,6 +204,11 @@ class Cache {
   std::unordered_map<IndexKey, std::vector<std::list<Entry>::iterator>,
                      IndexKeyHash>
       index_;
+  /// Canonical tier: (kind, canonical signature) -> entries; populated only
+  /// when `Options::canonical_tier` is on.
+  std::unordered_map<IndexKey, std::vector<std::list<Entry>::iterator>,
+                     IndexKeyHash>
+      canonical_index_;
   std::unique_ptr<std::ofstream> disk_;
   /// True when the resumed file ends mid-line (a torn append): the next
   /// append starts with a newline so it lands on its own line instead of

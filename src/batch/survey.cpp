@@ -16,6 +16,7 @@
 #include "graph/generators.hpp"
 #include "graph/labeling.hpp"
 #include "lint/analyzer.hpp"
+#include "lint/canonical.hpp"
 #include "lint/spec_io.hpp"
 #include "obs/obs.hpp"
 #include "re/operators.hpp"
@@ -45,15 +46,29 @@ std::string degrees_tag(const std::vector<int>& degrees) {
   return tag;
 }
 
+/// Two-tier lookup for label-permutation-invariant verdict kinds
+/// ("engine:", "zr:", "cycle:", "path:", "check:"): nothing in those
+/// payloads names a label, so a canonical-tier hit can be replayed verbatim
+/// - the permutation evidence degenerates to "no field needs mapping". With
+/// the tier off this is exactly the raw confirmed lookup.
 std::optional<json::Value> cache_find(Cache* cache, const std::string& kind,
-                                      const NodeEdgeCheckableLcl& problem) {
+                                      const NodeEdgeCheckableLcl& problem,
+                                      const lint::CanonicalForm* form =
+                                          nullptr) {
   if (cache == nullptr) return std::nullopt;
-  return cache->find(kind, problem);
+  if (auto hit = cache->find_canonical(kind, problem, form)) {
+    return std::move(hit->value);
+  }
+  return std::nullopt;
 }
 
 void cache_put(Cache* cache, const std::string& kind,
-               const NodeEdgeCheckableLcl& problem, const json::Value& value) {
-  if (cache != nullptr) cache->insert(kind, problem, value);
+               const NodeEdgeCheckableLcl& problem, const json::Value& value,
+               const lint::CanonicalForm* form = nullptr,
+               bool index_canonical = true) {
+  if (cache != nullptr) {
+    cache->insert(kind, problem, value, form, index_canonical);
+  }
 }
 
 /// 0-round solvability through the cache (the verdict depends on the degree
@@ -87,9 +102,15 @@ NodeEdgeCheckableLcl speedup_step_cached(const NodeEdgeCheckableLcl& current,
   if (auto* run = obs::RunContext::current(); run != nullptr) {
     run->bump("engine_steps");
   }
-  if (const auto hit = cache_find(cache, kind, current)) {
-    if (const auto* next = hit->find("next"); next != nullptr) {
-      return lint::build_spec(lint::spec_from_json_value(*next));
+  // Exact tier ONLY: the payload embeds the derived next problem in the
+  // *stored* problem's label space, and a canonical-tier hit would come
+  // with an unknown induced permutation on that derived spec. Every other
+  // survey kind stores label-invariant verdicts and goes two-tier.
+  if (cache != nullptr) {
+    if (const auto hit = cache->find(kind, current)) {
+      if (const auto* next = hit->find("next"); next != nullptr) {
+        return lint::build_spec(lint::spec_from_json_value(*next));
+      }
     }
   }
   ReStep psi = apply_r(current, limits);
@@ -99,7 +120,8 @@ NodeEdgeCheckableLcl speedup_step_cached(const NodeEdgeCheckableLcl& current,
   json::Value value = json::Value::make_object();
   value.object()["next"] =
       lint::spec_to_json_value(lint::spec_from_problem(next.problem));
-  cache_put(cache, kind, current, value);
+  cache_put(cache, kind, current, value, nullptr,
+            /*index_canonical=*/false);  // payload is not label-invariant
   return std::move(next.problem);
 }
 
@@ -163,14 +185,15 @@ EngineSummary summary_from_json(const json::Value& value) {
 /// after reduction) never recompute the shared tail.
 EngineSummary cached_speedup(const NodeEdgeCheckableLcl& base,
                              const SpeedupEngine::Options& options,
-                             Cache* cache) {
+                             Cache* cache,
+                             const lint::CanonicalForm* base_form) {
   const std::string kind =
       "engine:" + degrees_tag(options.degrees) + ":s" +
       std::to_string(options.max_steps) + ":l" +
       std::to_string(options.limits.max_labels) + ":c" +
       std::to_string(options.limits.max_configs) +
       (options.reduce ? ":r" : ":f");
-  if (const auto hit = cache_find(cache, kind, base)) {
+  if (const auto hit = cache_find(cache, kind, base, base_form)) {
     return summary_from_json(*hit);
   }
 
@@ -184,14 +207,14 @@ EngineSummary cached_speedup(const NodeEdgeCheckableLcl& base,
     if (preflight.report.trivially_unsolvable) {
       s.detected_unsolvable = true;
       s.message = "preflight lint (L020): the pruned constraint set is empty";
-      cache_put(cache, kind, base, summary_to_json(s));
+      cache_put(cache, kind, base, summary_to_json(s), base_form);
       return s;
     }
     if (preflight.changed) effective = std::move(preflight.problem);
   }
 
   const auto finish = [&]() {
-    cache_put(cache, kind, base, summary_to_json(s));
+    cache_put(cache, kind, base, summary_to_json(s), base_form);
     return s;
   };
 
@@ -253,11 +276,23 @@ ProblemOutcome survey_one(const FamilyMember& member,
 
   try {
     Cache* cache = options.cache;
+    // One orbit search per member, shared by the canonical-key column and
+    // every canonical-tier lookup below. The key is permutation-invariant
+    // only when the search completed; an exhausted form falls back to the
+    // raw constraint signature (grouping only exact duplicates), so the
+    // report never claims two members equivalent on a truncated search.
+    const lint::CanonicalForm canonical =
+        lint::canonical_form(lint::spec_from_problem(problem));
+    out.canonical_key =
+        canonical.complete
+            ? hex_signature(lint::spec_signature(canonical.spec))
+            : hex_signature(out.signature) + "/incomplete";
+    const lint::CanonicalForm* form = &canonical;
     if (classifiers_applicable(problem)) {
       if (options.classify_cycles) {
         const std::string kind =
             "cycle:s" + std::to_string(options.classifier_speedup_steps);
-        if (const auto hit = cache_find(cache, kind, problem)) {
+        if (const auto hit = cache_find(cache, kind, problem, form)) {
           if (const auto* c = hit->find("complexity");
               c != nullptr && c->is_string()) {
             out.cycle_class = c->as_string();
@@ -272,13 +307,13 @@ ProblemOutcome survey_one(const FamilyMember& member,
               static_cast<std::int64_t>(verdict.zero_round_collapse_step));
           value.object()["pruned"] =
               json::Value(static_cast<std::int64_t>(verdict.pruned_labels));
-          cache_put(cache, kind, problem, value);
+          cache_put(cache, kind, problem, value, form);
         }
       }
       if (options.classify_paths) {
         const std::string kind =
             "path:s" + std::to_string(options.classifier_speedup_steps);
-        if (const auto hit = cache_find(cache, kind, problem)) {
+        if (const auto hit = cache_find(cache, kind, problem, form)) {
           if (const auto* c = hit->find("complexity");
               c != nullptr && c->is_string()) {
             out.path_class = c->as_string();
@@ -293,13 +328,13 @@ ProblemOutcome survey_one(const FamilyMember& member,
               static_cast<std::int64_t>(verdict.zero_round_collapse_step));
           value.object()["pruned"] =
               json::Value(static_cast<std::int64_t>(verdict.pruned_labels));
-          cache_put(cache, kind, problem, value);
+          cache_put(cache, kind, problem, value, form);
         }
       }
     }
 
     const EngineSummary summary =
-        cached_speedup(problem, options.engine, options.cache);
+        cached_speedup(problem, options.engine, options.cache, form);
     out.zero_round_step = summary.zero_round_step;
     out.steps_applied = summary.steps_applied;
     out.fixed_point = summary.fixed_point;
@@ -312,7 +347,7 @@ ProblemOutcome survey_one(const FamilyMember& member,
       const std::string kind = "check:n" +
                                std::to_string(options.check_nodes) + ":b" +
                                std::to_string(options.check_budget);
-      if (const auto hit = cache_find(cache, kind, problem)) {
+      if (const auto hit = cache_find(cache, kind, problem, form)) {
         if (const auto* s = hit->find("solvable");
             s != nullptr && s->is_bool()) {
           out.check = s->as_bool() ? "solvable" : "unsolvable";
@@ -324,7 +359,7 @@ ProblemOutcome survey_one(const FamilyMember& member,
         out.check = solvable ? "solvable" : "unsolvable";
         json::Value value = json::Value::make_object();
         value.object()["solvable"] = json::Value(solvable);
-        cache_put(cache, kind, problem, value);
+        cache_put(cache, kind, problem, value, form);
       }
     }
   } catch (const StepBudgetExceeded& e) {
@@ -532,6 +567,16 @@ SurveyReport run_survey(const Family& family, const SurveyOptions& options) {
     report.class_exemplars.emplace(outcome.landscape_class, outcome.name);
     if (!outcome.error.empty()) ++report.errors;
   }
+  {
+    std::vector<std::string> keys;
+    keys.reserve(outcomes.size());
+    for (const auto& outcome : outcomes) {
+      if (!outcome.canonical_key.empty()) keys.push_back(outcome.canonical_key);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    report.canonical_classes = keys.size();
+  }
   report.outcomes = std::move(outcomes);
   return report;
 }
@@ -539,7 +584,7 @@ SurveyReport run_survey(const Family& family, const SurveyOptions& options) {
 json::Value SurveyReport::to_json_value() const {
   json::Value root = json::Value::make_object();
   auto& top = root.object();
-  top["schema"] = json::Value(std::string("lclscape.survey.v2"));
+  top["schema"] = json::Value(std::string("lclscape.survey.v3"));
 
   json::Value survey = json::Value::make_object();
   survey.object()["family"] = json::Value(family);
@@ -557,6 +602,8 @@ json::Value SurveyReport::to_json_value() const {
   survey.object()["check_budget"] =
       json::Value(static_cast<std::int64_t>(check_budget));
   survey.object()["errors"] = json::Value(static_cast<std::int64_t>(errors));
+  survey.object()["canonical_classes"] =
+      json::Value(static_cast<std::int64_t>(canonical_classes));
   top["survey"] = std::move(survey);
 
   json::Value classes = json::Value::make_object();
@@ -576,6 +623,7 @@ json::Value SurveyReport::to_json_value() const {
     auto& fields = row.object();
     fields["name"] = json::Value(o.name);
     fields["key"] = json::Value(o.key);
+    fields["canonical_key"] = json::Value(o.canonical_key);
     fields["labels"] = json::Value(static_cast<std::int64_t>(o.labels));
     fields["node_configs"] =
         json::Value(static_cast<std::int64_t>(o.node_configs));

@@ -85,6 +85,14 @@ struct ProblemOutcome {
   std::string name;
   std::string key;
   std::uint64_t signature = 0;
+  /// Hex of `lint::canonical_signature` - equal for permutation-equivalent
+  /// members (that is how `SurveyReport::canonical_classes` counts). When
+  /// the orbit search exhausts its budget the key falls back to the raw
+  /// constraint signature plus "/incomplete" (grouping only exact
+  /// duplicates - a truncated search is not permutation-invariant).
+  /// Computed directly per member, so the column is identical for
+  /// cold/warm caches and any `jobs` value.
+  std::string canonical_key;
   std::size_t labels = 0;
   std::size_t node_configs = 0;
   std::size_t edge_configs = 0;
@@ -115,10 +123,11 @@ struct ProblemOutcome {
 /// member in key order). Contains no timings, thread counts, or cache
 /// statistics, so its JSON rendering is byte-identical for any `jobs`
 /// value and for cold vs. warm caches. The JSON document carries
-/// `"schema": "lclscape.survey.v2"`; v2 = v1 plus the schema marker and
+/// `"schema": "lclscape.survey.v3"`; v2 = v1 plus the schema marker and
 /// the optional CLI-attached "telemetry" block (`lcl_batch` adds that one
 /// outside this struct precisely to keep the library rendering
-/// deterministic).
+/// deterministic); v3 = v2 plus the per-row `canonical_key` column and the
+/// `canonical_classes` count.
 struct SurveyReport {
   std::string family;
   std::size_t problems = 0;
@@ -132,6 +141,12 @@ struct SurveyReport {
   std::map<std::string, std::string> class_exemplars;
   /// Number of members whose task failed (error rows).
   std::size_t errors = 0;
+  /// Distinct `canonical_key` values among the outcomes - the number of
+  /// label-permutation equivalence classes in the family, and hence the
+  /// number of engine runs a `--cache-key=canonical` sweep pays for
+  /// (permutation-equivalent members resolve as confirmed canonical-tier
+  /// hits).
+  std::size_t canonical_classes = 0;
 
   obs::json::Value to_json_value() const;
   std::string to_json() const;

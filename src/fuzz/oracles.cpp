@@ -9,6 +9,9 @@
 #include "core/checker.hpp"
 #include "graph/generators.hpp"
 #include "lint/analyzer.hpp"
+#include "lint/canonical.hpp"
+#include "lint/spec.hpp"
+#include "util/rng.hpp"
 #include "local/order_invariant.hpp"
 #include "local/view.hpp"
 #include "re/engine.hpp"
@@ -407,6 +410,138 @@ OracleResult oracle_cross_model(const FuzzCase& c, const OracleOptions& o) {
   return r;
 }
 
+/// Oracle (f): label-permutation canonicalization soundness. Draw a random
+/// output-label permutation sigma from the case seed and cross-check
+/// `lint::canonical_form` against it:
+///  - canonical_form(sigma(pi)) == canonical_form(pi), byte for byte (label
+///    names ride with their labels), with equal canonical signatures and
+///    equal automorphism-group orders;
+///  - a reported automorphism generator really fixes the constraint system;
+///  - the speedup engine's verdict on sigma(pi) matches its verdict on pi
+///    (the landscape class of a problem cannot depend on label names);
+///  - a brute-force solution of sigma(pi) mapped through sigma^-1 passes
+///    pi's checker (solutions transport along the permutation).
+OracleResult oracle_canonicalization(const FuzzCase& c,
+                                     const OracleOptions& o) {
+  OracleResult r;
+  const lint::ProblemSpec spec = lint::spec_from_problem(c.problem);
+  const std::size_t k = spec.outputs.size();
+  if (k == 0) return r;
+
+  // Fisher-Yates from the case seed: deterministic per case, independent of
+  // the instance stream.
+  std::vector<Label> sigma(k);
+  for (std::size_t i = 0; i < k; ++i) sigma[i] = static_cast<Label>(i);
+  SplitRng rng(c.seed ^ 0x51a0b1c2d3e4f567ULL);
+  for (std::size_t i = k; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(sigma[i - 1], sigma[j]);
+  }
+
+  const lint::ProblemSpec permuted_spec = lint::permute_spec(spec, sigma);
+  const auto f1 = lint::canonical_form(spec);
+  const auto f2 = lint::canonical_form(permuted_spec);
+  if (!f1.complete || !f2.complete) return r;  // budget - skip, don't judge
+  r.applicable = true;
+
+  if (!(f1.spec == f2.spec)) {
+    r.failed = true;
+    r.message =
+        "canonical_form(sigma(pi)) differs from canonical_form(pi): the "
+        "canonical representative depends on the input labeling";
+    return r;
+  }
+  if (lint::spec_signature(f1.spec) != lint::spec_signature(f2.spec)) {
+    r.failed = true;
+    r.message = "equal canonical forms hash to different signatures";
+    return r;
+  }
+  if (f1.automorphism_order != f2.automorphism_order ||
+      f1.automorphism_order_saturated != f2.automorphism_order_saturated) {
+    r.failed = true;
+    r.message = "automorphism-group order changed under relabeling: " +
+                std::to_string(f1.automorphism_order) + " vs " +
+                std::to_string(f2.automorphism_order);
+    return r;
+  }
+  if (!f1.automorphism_generator.empty() &&
+      !lint::same_structure(
+          lint::permute_spec(spec, f1.automorphism_generator), spec)) {
+    r.failed = true;
+    r.message =
+        "the reported automorphism generator does not fix the constraint "
+        "system";
+    return r;
+  }
+
+  // The engine's verdict is a function of the constraint system, not of
+  // label names: run both copies under the same budget and compare the
+  // observable certificate.
+  NodeEdgeCheckableLcl permuted_problem =
+      lint::build_spec(permuted_spec);
+  try {
+    SpeedupEngine::Options options;
+    options.max_steps = o.speedup_max_steps;
+    options.limits = o.limits;
+    SpeedupEngine original_engine(c.problem);
+    SpeedupEngine permuted_engine(permuted_problem);
+    const auto a = original_engine.run(options);
+    const auto b = permuted_engine.run(options);
+    if (a.zero_round_step != b.zero_round_step ||
+        a.detected_unsolvable != b.detected_unsolvable ||
+        a.fixed_point != b.fixed_point ||
+        a.budget_exhausted != b.budget_exhausted) {
+      r.failed = true;
+      r.message = "engine verdict changed under relabeling: zero_round_step " +
+                  std::to_string(a.zero_round_step) + " vs " +
+                  std::to_string(b.zero_round_step);
+      return r;
+    }
+  } catch (const std::logic_error&) {
+    // A derived problem failed to build; the verdict comparison is
+    // inapplicable but the form checks above already ran.
+  }
+
+  // Solutions transport along sigma: solve the relabeled problem on the
+  // instance and replay the answer through sigma^-1 against pi's checker.
+  if (c.graph.edge_count() > 0 &&
+      c.graph.max_degree() <= c.problem.max_degree()) {
+    std::vector<Label> sigma_inverse(k);
+    for (std::size_t l = 0; l < k; ++l) sigma_inverse[sigma[l]] = l;
+    try {
+      const auto permuted_solution = brute_force_solve(
+          permuted_problem, c.graph, c.input, o.brute_force_budget);
+      const bool base_solvable = brute_force_solvable(
+          c.problem, c.graph, c.input, o.brute_force_budget);
+      if (base_solvable != permuted_solution.has_value()) {
+        r.failed = true;
+        r.message = std::string("relabeling changed solvability: pi is ") +
+                    (base_solvable ? "solvable" : "unsolvable") +
+                    " but sigma(pi) is " +
+                    (permuted_solution ? "solvable" : "unsolvable") +
+                    " on the same instance";
+        return r;
+      }
+      if (permuted_solution) {
+        HalfEdgeLabeling mapped = *permuted_solution;
+        for (auto& label : mapped) label = sigma_inverse[label];
+        const auto check =
+            check_solution(c.problem, c.graph, c.input, mapped);
+        if (!check.ok()) {
+          r.failed = true;
+          r.message =
+              "a sigma(pi) solution mapped through sigma^-1 fails pi's "
+              "checker: " +
+              check.to_string();
+        }
+      }
+    } catch (const StepBudgetExceeded&) {
+      // Instance-level budget: the form/engine checks above still count.
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 const std::vector<OracleEntry>& oracle_bank() {
@@ -432,6 +567,12 @@ const std::vector<OracleEntry>& oracle_bank() {
        "with the A_det decision procedure, and dead-label pruning preserves "
        "per-instance solvability",
        &oracle_lint_soundness},
+      {"canonicalization",
+       "label-permutation canonicalization soundness: canonical_form("
+       "sigma(pi)) == canonical_form(pi) with matching signatures and |Aut|, "
+       "engine verdicts are relabeling-invariant, and sigma(pi) solutions "
+       "transport through sigma^-1 to pi's checker",
+       &oracle_canonicalization},
   };
   return kBank;
 }

@@ -65,7 +65,14 @@ struct OracleEntry {
 ///    instance, an L030 (0-round trivial) report with the exact `A_det`
 ///    decision procedure, and dead-label pruning must preserve per-instance
 ///    solvability (with pruned solutions re-checked against the original
-///    problem after the `new_to_old` label translation).
+///    problem after the `new_to_old` label translation);
+///  - "canonicalization":  label-permutation canonicalization soundness: for
+///    a random output-label permutation sigma drawn from the case seed,
+///    `canonical_form(sigma(pi))` must equal `canonical_form(pi)` byte for
+///    byte (equal signatures, equal |Aut|, the reported automorphism
+///    generator must fix the constraint system), the speedup engine's
+///    verdict must be relabeling-invariant, and a brute-force solution of
+///    `sigma(pi)` mapped through `sigma^-1` must pass `pi`'s checker.
 const std::vector<OracleEntry>& oracle_bank();
 
 /// Runs the oracle with the given id; throws `std::invalid_argument` for an

@@ -1,8 +1,10 @@
 #include "lint/analyzer.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
+#include "lint/canonical.hpp"
 #include "lint/spec_io.hpp"
 #include "obs/obs.hpp"
 
@@ -394,6 +396,66 @@ void semantic_passes(const ProblemSpec& canonical, const LintOptions& options,
   }
 }
 
+/// L050/L052 over the pruned spec: compute the canonical label order, fold
+/// the permutation into `report.canonical` and the evidence maps, and
+/// report non-canonical order (L050) and nontrivial automorphisms (L052).
+void canonical_pass(LintReport& report) {
+  const CanonicalForm form = canonical_form(report.canonical);
+  report.automorphism_order = form.automorphism_order;
+  report.automorphism_order_saturated = form.automorphism_order_saturated;
+  report.canonical_complete = form.complete;
+
+  bool identity = true;
+  for (std::size_t l = 0; l < form.old_to_new.size(); ++l) {
+    identity = identity && form.old_to_new[l] == static_cast<Label>(l);
+  }
+  if (!identity) {
+    std::string order;
+    for (const auto& name : form.spec.outputs) {
+      if (!order.empty()) order += ", ";
+      order += name;
+    }
+    add(report.diagnostics, Code::kNonCanonicalLabels, Severity::kInfo,
+        "labels are not in canonical order; the canonical order is [" +
+            order + "] (--fix applies the permutation)",
+        "problem");
+  }
+  if (form.complete && form.automorphism_order > 1 &&
+      !form.automorphism_generator.empty()) {
+    // Render the generator as the name mapping of its non-fixed points
+    // (names are attached to the *pruned* spec's labels).
+    std::string generator;
+    for (std::size_t l = 0; l < form.automorphism_generator.size(); ++l) {
+      const auto image = static_cast<std::size_t>(
+          form.automorphism_generator[l]);
+      if (image == l) continue;
+      if (!generator.empty()) generator += ", ";
+      generator += report.canonical.outputs[l] + "->" +
+                   report.canonical.outputs[image];
+    }
+    add(report.diagnostics, Code::kLabelSymmetry, Severity::kInfo,
+        "constraint system is closed under the nontrivial label "
+        "automorphism {" +
+            generator + "}; automorphism group order " +
+            (form.automorphism_order_saturated
+                 ? ">= " + std::to_string(form.automorphism_order)
+                 : std::to_string(form.automorphism_order)),
+        "problem");
+  }
+
+  // Compose the permutation into the analyzer's evidence discipline:
+  // original -> pruned -> canonical.
+  for (auto& mapped : report.old_to_new) {
+    if (mapped != LintReport::kDropped) mapped = form.old_to_new[mapped];
+  }
+  std::vector<Label> new_to_old(report.new_to_old.size());
+  for (std::size_t n = 0; n < new_to_old.size(); ++n) {
+    new_to_old[n] = report.new_to_old[form.new_to_old[n]];
+  }
+  report.new_to_old = std::move(new_to_old);
+  report.canonical = form.spec;
+}
+
 }  // namespace
 
 std::string LintReport::to_text() const {
@@ -473,6 +535,13 @@ obs::json::Value LintReport::to_json_value() const {
       json::Value(static_cast<std::int64_t>(dead_labels));
   root.object()["fixpoint_iterations"] =
       json::Value(static_cast<std::int64_t>(fixpoint_iterations));
+  if (automorphism_order > 0) {
+    // Rendered as a string: the order saturates at UINT64_MAX, past the
+    // JSON dialect's signed-integer range.
+    root.object()["automorphism_order"] =
+        json::Value((automorphism_order_saturated ? ">=" : "") +
+                    std::to_string(automorphism_order));
+  }
   if (structurally_valid) {
     root.object()["canonical"] = spec_to_json_value(canonical);
   }
@@ -491,6 +560,9 @@ LintReport lint_spec(const ProblemSpec& spec, const LintOptions& options) {
   canonicalization_pass(spec, report.diagnostics);
   if (report.structurally_valid) {
     semantic_passes(canonicalize(spec), options, report);
+    if (options.canonical_labels && !report.trivially_unsolvable) {
+      canonical_pass(report);
+    }
   } else {
     report.canonical = canonicalize(spec);
   }

@@ -17,6 +17,12 @@ struct LintOptions {
   bool support_fixpoint = true;
   /// L030: the uniform-label 0-round triviality check.
   bool zero_round = true;
+  /// L050/L052: label-permutation canonicalization of the pruned spec
+  /// (`lint/canonical.hpp`). Off by default - the engine/classifier
+  /// pre-flights do not pay the orbit search; `lcl_lint` turns it on. When
+  /// on, the canonicalizing permutation is folded into `canonical` and the
+  /// `old_to_new`/`new_to_old` maps, so `--fix` applies it.
+  bool canonical_labels = false;
 };
 
 /// Everything the analyzer learned about one spec.
@@ -56,6 +62,20 @@ struct LintReport {
   /// `A_det` exists); the converse need not hold.
   std::int64_t zero_round_label = -1;
 
+  /// L050/L052 evidence, filled only when `LintOptions::canonical_labels`
+  /// ran (structurally valid, not L020-unsolvable): the automorphism-group
+  /// order of the pruned constraint system (0 = pass did not run; saturates
+  /// at UINT64_MAX). The canonicalizing permutation itself lives in
+  /// `canonical` / `old_to_new` / `new_to_old`.
+  std::uint64_t automorphism_order = 0;
+  bool automorphism_order_saturated = false;
+  /// True when the canonicalization search finished within budget, making
+  /// `canonical` the permutation-invariant representative of its class.
+  /// False when the pass did not run *or* exhausted `max_leaves` - in that
+  /// case `canonical` is deterministic for this spec but two permuted
+  /// copies may not coincide, so cross-file L051 comparison must skip it.
+  bool canonical_complete = false;
+
   Severity severity() const { return max_severity(diagnostics); }
   /// 0 = clean or info only, 1 = warnings, 2 = errors.
   int status() const { return lint::exit_code(diagnostics); }
@@ -79,6 +99,8 @@ struct LintReport {
 ///      starved inputs (L012), unpopulated degrees (L013).
 ///   3. L020 trivial unsolvability of the pruned constraint set.
 ///   4. L030 uniform-label 0-round triviality.
+///   5. (opt-in) L050/L052 label-permutation canonicalization of the pruned
+///      spec; the permutation composes into the label maps.
 LintReport lint_spec(const ProblemSpec& spec, const LintOptions& options = {});
 
 /// Lints an already-built problem (structural passes are vacuously clean;

@@ -1,0 +1,509 @@
+#include "lint/canonical.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace lcl::lint {
+
+namespace {
+
+using Cfg = std::vector<std::int64_t>;
+using CfgList = std::vector<Cfg>;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of `v`.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+/// The order `canonicalize` keeps configuration lists in: size first, then
+/// lexicographic.
+bool config_less(const Cfg& a, const Cfg& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a < b;
+}
+
+/// The label-indexed part of a spec - exactly what an output-label
+/// permutation acts on. Alphabet sizes and `max_degree` are
+/// permutation-invariant, so they stay outside.
+struct Structure {
+  CfgList node_configs;
+  CfgList edge_configs;
+  CfgList g;  // one sorted row per input label, index-stable
+};
+
+Structure structure_of(const ProblemSpec& spec) {
+  return Structure{spec.node_configs, spec.edge_configs, spec.g};
+}
+
+/// Applies `old_to_new` and restores canonical order: every configuration
+/// re-sorted, the node/edge lists re-sorted (a bijection preserves
+/// distinctness, so no dedup is needed); `g` rows keep their input index.
+Structure relabel(const Structure& s, const std::vector<Label>& old_to_new) {
+  const auto map_list = [&old_to_new](const CfgList& list, bool resort) {
+    CfgList out;
+    out.reserve(list.size());
+    for (const auto& cfg : list) {
+      Cfg mapped;
+      mapped.reserve(cfg.size());
+      for (const auto raw : cfg) {
+        mapped.push_back(static_cast<std::int64_t>(
+            old_to_new[static_cast<std::size_t>(raw)]));
+      }
+      std::sort(mapped.begin(), mapped.end());
+      out.push_back(std::move(mapped));
+    }
+    if (resort) std::sort(out.begin(), out.end(), config_less);
+    return out;
+  };
+  Structure out;
+  out.node_configs = map_list(s.node_configs, true);
+  out.edge_configs = map_list(s.edge_configs, true);
+  out.g = map_list(s.g, false);
+  return out;
+}
+
+int compare_lists(const CfgList& a, const CfgList& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config_less(a[i], b[i])) return -1;
+    if (config_less(b[i], a[i])) return 1;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+/// Total order over relabeled structures - the "lexicographically least
+/// relabeling" the branch-and-bound minimizes. Any deterministic total
+/// order works; this one reads node constraints first, so canonical specs
+/// front-load their smallest configurations.
+int compare_structures(const Structure& a, const Structure& b) {
+  if (const int c = compare_lists(a.node_configs, b.node_configs)) return c;
+  if (const int c = compare_lists(a.edge_configs, b.edge_configs)) return c;
+  return compare_lists(a.g, b.g);
+}
+
+bool equal_structures(const Structure& a, const Structure& b) {
+  return compare_structures(a, b) == 0;
+}
+
+/// Iterated invariant refinement (1-dimensional Weisfeiler-Leman over the
+/// constraint hypergraph): round 0 hashes each label's unary invariants -
+/// degree participation (configuration size and own multiplicity), edge
+/// partnership count, self-loop flag, and per-input `g` membership (input
+/// labels are never permuted, so row indices are stable); later rounds fold
+/// in the sorted colors of co-occurring labels and edge partners until the
+/// partition stops growing. Colors are pure functions of
+/// permutation-invariant data, so permuted copies of a spec color
+/// corresponding labels identically.
+std::vector<std::uint64_t> refine_colors(const Structure& s, std::size_t k) {
+  std::vector<std::uint64_t> color(k, kFnvOffset);
+  for (std::size_t l = 0; l < k; ++l) {
+    std::uint64_t h = kFnvOffset;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> participation;
+    for (const auto& cfg : s.node_configs) {
+      const auto mult = static_cast<std::uint64_t>(
+          std::count(cfg.begin(), cfg.end(),
+                     static_cast<std::int64_t>(l)));
+      if (mult > 0) participation.emplace_back(cfg.size(), mult);
+    }
+    std::sort(participation.begin(), participation.end());
+    for (const auto& [size, mult] : participation) {
+      mix(h, size);
+      mix(h, mult);
+    }
+    mix(h, 0xC0FFEE);
+    std::uint64_t partners = 0;
+    bool self_loop = false;
+    for (const auto& cfg : s.edge_configs) {
+      const auto raw = static_cast<std::int64_t>(l);
+      if (cfg.size() == 2 && (cfg[0] == raw || cfg[1] == raw)) {
+        ++partners;
+        if (cfg[0] == raw && cfg[1] == raw) self_loop = true;
+      }
+    }
+    mix(h, partners);
+    mix(h, self_loop ? 1 : 0);
+    for (std::size_t row = 0; row < s.g.size(); ++row) {
+      const bool member =
+          std::binary_search(s.g[row].begin(), s.g[row].end(),
+                             static_cast<std::int64_t>(l));
+      mix(h, row);
+      mix(h, member ? 1 : 0);
+    }
+    color[l] = h;
+  }
+
+  const auto distinct = [](const std::vector<std::uint64_t>& colors) {
+    std::vector<std::uint64_t> sorted = colors;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    return sorted.size();
+  };
+  std::size_t classes = distinct(color);
+  for (std::size_t round = 0; round < k && classes < k; ++round) {
+    std::vector<std::uint64_t> next(k);
+    for (std::size_t l = 0; l < k; ++l) {
+      std::uint64_t h = kFnvOffset;
+      mix(h, color[l]);
+      // Node co-occurrence: one signature per occurrence of `l`, each the
+      // hash of (size, sorted colors of all entries); sorted so the
+      // multiset is order-independent.
+      std::vector<std::uint64_t> signatures;
+      for (const auto& cfg : s.node_configs) {
+        const auto mult = static_cast<std::uint64_t>(
+            std::count(cfg.begin(), cfg.end(),
+                       static_cast<std::int64_t>(l)));
+        if (mult == 0) continue;
+        std::uint64_t sig = kFnvOffset;
+        mix(sig, cfg.size());
+        mix(sig, mult);
+        std::vector<std::uint64_t> entry_colors;
+        entry_colors.reserve(cfg.size());
+        for (const auto raw : cfg) {
+          entry_colors.push_back(color[static_cast<std::size_t>(raw)]);
+        }
+        std::sort(entry_colors.begin(), entry_colors.end());
+        for (const auto c : entry_colors) mix(sig, c);
+        signatures.push_back(sig);
+      }
+      std::sort(signatures.begin(), signatures.end());
+      for (const auto sig : signatures) mix(h, sig);
+      mix(h, 0xC0FFEE);
+      // Edge partners: the multiset of partner colors.
+      std::vector<std::uint64_t> partner_colors;
+      for (const auto& cfg : s.edge_configs) {
+        const auto raw = static_cast<std::int64_t>(l);
+        if (cfg.size() != 2) continue;
+        if (cfg[0] == raw) {
+          partner_colors.push_back(color[static_cast<std::size_t>(cfg[1])]);
+        }
+        if (cfg[1] == raw && cfg[0] != raw) {
+          partner_colors.push_back(color[static_cast<std::size_t>(cfg[0])]);
+        }
+      }
+      std::sort(partner_colors.begin(), partner_colors.end());
+      for (const auto c : partner_colors) mix(h, c);
+      next[l] = h;
+    }
+    const std::size_t next_classes = distinct(next);
+    if (next_classes <= classes) break;  // stable (or hash-degenerate)
+    color = std::move(next);
+    classes = next_classes;
+  }
+  return color;
+}
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b,
+                             bool& saturated) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    saturated = true;
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+void validate_references(const ProblemSpec& spec) {
+  const auto n = static_cast<std::int64_t>(spec.outputs.size());
+  const auto check = [n](const CfgList& list) {
+    for (const auto& cfg : list) {
+      for (const auto raw : cfg) {
+        if (raw < 0 || raw >= n) {
+          throw std::invalid_argument(
+              "canonical_form: spec references undeclared output label #" +
+              std::to_string(raw) + " (run the structural lint pass first)");
+        }
+      }
+    }
+  };
+  check(spec.node_configs);
+  check(spec.edge_configs);
+  check(spec.g);
+}
+
+}  // namespace
+
+ProblemSpec permute_spec(const ProblemSpec& spec,
+                         const std::vector<Label>& old_to_new) {
+  const std::size_t k = spec.outputs.size();
+  if (old_to_new.size() != k) {
+    throw std::invalid_argument(
+        "permute_spec: permutation size does not match the output alphabet");
+  }
+  ProblemSpec out = spec;
+  out.outputs.assign(k, std::string());
+  for (std::size_t l = 0; l < k; ++l) {
+    const auto target = static_cast<std::size_t>(old_to_new[l]);
+    if (target >= k || !out.outputs[target].empty()) {
+      throw std::invalid_argument(
+          "permute_spec: old_to_new is not a permutation");
+    }
+    out.outputs[target] = spec.outputs[l];
+  }
+  const auto map_list = [&old_to_new](CfgList& list) {
+    for (auto& cfg : list) {
+      for (auto& raw : cfg) {
+        raw = static_cast<std::int64_t>(
+            old_to_new[static_cast<std::size_t>(raw)]);
+      }
+    }
+  };
+  map_list(out.node_configs);
+  map_list(out.edge_configs);
+  map_list(out.g);
+  return canonicalize(out);
+}
+
+bool same_structure(const ProblemSpec& a, const ProblemSpec& b) {
+  if (a.max_degree != b.max_degree || a.inputs.size() != b.inputs.size() ||
+      a.outputs.size() != b.outputs.size()) {
+    return false;
+  }
+  const ProblemSpec ca = canonicalize(a);
+  const ProblemSpec cb = canonicalize(b);
+  return ca.node_configs == cb.node_configs &&
+         ca.edge_configs == cb.edge_configs && ca.g == cb.g;
+}
+
+CanonicalForm canonical_form(const ProblemSpec& spec,
+                             const CanonicalOptions& options) {
+  validate_references(spec);
+  const ProblemSpec canon = canonicalize(spec);
+  const std::size_t k = canon.outputs.size();
+
+  CanonicalForm out;
+  out.old_to_new.resize(k);
+  std::iota(out.old_to_new.begin(), out.old_to_new.end(), Label{0});
+  out.new_to_old = out.old_to_new;
+  if (k <= 1) {
+    out.spec = canon;
+    return out;
+  }
+
+  const Structure orig = structure_of(canon);
+  const auto color = refine_colors(orig, k);
+
+  // Orbit classes: labels grouped by color, classes ordered by color value
+  // (deterministic and permutation-invariant - a hash collision can only
+  // merge classes, which the branch-and-bound then separates), members by
+  // original index.
+  struct OrbitClass {
+    std::uint64_t color = 0;
+    std::vector<Label> members;
+    bool symmetric = false;
+  };
+  std::vector<OrbitClass> classes;
+  {
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&color](std::size_t a, std::size_t b) {
+                if (color[a] != color[b]) return color[a] < color[b];
+                return a < b;
+              });
+    for (const auto l : order) {
+      if (classes.empty() || classes.back().color != color[l]) {
+        classes.push_back(OrbitClass{color[l], {}, false});
+      }
+      classes.back().members.push_back(static_cast<Label>(l));
+    }
+  }
+
+  // Fully interchangeable classes: when every adjacent transposition of a
+  // class is an automorphism of the whole structure, the transpositions
+  // generate the symmetric group on the class, so any within-class order
+  // yields the same relabeled structure. Fix the order (label name, so the
+  // canonical form of a permuted copy is byte-identical, names included),
+  // keep the class out of the search, and multiply |Aut| by |C|!. This is
+  // what keeps specs with hundreds of interchangeable dead labels out of a
+  // factorial search.
+  for (auto& cls : classes) {
+    if (cls.members.size() < 2) {
+      cls.symmetric = true;  // vacuously; contributes 1! = 1
+      continue;
+    }
+    bool symmetric = true;
+    for (std::size_t i = 1; i < cls.members.size() && symmetric; ++i) {
+      std::vector<Label> tau(k);
+      std::iota(tau.begin(), tau.end(), Label{0});
+      std::swap(tau[cls.members[i - 1]], tau[cls.members[i]]);
+      symmetric = equal_structures(relabel(orig, tau), orig);
+    }
+    cls.symmetric = symmetric;
+  }
+
+  // Assign canonical positions class block by class block. Symmetric
+  // classes are fixed; the residual ("hard") classes are broken by
+  // branch-and-bound over their joint within-class orderings, minimizing
+  // the relabeled structure.
+  std::vector<Label> assignment(k, 0);
+  std::vector<std::pair<std::vector<Label>, std::size_t>> hard;  // members, base
+  std::uint64_t symmetric_order = 1;
+  bool saturated = false;
+  std::vector<Label> symmetric_generator;
+  const auto name_less = [&canon](Label a, Label b) {
+    const auto& na = canon.outputs[a];
+    const auto& nb = canon.outputs[b];
+    if (na != nb) return na < nb;
+    return a < b;
+  };
+  {
+    std::size_t base = 0;
+    for (auto& cls : classes) {
+      if (cls.symmetric) {
+        // Within-class order is structurally arbitrary; ordering by name
+        // makes it permutation-invariant (names ride with their labels).
+        std::sort(cls.members.begin(), cls.members.end(), name_less);
+        for (std::size_t i = 0; i < cls.members.size(); ++i) {
+          assignment[cls.members[i]] = static_cast<Label>(base + i);
+        }
+        for (std::uint64_t m = 2; m <= cls.members.size(); ++m) {
+          symmetric_order = saturating_mul(symmetric_order, m, saturated);
+        }
+        if (cls.members.size() >= 2 && symmetric_generator.empty()) {
+          symmetric_generator.resize(k);
+          std::iota(symmetric_generator.begin(), symmetric_generator.end(),
+                    Label{0});
+          std::swap(symmetric_generator[cls.members[0]],
+                    symmetric_generator[cls.members[1]]);
+        }
+      } else {
+        hard.emplace_back(cls.members, base);
+      }
+      base += cls.members.size();
+    }
+  }
+
+  std::uint64_t leaves = 0;
+  bool exhausted = false;
+  bool have_best = false;
+  Structure best;
+  std::vector<Label> best_perm;
+  std::vector<std::string> best_names;
+  std::uint64_t best_count = 0;
+  std::vector<Label> second_perm;
+
+  // Canonical-position name sequence induced by a permutation. Among
+  // structure-equal minima (|Aut| > 1 within hard classes) the
+  // lexicographically least name sequence wins, so the canonical form of a
+  // permuted copy is byte-identical, names included.
+  const auto names_under = [&canon, k](const std::vector<Label>& perm) {
+    std::vector<std::string> names(k);
+    for (std::size_t l = 0; l < k; ++l) names[perm[l]] = canon.outputs[l];
+    return names;
+  };
+
+  const auto visit_leaf = [&]() {
+    ++leaves;
+    Structure candidate = relabel(orig, assignment);
+    if (!have_best || compare_structures(candidate, best) < 0) {
+      have_best = true;
+      best = std::move(candidate);
+      best_perm = assignment;
+      best_names = names_under(assignment);
+      best_count = 1;
+      second_perm.clear();
+    } else if (equal_structures(candidate, best)) {
+      ++best_count;
+      auto names = names_under(assignment);
+      if (names < best_names) {
+        // Distinct leaves carry distinct assignments, so the displaced
+        // best is a valid witness of a nontrivial automorphism.
+        if (second_perm.empty()) second_perm = best_perm;
+        best_perm = assignment;
+        best_names = std::move(names);
+      } else if (second_perm.empty()) {
+        second_perm = assignment;
+      }
+    }
+  };
+
+  const auto search = [&](auto&& self, std::size_t i) -> void {
+    if (exhausted && have_best) return;
+    if (i == hard.size()) {
+      visit_leaf();
+      if (leaves >= options.max_leaves) exhausted = true;
+      return;
+    }
+    auto members = hard[i].first;  // sorted ascending: next_permutation
+    const std::size_t base = hard[i].second;
+    do {
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        assignment[members[j]] = static_cast<Label>(base + j);
+      }
+      self(self, i + 1);
+    } while (!(exhausted && have_best) &&
+             std::next_permutation(members.begin(), members.end()));
+  };
+  search(search, 0);
+
+  out.complete = !exhausted;
+  out.old_to_new = best_perm;
+  out.new_to_old.assign(k, 0);
+  for (std::size_t l = 0; l < k; ++l) {
+    out.new_to_old[best_perm[l]] = static_cast<Label>(l);
+  }
+  out.spec = permute_spec(canon, out.old_to_new);
+  out.automorphism_order =
+      saturating_mul(symmetric_order, best_count, saturated);
+  out.automorphism_order_saturated = saturated;
+  if (!symmetric_generator.empty()) {
+    out.automorphism_generator = std::move(symmetric_generator);
+  } else if (!second_perm.empty()) {
+    // q = p2^-1 o p1 fixes the structure: relabeling by the two
+    // min-achieving permutations yields the same canonical structure.
+    std::vector<Label> inverse_second(k, 0);
+    for (std::size_t l = 0; l < k; ++l) {
+      inverse_second[second_perm[l]] = static_cast<Label>(l);
+    }
+    out.automorphism_generator.resize(k);
+    for (std::size_t l = 0; l < k; ++l) {
+      out.automorphism_generator[l] = inverse_second[best_perm[l]];
+    }
+  }
+  return out;
+}
+
+CanonicalForm canonical_form(const NodeEdgeCheckableLcl& problem,
+                             const CanonicalOptions& options) {
+  return canonical_form(spec_from_problem(problem), options);
+}
+
+std::uint64_t spec_signature(const ProblemSpec& spec) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(spec.max_degree));
+  mix(h, spec.inputs.size());
+  mix(h, spec.outputs.size());
+  const auto mix_list = [&h](const CfgList& list, std::uint64_t marker) {
+    mix(h, marker);
+    for (const auto& cfg : list) {
+      for (const auto raw : cfg) mix(h, static_cast<std::uint64_t>(raw));
+      mix(h, 0xC0FFEE);
+    }
+  };
+  mix_list(spec.node_configs, 0xD0);
+  mix_list(spec.edge_configs, 0xE0);
+  mix_list(spec.g, 0x60);
+  return h;
+}
+
+std::uint64_t canonical_signature(const ProblemSpec& spec,
+                                  const CanonicalOptions& options) {
+  return spec_signature(canonical_form(spec, options).spec);
+}
+
+std::uint64_t canonical_signature(const NodeEdgeCheckableLcl& problem,
+                                  const CanonicalOptions& options) {
+  return canonical_signature(spec_from_problem(problem), options);
+}
+
+}  // namespace lcl::lint

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lcl.hpp"
+#include "lint/spec.hpp"
+
+namespace lcl::lint {
+
+/// Budgets for the canonicalization search. The invariant refinement is
+/// polynomial; only the residual-orbit branch-and-bound can blow up, and
+/// `max_leaves` bounds the candidate assignments it examines.
+struct CanonicalOptions {
+  /// Maximum complete label assignments the tie-break search may visit.
+  /// Exhausting it leaves `CanonicalForm::complete == false`: the returned
+  /// form is still deterministic for *this* spec, but no longer guaranteed
+  /// to coincide with the form of a permuted copy.
+  std::uint64_t max_leaves = 250'000;
+};
+
+/// The canonical representative of a spec under output-label permutation
+/// (inputs are never permuted - `g` rows keep their index semantics),
+/// together with the evidence that produced it. Follows the analyzer's
+/// `old_to_new`/`new_to_old` discipline: both maps are total permutations
+/// of the output alphabet (canonicalization never drops labels).
+struct CanonicalForm {
+  /// The representative: `permute_spec(canonicalize(input), old_to_new)`.
+  /// Label *names* ride along with their labels, so two specs that are
+  /// permuted copies of each other (names included) canonicalize to equal
+  /// specs; name-blind comparison goes through `same_structure`.
+  ProblemSpec spec;
+  std::vector<Label> old_to_new;
+  std::vector<Label> new_to_old;
+  /// |Aut| - the number of output-label permutations fixing the constraint
+  /// system. Saturates at UINT64_MAX (`automorphism_order_saturated`) when
+  /// an interchangeable class alone pushes the product past 64 bits.
+  std::uint64_t automorphism_order = 1;
+  bool automorphism_order_saturated = false;
+  /// A generating witness when the group is nontrivial: one non-identity
+  /// automorphism as an old->old permutation. Empty iff the group is
+  /// trivial (or the search was cut short before finding one).
+  std::vector<Label> automorphism_generator;
+  /// False when `max_leaves` was exhausted (see `CanonicalOptions`).
+  bool complete = true;
+};
+
+/// Computes the canonical form of a *structurally valid* spec (no L001
+/// findings - out-of-range label references would make the permutation
+/// semantics meaningless; the analyzer guards this). Algorithm: iterated
+/// invariant refinement (degree participation, edge partnerships,
+/// self-loops, per-input `g` membership, then neighborhood colors to a
+/// fixpoint) partitions the labels into orbits; fully interchangeable
+/// classes are detected by transposition tests and ordered by label name;
+/// the residual orbits are broken by branch-and-bound for the
+/// lexicographically least relabeled constraint system (name-sequence
+/// tie-break among structure-equal minima, so the form is deterministic
+/// even when |Aut| > 1).
+CanonicalForm canonical_form(const ProblemSpec& spec,
+                             const CanonicalOptions& options = {});
+CanonicalForm canonical_form(const NodeEdgeCheckableLcl& problem,
+                             const CanonicalOptions& options = {});
+
+/// Applies an output-label permutation (old index -> new index, total) to a
+/// spec and re-canonicalizes the configuration lists, so the result is
+/// sorted/deduplicated exactly like `canonicalize` output. Label names
+/// follow their labels.
+ProblemSpec permute_spec(const ProblemSpec& spec,
+                         const std::vector<Label>& old_to_new);
+
+/// Name-blind structural equality: same `max_degree`, same alphabet sizes,
+/// and identical node/edge/g index lists. Two specs are
+/// permutation-equivalent iff their (complete) canonical forms are
+/// `same_structure` - this is the L051 comparison.
+bool same_structure(const ProblemSpec& a, const ProblemSpec& b);
+
+/// Order-sensitive FNV-1a digest of a spec's constraint system as written
+/// (alphabet sizes, max degree, node/edge/g index lists; names excluded).
+/// NOT permutation-invariant on its own - it becomes so when applied to a
+/// canonical form, which is exactly how `canonical_signature` is defined.
+/// Exposed so callers holding a `CanonicalForm` can key it without paying
+/// the orbit search twice.
+std::uint64_t spec_signature(const ProblemSpec& spec);
+
+/// Permutation-invariant content hash: `spec_signature` of the canonical
+/// form's spec. Equal for any two permutation-equivalent specs/problems;
+/// collisions are possible, so consumers (the cache's canonical key tier,
+/// the L051 pass) confirm candidates exactly via `same_structure` before
+/// acting.
+std::uint64_t canonical_signature(const ProblemSpec& spec,
+                                  const CanonicalOptions& options = {});
+std::uint64_t canonical_signature(const NodeEdgeCheckableLcl& problem,
+                                  const CanonicalOptions& options = {});
+
+}  // namespace lcl::lint

@@ -33,6 +33,20 @@ const char* to_string(Severity severity);
 ///   L040  duplicate configuration / duplicate `g` entry in the spec.
 ///   L041  non-canonical configuration: labels not sorted ascending (the
 ///         multiset semantics make order irrelevant; canonical form sorts).
+///
+/// The L05x family is the semantic tier over label-permutation
+/// canonicalization (`lint/canonical.hpp`):
+///
+///   L050  non-canonical label order: the spec is not the canonical
+///         representative of its permutation class (`--fix` applies the
+///         canonicalizing permutation).
+///   L051  permutation duplicate: the spec's constraint system equals
+///         another spec's in the same batch up to an output-label
+///         permutation (cross-file analysis; the message names the other
+///         file).
+///   L052  label symmetry: the constraint system is closed under a
+///         nontrivial output-label automorphism (reported with a generating
+///         permutation - a certificate, not a defect).
 struct Code {
   static constexpr const char* kAlphabetArity = "L001";
   static constexpr const char* kDeadLabel = "L010";
@@ -43,6 +57,9 @@ struct Code {
   static constexpr const char* kZeroRoundTrivial = "L030";
   static constexpr const char* kDuplicateConfig = "L040";
   static constexpr const char* kNonCanonicalConfig = "L041";
+  static constexpr const char* kNonCanonicalLabels = "L050";
+  static constexpr const char* kPermutationDuplicate = "L051";
+  static constexpr const char* kLabelSymmetry = "L052";
 };
 
 /// One lint finding: stable code, severity, human-readable message, and a

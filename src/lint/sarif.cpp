@@ -1,0 +1,158 @@
+#include "lint/sarif.hpp"
+
+#include <cstddef>
+
+namespace lcl::lint {
+
+namespace json = lcl::obs::json;
+
+const std::vector<SarifRule>& sarif_rules() {
+  static const std::vector<SarifRule> kRules = {
+      {Code::kAlphabetArity, "AlphabetArity",
+       "Alphabet/arity consistency: undeclared labels, duplicate alphabet "
+       "names, configuration arity outside [1, max_degree], malformed g "
+       "table.",
+       Severity::kError},
+      {Code::kDeadLabel, "DeadLabel",
+       "Dead output label: removed by the support fixpoint; it cannot occur "
+       "in any correct solution.",
+       Severity::kWarning},
+      {Code::kVacuousConfig, "VacuousConfig",
+       "Vacuous configuration: mentions a dead label, so it can never be "
+       "realized by a correct solution.",
+       Severity::kWarning},
+      {Code::kStarvedInput, "StarvedInput",
+       "Starved input label: every output it permitted is dead; any "
+       "instance carrying it is unsolvable.",
+       Severity::kWarning},
+      {Code::kUnpopulatedDegree, "UnpopulatedDegree",
+       "Unpopulated degree: no node configuration for some degree in "
+       "[1, max_degree]; instances containing such a node are unsolvable.",
+       Severity::kInfo},
+      {Code::kUnsolvable, "TriviallyUnsolvable",
+       "Trivially unsolvable: the pruned constraint set is empty; no graph "
+       "with at least one edge admits a correct solution.",
+       Severity::kError},
+      {Code::kZeroRoundTrivial, "ZeroRoundTrivial",
+       "0-round trivial: one label's uniform assignment satisfies every "
+       "constraint.",
+       Severity::kInfo},
+      {Code::kDuplicateConfig, "DuplicateConfig",
+       "Duplicate configuration or duplicate g entry in the spec.",
+       Severity::kWarning},
+      {Code::kNonCanonicalConfig, "NonCanonicalConfig",
+       "Non-canonical configuration: labels not sorted ascending.",
+       Severity::kInfo},
+      {Code::kNonCanonicalLabels, "NonCanonicalLabels",
+       "Non-canonical label order: the spec is not the canonical "
+       "representative of its label-permutation class (--fix applies the "
+       "permutation).",
+       Severity::kInfo},
+      {Code::kPermutationDuplicate, "PermutationDuplicate",
+       "Permutation duplicate: the constraint system equals another spec in "
+       "the batch up to an output-label permutation.",
+       Severity::kWarning},
+      {Code::kLabelSymmetry, "LabelSymmetry",
+       "Label symmetry: the constraint system is closed under a nontrivial "
+       "output-label automorphism (reported with a generating permutation).",
+       Severity::kInfo},
+  };
+  return kRules;
+}
+
+namespace {
+
+const char* sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+json::Value text_object(const std::string& text) {
+  json::Value value = json::Value::make_object();
+  value.object()["text"] = json::Value(text);
+  return value;
+}
+
+}  // namespace
+
+json::Value sarif_log(const std::vector<SarifArtifact>& artifacts) {
+  const auto& rules = sarif_rules();
+
+  json::Value driver = json::Value::make_object();
+  driver.object()["name"] = json::Value(std::string("lcl_lint"));
+  driver.object()["informationUri"] =
+      json::Value(std::string("https://github.com/lclscape/lclscape"));
+  driver.object()["version"] = json::Value(std::string("1.0.0"));
+  json::Value rule_array = json::Value::make_array();
+  for (const auto& rule : rules) {
+    json::Value entry = json::Value::make_object();
+    entry.object()["id"] = json::Value(std::string(rule.id));
+    entry.object()["name"] = json::Value(std::string(rule.name));
+    entry.object()["shortDescription"] =
+        text_object(std::string(rule.short_text));
+    json::Value config = json::Value::make_object();
+    config.object()["level"] =
+        json::Value(std::string(sarif_level(rule.level)));
+    entry.object()["defaultConfiguration"] = std::move(config);
+    rule_array.array().push_back(std::move(entry));
+  }
+  driver.object()["rules"] = std::move(rule_array);
+
+  json::Value tool = json::Value::make_object();
+  tool.object()["driver"] = std::move(driver);
+
+  json::Value results = json::Value::make_array();
+  for (const auto& artifact : artifacts) {
+    for (const auto& diagnostic : artifact.diagnostics) {
+      json::Value result = json::Value::make_object();
+      result.object()["ruleId"] = json::Value(diagnostic.code);
+      for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (diagnostic.code == rules[i].id) {
+          result.object()["ruleIndex"] =
+              json::Value(static_cast<std::int64_t>(i));
+          break;
+        }
+      }
+      result.object()["level"] =
+          json::Value(std::string(sarif_level(diagnostic.severity)));
+      result.object()["message"] = text_object(diagnostic.message);
+
+      json::Value artifact_location = json::Value::make_object();
+      artifact_location.object()["uri"] = json::Value(artifact.file);
+      json::Value physical = json::Value::make_object();
+      physical.object()["artifactLocation"] = std::move(artifact_location);
+      json::Value location = json::Value::make_object();
+      location.object()["physicalLocation"] = std::move(physical);
+      json::Value locations = json::Value::make_array();
+      locations.array().push_back(std::move(location));
+      result.object()["locations"] = std::move(locations);
+      results.array().push_back(std::move(result));
+    }
+  }
+
+  json::Value run = json::Value::make_object();
+  run.object()["tool"] = std::move(tool);
+  run.object()["results"] = std::move(results);
+  json::Value runs = json::Value::make_array();
+  runs.array().push_back(std::move(run));
+
+  json::Value root = json::Value::make_object();
+  root.object()["$schema"] = json::Value(
+      std::string("https://json.schemastore.org/sarif-2.1.0.json"));
+  root.object()["version"] = json::Value(std::string("2.1.0"));
+  root.object()["runs"] = std::move(runs);
+  return root;
+}
+
+std::string sarif_json(const std::vector<SarifArtifact>& artifacts) {
+  return json::dump(sarif_log(artifacts));
+}
+
+}  // namespace lcl::lint

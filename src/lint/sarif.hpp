@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "obs/json.hpp"
+
+namespace lcl::lint {
+
+/// Static metadata for one diagnostic code, as published in the SARIF
+/// `tool.driver.rules` array. `level` is the *default* severity; individual
+/// results carry the severity the analyzer actually assigned.
+struct SarifRule {
+  const char* id;          // stable code, e.g. "L050"
+  const char* name;        // PascalCase rule name
+  const char* short_text;  // one-line description
+  Severity level;
+};
+
+/// The full rule table (every L0xx/L05x code), in rule-index order.
+const std::vector<SarifRule>& sarif_rules();
+
+/// One analyzed artifact: the file path as given on the command line plus
+/// everything the analyzer (and the cross-file L051 pass) reported for it.
+struct SarifArtifact {
+  std::string file;
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Renders a SARIF 2.1.0 log: one run, `lcl_lint` as the driver with the
+/// complete rule table, one result per diagnostic with severities mapped to
+/// SARIF levels (info -> "note", warning -> "warning", error -> "error")
+/// and the artifact URI as the location.
+obs::json::Value sarif_log(const std::vector<SarifArtifact>& artifacts);
+std::string sarif_json(const std::vector<SarifArtifact>& artifacts);
+
+}  // namespace lcl::lint

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "lint/analyzer.hpp"
+#include "lint/canonical.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_context.hpp"
 #include "re/operators.hpp"
@@ -225,6 +226,30 @@ SpeedupEngine::Outcome SpeedupEngine::run(const Options& options) {
       ReStep next = apply_rbar(psi.problem, options.limits);
       if (options.reduce) {
         next = reduce_step(std::move(next), options.limits.kernel);
+      }
+      if (options.canonicalize_iterates) {
+        // Pure relabeling of the iterate: the problem takes its canonical
+        // label order and the meaning table is permuted alongside
+        // (new_meaning[p[l]] = meaning[l]), so the lift consumes the same
+        // label -> label-set associations and the synthesized algorithm is
+        // untouched.
+        const auto form =
+            lint::canonical_form(lint::spec_from_problem(next.problem));
+        bool identity = true;
+        for (std::size_t l = 0; l < form.old_to_new.size(); ++l) {
+          if (form.old_to_new[l] != l) {
+            identity = false;
+            break;
+          }
+        }
+        if (!identity) {
+          std::vector<LabelSet> meaning(next.meaning.size());
+          for (std::size_t l = 0; l < next.meaning.size(); ++l) {
+            meaning[form.old_to_new[l]] = next.meaning[l];
+          }
+          next.problem = lint::build_spec(form.spec);
+          next.meaning = std::move(meaning);
+        }
       }
       stats.labels_psi = psi.problem.output_alphabet().size();
       stats.labels_next = next.problem.output_alphabet().size();

@@ -40,6 +40,14 @@ class SpeedupEngine {
     /// lint_dead_labels`; always 0 while `reduce` is on, since reduction's
     /// trim performs the same fixpoint).
     bool preflight_lint = true;
+    /// Relabel each produced iterate to its label-permutation canonical
+    /// form (`lint::canonical_form`) before it enters the sequence. Off by
+    /// default - it pays one orbit search per step. Pure renaming: the
+    /// iterate's meaning table is permuted alongside, so the lift chain
+    /// (and every verdict) is unchanged; what it buys is iterate specs
+    /// that are independent of operator enumeration order, so cross-run
+    /// comparisons and shared step caches key on the same bytes.
+    bool canonicalize_iterates = false;
   };
 
   /// Statistics for one applied step `pi_i -> pi_{i+1}`.

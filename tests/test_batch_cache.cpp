@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/lcl.hpp"
 #include "core/problems.hpp"
+#include "lint/canonical.hpp"
+#include "lint/spec.hpp"
 #include "obs/json.hpp"
 
 namespace lcl {
@@ -225,6 +229,130 @@ TEST(BatchCache, ResumeDoesNotDuplicateEntriesOrGrowTheFile) {
     cache.insert("verdict", mm, tag("mm"));  // already on disk: no-op
   }
   EXPECT_EQ(line_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The canonical key tier (`Options::canonical_tier`).
+
+/// A permuted copy of `problem`: same constraint system with output labels
+/// relabeled through `sigma` (old -> new).
+NodeEdgeCheckableLcl permuted_copy(const NodeEdgeCheckableLcl& problem,
+                                   const std::vector<Label>& sigma) {
+  return lint::build_spec(
+      lint::permute_spec(lint::spec_from_problem(problem), sigma));
+}
+
+TEST(BatchCacheCanonical, ServesPermutedProblemsWithEvidence) {
+  Cache::Options options;
+  options.canonical_tier = true;
+  Cache cache(std::move(options));
+  const auto mm = problems::maximal_matching(2);
+  const std::vector<Label> sigma{2, 0, 1};
+  const auto permuted = permuted_copy(mm, sigma);
+  ASSERT_FALSE(same_constraints(mm, permuted));
+
+  cache.insert("engine", mm, tag("verdict-for-mm"));
+  // The raw tier does not know the permuted copy...
+  EXPECT_FALSE(cache.find("engine", permuted).has_value());
+  // ...but the canonical tier serves it, with the label permutation as
+  // evidence: permuting the stored problem through it gives exactly the
+  // query's constraints.
+  const auto hit = cache.find_canonical("engine", permuted);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->permuted);
+  EXPECT_EQ(tag_of(hit->value), "verdict-for-mm");
+  ASSERT_EQ(hit->old_to_new.size(), mm.output_alphabet().size());
+  EXPECT_TRUE(same_constraints(permuted_copy(mm, hit->old_to_new), permuted));
+  EXPECT_EQ(cache.stats().canonical_hits, 1u);
+
+  // Kind is still part of the address.
+  EXPECT_FALSE(cache.find_canonical("other-kind", permuted).has_value());
+}
+
+TEST(BatchCacheCanonical, ExactTierWinsWithIdentityEvidence) {
+  Cache::Options options;
+  options.canonical_tier = true;
+  Cache cache(std::move(options));
+  const auto mm = problems::maximal_matching(2);
+  cache.insert("engine", mm, tag("mm"));
+  const auto hit = cache.find_canonical("engine", mm);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->permuted);
+  for (std::size_t l = 0; l < hit->old_to_new.size(); ++l) {
+    EXPECT_EQ(hit->old_to_new[l], static_cast<Label>(l));
+  }
+  EXPECT_EQ(cache.stats().canonical_hits, 0u);  // exact hits count as hits
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BatchCacheCanonical, TierOffMeansExactOnly) {
+  Cache cache;  // canonical_tier defaults to off
+  const auto mm = problems::maximal_matching(2);
+  cache.insert("engine", mm, tag("mm"));
+  const auto permuted = permuted_copy(mm, {2, 0, 1});
+  EXPECT_FALSE(cache.find_canonical("engine", permuted).has_value());
+  // find_canonical still answers exact queries (identity evidence).
+  ASSERT_TRUE(cache.find_canonical("engine", mm).has_value());
+}
+
+TEST(BatchCacheCanonical, IneligibleEntriesAreNeverProbedCanonically) {
+  Cache::Options options;
+  options.canonical_tier = true;
+  Cache cache(std::move(options));
+  const auto mm = problems::maximal_matching(2);
+  // "step:" style payloads embed derived specs - not label-invariant, so
+  // the caller excludes them from the canonical index.
+  cache.insert("step", mm, tag("payload"), nullptr,
+               /*index_canonical=*/false);
+  const auto permuted = permuted_copy(mm, {2, 0, 1});
+  EXPECT_FALSE(cache.find_canonical("step", permuted).has_value());
+  // Exactly addressed, the entry is still there.
+  ASSERT_TRUE(cache.find("step", mm).has_value());
+}
+
+TEST(BatchCacheCanonical, CallerSuppliedFormSkipsNothingSemantically) {
+  Cache::Options options;
+  options.canonical_tier = true;
+  Cache cache(std::move(options));
+  const auto mm = problems::maximal_matching(2);
+  const std::vector<Label> sigma{1, 2, 0};
+  const auto permuted = permuted_copy(mm, sigma);
+  const auto form = lint::canonical_form(lint::spec_from_problem(permuted));
+  ASSERT_TRUE(form.complete);
+
+  cache.insert("engine", mm, tag("mm"));
+  const auto hit = cache.find_canonical("engine", permuted, &form);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->permuted);
+  EXPECT_TRUE(same_constraints(permuted_copy(mm, hit->old_to_new), permuted));
+}
+
+TEST(BatchCacheCanonical, EligibilityRoundTripsThroughTheDiskTier) {
+  const std::string path = testing::TempDir() + "lcl_batch_cache_canon.jsonl";
+  std::remove(path.c_str());
+  const auto mm = problems::maximal_matching(2);
+  const auto mm_permuted = permuted_copy(mm, {2, 0, 1});
+  ASSERT_FALSE(same_constraints(mm, mm_permuted));
+  {
+    Cache::Options options;
+    options.disk_path = path;
+    options.canonical_tier = true;
+    Cache cache(std::move(options));
+    cache.insert("engine", mm, tag("mm"));
+    cache.insert("step", mm, tag("mm-step"), nullptr,
+                 /*index_canonical=*/false);
+  }
+  Cache::Options options;
+  options.disk_path = path;
+  options.canonical_tier = true;
+  Cache cache(std::move(options));
+  EXPECT_EQ(cache.stats().disk_loaded, 2u);
+  // The eligible entry is canonically addressable after replay; the
+  // ineligible one is not (its "canon": false marker survived the disk
+  // round trip).
+  ASSERT_TRUE(cache.find_canonical("engine", mm_permuted).has_value());
+  EXPECT_FALSE(cache.find_canonical("step", mm_permuted).has_value());
+  ASSERT_TRUE(cache.find("step", mm).has_value());
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "batch/cache.hpp"
 #include "core/problems.hpp"
+#include "lint/canonical.hpp"
 #include "lint/spec.hpp"
 #include "lint/spec_io.hpp"
 #include "re/engine.hpp"
@@ -236,6 +237,116 @@ TEST(Survey, StepBudgetBlowUpFailsOnlyThatRow) {
   EXPECT_TRUE(cheap->error.empty()) << cheap->error;
   EXPECT_EQ(cheap->check, "solvable");
   EXPECT_EQ(report.errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The canonical key tier (`lcl_batch --cache-key=canonical`).
+
+/// A permuted copy of `problem`: identical constraints up to the output
+/// relabeling `sigma` (old -> new).
+NodeEdgeCheckableLcl permuted_copy(const NodeEdgeCheckableLcl& problem,
+                                   const std::vector<Label>& sigma) {
+  return lint::build_spec(
+      lint::permute_spec(lint::spec_from_problem(problem), sigma));
+}
+
+TEST(Survey, PermutationEquivalentMembersResolveAsCanonicalHits) {
+  // Three permutation-equivalent members: with the canonical tier on, the
+  // engine runs once and the other two members are confirmed
+  // canonical-key hits replayed through the permutation evidence.
+  const auto base = problems::maximal_matching(2);
+  Family family;
+  family.description = "canonical-dedup";
+  family.members.push_back(FamilyMember{"mm-a", base});
+  family.members.push_back(FamilyMember{"mm-b", permuted_copy(base, {2, 0, 1})});
+  family.members.push_back(FamilyMember{"mm-c", permuted_copy(base, {1, 2, 0})});
+  auto options = default_options();
+
+  // Baseline: surveying just the first member fills the cache with
+  // everything one equivalence class costs.
+  std::uint64_t solo_insertions = 0;
+  {
+    Family solo;
+    solo.description = family.description;
+    solo.members.push_back(family.members.front());
+    Cache::Options cache_options;
+    cache_options.canonical_tier = true;
+    Cache cache(std::move(cache_options));
+    options.cache = &cache;
+    (void)batch::run_survey(solo, options);
+    solo_insertions = cache.stats().insertions;
+    ASSERT_GT(solo_insertions, 0u);
+  }
+
+  Cache::Options cache_options;
+  cache_options.canonical_tier = true;
+  Cache cache(std::move(cache_options));
+  options.cache = &cache;
+  const auto report = batch::run_survey(family, options);
+
+  // One equivalence class; the permuted members added NO new cache
+  // entries - every verdict-level computation ran exactly once.
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_EQ(report.canonical_classes, 1u);
+  EXPECT_EQ(cache.stats().insertions, solo_insertions);
+  // N-1 = 2 members served through the canonical tier (at least their
+  // engine verdicts; the classifier verdicts ride the same tier).
+  EXPECT_GE(cache.stats().canonical_hits, 2u);
+
+  for (const auto& outcome : report.outcomes) {
+    EXPECT_TRUE(outcome.error.empty()) << outcome.name;
+    EXPECT_EQ(outcome.canonical_key, report.outcomes.front().canonical_key);
+    EXPECT_EQ(outcome.zero_round_step,
+              report.outcomes.front().zero_round_step);
+    EXPECT_EQ(outcome.landscape_class,
+              report.outcomes.front().landscape_class);
+  }
+
+  // Replayed verdicts are exactly the computed ones: the cached report is
+  // byte-identical to an uncached run.
+  options.cache = nullptr;
+  EXPECT_EQ(report.to_json(), batch::run_survey(family, options).to_json());
+}
+
+TEST(Survey, CanonicalReportIsDeterministicAcrossJobsAndCacheStates) {
+  const std::string path =
+      testing::TempDir() + "lcl_batch_survey_canon.jsonl";
+  std::remove(path.c_str());
+  const auto family = batch::exhaustive_family({});
+  auto options = default_options();
+
+  // Reference: no cache, sequential.
+  options.jobs = 1;
+  const auto reference = batch::run_survey(family, options);
+  const std::string raw = reference.to_json();
+  // The Delta=2 l=2 family collapses into its label-permutation classes;
+  // pinning the count fences the canonical_key column.
+  EXPECT_EQ(reference.problems, 49u);
+  EXPECT_EQ(reference.canonical_classes, 29u);
+
+  // Cold canonical-tier cache, parallel.
+  options.jobs = 4;
+  {
+    Cache::Options cache_options;
+    cache_options.disk_path = path;
+    cache_options.load_existing = false;
+    cache_options.canonical_tier = true;
+    Cache cache(std::move(cache_options));
+    options.cache = &cache;
+    EXPECT_EQ(batch::run_survey(family, options).to_json(), raw);
+    EXPECT_GT(cache.stats().canonical_hits, 0u);
+  }
+  // Warm canonical-tier cache resumed from disk.
+  {
+    Cache::Options cache_options;
+    cache_options.disk_path = path;
+    cache_options.load_existing = true;
+    cache_options.canonical_tier = true;
+    Cache cache(std::move(cache_options));
+    EXPECT_GT(cache.stats().disk_loaded, 0u);
+    options.cache = &cache;
+    EXPECT_EQ(batch::run_survey(family, options).to_json(), raw);
+  }
 }
 
 #ifdef LCL_BATCH_GOLDEN_DIR

@@ -578,7 +578,9 @@ TEST_F(LintCliTest, FixRefusesStructurallyInvalidSpecs) {
   ProblemSpec invalid = cascade_spec();
   invalid.node_configs.push_back({9});  // undeclared label
   const auto path = write_spec("invalid.json", invalid);
-  EXPECT_EQ(run_cli("--fix " + path), 2);
+  // L001 is in the non-fixable set: the batch is refused with the usage/
+  // refusal exit code, distinct from the lint verdict.
+  EXPECT_EQ(run_cli("--fix " + path), 3);
   // The file is untouched: it still lints as an error.
   EXPECT_EQ(run_cli(path), 2);
 }

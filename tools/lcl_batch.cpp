@@ -96,6 +96,13 @@ int usage(std::ostream& out, int code) {
          "  --jobs=N               worker threads (default 1; 0 = all "
          "cores)\n"
          "  --cache-dir=DIR        keep the on-disk result cache here\n"
+         "  --cache-key=KIND       raw (default) | canonical: canonical also\n"
+         "                         indexes results by the label-permutation\n"
+         "                         canonical signature, so permutation-\n"
+         "                         equivalent members replay each other's\n"
+         "                         verdicts (each hit confirmed exactly;\n"
+         "                         implies an in-memory cache even without\n"
+         "                         --cache-dir)\n"
          "  --resume               reuse an existing on-disk cache (default\n"
          "                         truncates it)\n"
          "  --report-json=FILE     write the landscape report JSON here\n"
@@ -169,6 +176,7 @@ int main(int argc, char** argv) {
   std::string report_path;
   bool resume = false;
   bool quiet = false;
+  bool canonical_key = false;
   lcl::batch::ExhaustiveFamilyOptions exhaustive;
   std::uint64_t seeds = 50;
   std::uint64_t seed_start = 1;
@@ -203,6 +211,16 @@ int main(int argc, char** argv) {
       spec_dir = value_of("--spec-dir=");
     } else if (arg.rfind("--cache-dir=", 0) == 0) {
       cache_dir = value_of("--cache-dir=");
+    } else if (arg.rfind("--cache-key=", 0) == 0) {
+      const std::string mode = value_of("--cache-key=");
+      if (mode == "raw") {
+        canonical_key = false;
+      } else if (mode == "canonical") {
+        canonical_key = true;
+      } else {
+        std::cerr << "lcl_batch: --cache-key wants raw|canonical\n";
+        return 2;
+      }
     } else if (arg.rfind("--report-json=", 0) == 0) {
       report_path = value_of("--report-json=");
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -352,12 +370,15 @@ int main(int argc, char** argv) {
     }
 
     std::unique_ptr<Cache> cache;
-    if (!cache_dir.empty()) {
-      std::filesystem::create_directories(cache_dir);
+    if (!cache_dir.empty() || canonical_key) {
       Cache::Options cache_options;
-      cache_options.disk_path =
-          (std::filesystem::path(cache_dir) / "cache.jsonl").string();
-      cache_options.load_existing = resume;
+      if (!cache_dir.empty()) {
+        std::filesystem::create_directories(cache_dir);
+        cache_options.disk_path =
+            (std::filesystem::path(cache_dir) / "cache.jsonl").string();
+        cache_options.load_existing = resume;
+      }
+      cache_options.canonical_tier = canonical_key;
       cache = std::make_unique<Cache>(std::move(cache_options));
       survey.cache = cache.get();
     }
@@ -388,11 +409,18 @@ int main(int argc, char** argv) {
         std::cout << "  " << name << ": " << count << "  (e.g. "
                   << report.class_exemplars.at(name) << ")\n";
       }
+      std::cout << "canonical: " << report.canonical_classes
+                << " label-permutation classes\n";
       if (cache != nullptr) {
         const auto stats = cache->stats();
         std::cout << "cache:     " << stats.hits << " hits, " << stats.misses
                   << " misses, " << stats.collisions << " collisions, "
                   << stats.disk_loaded << " loaded from disk\n";
+        if (canonical_key) {
+          std::cout << "           " << stats.canonical_hits
+                    << " canonical hits, " << stats.canonical_collisions
+                    << " canonical collisions\n";
+        }
       }
       if (report.errors != 0) {
         std::cout << "errors:    " << report.errors << "\n";

@@ -2,35 +2,135 @@
 //
 //   lcl_lint spec.json                # human-readable diagnostics
 //   lcl_lint --json spec1 spec2 ...   # machine-readable report per file
-//   lcl_lint --fix spec.json          # canonicalize + prune, rewrite in place
+//   lcl_lint --sarif=out.sarif dir/   # SARIF 2.1.0 log for a directory
+//   lcl_lint --fix spec.json          # apply fixable findings in place
 //
 // Accepts bare problem-spec JSON files and fuzz-corpus cases (any object
-// with a "problem" member); `--fix` is restricted to bare specs, since
-// rewriting a corpus case would silently drop its graph and provenance.
+// with a "problem" member); a directory argument expands to its `*.json`
+// files in sorted order (non-recursive). With two or more inputs the
+// cross-file pass runs: specs whose pruned constraint systems are equal up
+// to an output-label permutation are reported as L051 duplicates on every
+// file after the first.
+//
+// `--fix` applies the analyzer's canonical spec: dead labels and vacuous
+// configurations pruned (L010/L011), duplicates and unsorted entries
+// normalized (L040/L041), and the canonical label permutation applied
+// (L050). It refuses the whole batch - exit 3, nothing written - when any
+// input carries a finding a rewrite cannot fix: L001 (no defined
+// semantics), L012/L020 (the defect lives in the constraint system, not
+// its presentation), or L051 (deduplication is a human decision).
+// Info-only verdicts (L013, L030, L052) never block a fix.
 //
 // Exit codes: 0 = clean (at worst info diagnostics), 1 = warnings,
-// 2 = errors, 3 = usage or I/O failure.
+// 2 = errors, 3 = usage, I/O failure, or --fix refusal.
 
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "lint/analyzer.hpp"
+#include "lint/canonical.hpp"
+#include "lint/sarif.hpp"
 #include "lint/spec_io.hpp"
 #include "obs/json.hpp"
 
 namespace {
 
+namespace lint = lcl::lint;
+namespace json = lcl::obs::json;
+
 int usage(std::ostream& out, int code) {
-  out << "usage: lcl_lint [options] FILE...\n"
-         "  --json   machine-readable output (one report object per file,\n"
-         "           wrapped in a top-level array)\n"
-         "  --fix    write the canonicalized, pruned spec back in place\n"
-         "           (bare spec files only; refused while L001 errors\n"
-         "           remain, since the spec has no defined semantics)\n"
-         "exit: 0 clean, 1 warnings, 2 errors, 3 usage/I-O\n";
+  out << "usage: lcl_lint [options] PATH...\n"
+         "  PATH          spec/corpus JSON file, or a directory (expands\n"
+         "                to its *.json files, sorted, non-recursive)\n"
+         "  --json        machine-readable output (one report object per\n"
+         "                file, wrapped in a top-level array)\n"
+         "  --sarif=FILE  also write a SARIF 2.1.0 log of every finding\n"
+         "  --fix         rewrite each spec in place with the fixable\n"
+         "                findings applied: L010/L011 pruning, L040/L041\n"
+         "                normalization, L050 canonical label order.\n"
+         "                Refuses the whole batch (exit 3, nothing\n"
+         "                written) on L001, L012, L020, or L051 - those\n"
+         "                cannot be fixed by rewriting the file. Bare\n"
+         "                spec files only, not fuzz-case wrappers.\n"
+         "With 2+ inputs, specs that are permutation-equivalent after\n"
+         "pruning are flagged L051 on every file after the first.\n"
+         "exit: 0 clean, 1 warnings, 2 errors, 3 usage/I-O/fix refusal\n";
   return code;
+}
+
+/// One command-line input after loading: the spec (when `loaded`) and the
+/// full analyzer report including any cross-file L051 findings.
+struct Input {
+  std::string file;
+  bool loaded = false;
+  bool wrapped = false;
+  lint::LintReport report;
+};
+
+/// Expands a directory argument to its sorted `*.json` members; passes
+/// files (and nonexistent paths - load reports the error) through.
+std::vector<std::string> expand_path(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(path, ec)) return {path};
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".json") continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Codes `--fix` cannot repair by rewriting the spec file.
+bool fix_refuses(const std::string& code) {
+  return code == lint::Code::kAlphabetArity ||
+         code == lint::Code::kStarvedInput ||
+         code == lint::Code::kUnsolvable ||
+         code == lint::Code::kPermutationDuplicate;
+}
+
+/// Cross-file L051: groups structurally valid, completely canonicalized
+/// reports by canonical signature, confirms candidate pairs exactly via
+/// name-blind structural equality, and appends a warning to every file
+/// after its group's first. Signature collisions that fail confirmation
+/// are simply not duplicates - no finding.
+void permutation_duplicate_pass(std::vector<Input>& inputs) {
+  std::map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& r = inputs[i].report;
+    if (!inputs[i].loaded || !r.structurally_valid ||
+        r.trivially_unsolvable || !r.canonical_complete) {
+      continue;
+    }
+    groups[lint::spec_signature(r.canonical)].push_back(i);
+  }
+  for (const auto& [signature, members] : groups) {
+    (void)signature;
+    if (members.size() < 2) continue;
+    for (std::size_t m = 1; m < members.size(); ++m) {
+      const auto& mine = inputs[members[m]].report.canonical;
+      for (std::size_t e = 0; e < m; ++e) {
+        const auto& earlier = inputs[members[e]];
+        if (!lint::same_structure(mine, earlier.report.canonical)) continue;
+        lint::Diagnostic d;
+        d.code = lint::Code::kPermutationDuplicate;
+        d.severity = lint::Severity::kWarning;
+        d.message = "constraint system is permutation-equivalent to '" +
+                    earlier.file + "' (identical canonical form after "
+                    "pruning)";
+        d.object = "problem";
+        inputs[members[m]].report.diagnostics.push_back(std::move(d));
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -38,7 +138,8 @@ int usage(std::ostream& out, int code) {
 int main(int argc, char** argv) {
   bool as_json = false;
   bool fix = false;
-  std::vector<std::string> files;
+  std::string sarif_path;
+  std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -47,61 +148,129 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--fix") {
       fix = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+      if (sarif_path.empty()) {
+        std::cerr << "lcl_lint: --sarif wants a file path\n";
+        return usage(std::cerr, 3);
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "lcl_lint: unknown option '" << arg << "'\n";
       return usage(std::cerr, 3);
     } else {
-      files.push_back(arg);
+      paths.push_back(arg);
     }
   }
-  if (files.empty()) return usage(std::cerr, 3);
+  if (paths.empty()) return usage(std::cerr, 3);
 
+  std::vector<std::string> files;
+  for (const auto& path : paths) {
+    for (auto& file : expand_path(path)) files.push_back(std::move(file));
+  }
+  if (files.empty()) {
+    std::cerr << "lcl_lint: no *.json files found under the given paths\n";
+    return 3;
+  }
+
+  // Phase 1: load and analyze every input. The semantic tier (L050/L052)
+  // is always on here - the CLI is the canonicalization front-end.
+  lint::LintOptions options;
+  options.canonical_labels = true;
   int status = 0;
-  auto json_reports = lcl::obs::json::Value::make_array();
+  std::vector<Input> inputs;
+  inputs.reserve(files.size());
   for (const auto& file : files) {
-    lcl::lint::ProblemSpec spec;
-    bool wrapped = false;
+    Input input;
+    input.file = file;
     try {
-      spec = lcl::lint::load_spec(file, &wrapped);
+      const auto spec = lint::load_spec(file, &input.wrapped);
+      input.report = lint::lint_spec(spec, options);
+      input.loaded = true;
     } catch (const std::exception& e) {
       std::cerr << "lcl_lint: " << file << ": " << e.what() << "\n";
       status = 3;
-      continue;
     }
+    inputs.push_back(std::move(input));
+  }
 
-    const auto report = lcl::lint::lint_spec(spec);
-    status = std::max(status, report.status());
+  // Phase 2: cross-file duplicates, then per-file verdicts.
+  permutation_duplicate_pass(inputs);
+  for (const auto& input : inputs) {
+    if (input.loaded) status = std::max(status, input.report.status());
+  }
 
-    if (as_json) {
-      auto entry = lcl::obs::json::Value::make_object();
-      entry.object().emplace("file", lcl::obs::json::Value(file));
-      entry.object().emplace("report", report.to_json_value());
+  // Phase 3: render.
+  if (as_json) {
+    auto json_reports = json::Value::make_array();
+    for (const auto& input : inputs) {
+      if (!input.loaded) continue;
+      auto entry = json::Value::make_object();
+      entry.object().emplace("file", json::Value(input.file));
+      entry.object().emplace("report", input.report.to_json_value());
       json_reports.array().push_back(std::move(entry));
-    } else {
-      std::cout << file << ":\n" << report.to_text();
     }
+    std::cout << json::dump(json_reports) << "\n";
+  } else {
+    for (const auto& input : inputs) {
+      if (!input.loaded) continue;
+      std::cout << input.file << ":\n" << input.report.to_text();
+    }
+  }
 
-    if (fix) {
-      if (wrapped) {
-        std::cerr << "lcl_lint: " << file
-                  << ": --fix only rewrites bare spec files, not fuzz-case "
-                     "wrappers\n";
-        status = 3;
+  if (!sarif_path.empty()) {
+    std::vector<lint::SarifArtifact> artifacts;
+    for (const auto& input : inputs) {
+      if (!input.loaded) continue;
+      artifacts.push_back({input.file, input.report.diagnostics});
+    }
+    std::ofstream out(sarif_path);
+    out << lint::sarif_json(artifacts) << "\n";
+    if (!out) {
+      std::cerr << "lcl_lint: cannot write SARIF log to '" << sarif_path
+                << "'\n";
+      status = 3;
+    }
+  }
+
+  // Phase 4: --fix. All-or-nothing: collect every reason to refuse before
+  // writing a single byte, so a refusal never leaves the batch half
+  // rewritten.
+  if (fix) {
+    std::vector<std::string> refusals;
+    for (const auto& input : inputs) {
+      if (!input.loaded) {
+        refusals.push_back(input.file + ": unreadable input");
         continue;
       }
-      if (!report.structurally_valid) {
-        std::cerr << "lcl_lint: " << file
-                  << ": refusing to fix a spec with L001 errors\n";
-        continue;  // status already reflects the errors (exit 2)
+      if (input.wrapped) {
+        refusals.push_back(input.file +
+                           ": --fix only rewrites bare spec files, not "
+                           "fuzz-case wrappers");
+        continue;
       }
+      for (const auto& d : input.report.diagnostics) {
+        if (fix_refuses(d.code)) {
+          refusals.push_back(input.file + ": " + d.code +
+                             " is not fixable by rewriting the spec");
+          break;
+        }
+      }
+    }
+    if (!refusals.empty()) {
+      std::cerr << "lcl_lint: refusing --fix, nothing written:\n";
+      for (const auto& reason : refusals) {
+        std::cerr << "  " << reason << "\n";
+      }
+      return 3;
+    }
+    for (const auto& input : inputs) {
       try {
-        lcl::lint::save_spec(file, report.canonical);
+        lint::save_spec(input.file, input.report.canonical);
       } catch (const std::exception& e) {
-        std::cerr << "lcl_lint: " << file << ": " << e.what() << "\n";
+        std::cerr << "lcl_lint: " << input.file << ": " << e.what() << "\n";
         status = 3;
       }
     }
   }
-  if (as_json) std::cout << lcl::obs::json::dump(json_reports) << "\n";
   return status;
 }
