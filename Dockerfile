@@ -1,0 +1,35 @@
+# lcld container image: multi-stage so the runtime layer carries only the
+# daemon, the client, and the C++ runtime - no toolchain, no sources.
+#
+#   docker build -t lcld .
+#   docker run -p 8080:8080 -v lcld-cache:/var/lib/lcld lcld
+#
+# The daemon binds 0.0.0.0 inside the container (the container boundary is
+# the network policy; the default 127.0.0.1 would make the published port
+# unreachable). SIGTERM drains gracefully, so `docker stop` exits 0.
+
+FROM debian:bookworm-slim AS build
+RUN apt-get update && apt-get install -y --no-install-recommends \
+        cmake g++ make git ca-certificates \
+    && rm -rf /var/lib/apt/lists/*
+WORKDIR /src
+COPY . .
+# Tests and benches need GTest/google-benchmark; the image only ships the
+# daemon, so configure without them and build just the two tools.
+RUN cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DLCLSCAPE_TESTS=OFF \
+    && cmake --build build -j"$(nproc)" --target lcld lcl_client
+
+FROM debian:bookworm-slim
+RUN apt-get update && apt-get install -y --no-install-recommends \
+        libstdc++6 curl \
+    && rm -rf /var/lib/apt/lists/* \
+    && useradd --system --home /var/lib/lcld --create-home lcld
+COPY --from=build /src/build/tools/lcld /usr/local/bin/lcld
+COPY --from=build /src/build/tools/lcl_client /usr/local/bin/lcl_client
+USER lcld
+VOLUME /var/lib/lcld
+EXPOSE 8080
+HEALTHCHECK --interval=10s --timeout=2s --start-period=5s \
+  CMD curl -fsS http://127.0.0.1:8080/healthz || exit 1
+ENTRYPOINT ["lcld"]
+CMD ["--bind=0.0.0.0", "--port=8080", "--cache-dir=/var/lib/lcld"]

@@ -1,0 +1,150 @@
+// Service-tier benchmarks: end-to-end request cost of the lcld stack
+// (validating HTTP client -> HttpServer -> Service -> batch runtime) over
+// a real loopback socket. The classify series runs against a warm cache,
+// so the columns measure the service overhead per request - transport,
+// parse, lint, canonical cache probe - not engine time; `p50_us`/`p99_us`
+// are computed from per-request wall times, and `req_per_s` is the
+// figure of merit for the threaded throughput row.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "svc/http.hpp"
+#include "svc/service.hpp"
+
+namespace lcl {
+namespace {
+
+// Perfect matching on paths: nontrivial but cheap, the same problem the
+// service tests classify.
+constexpr const char* kSpec = R"({
+  "name": "mm", "max_degree": 2,
+  "inputs": ["-"], "outputs": ["m", "u"],
+  "node_configs": [[0], [1], [0, 1], [1, 1]],
+  "edge_configs": [[0, 0], [0, 1], [1, 1]],
+  "g": [[0, 1]]
+})";
+
+/// One daemon shared by every benchmark in the binary: service + HTTP
+/// listener on an ephemeral loopback port, cache primed with kSpec.
+class BenchDaemon {
+ public:
+  BenchDaemon() {
+    svc::Service::Options options;
+    options.jobs = 4;
+    options.max_inflight = 64;
+    options.engine.max_steps = 4;
+    service_ = std::make_unique<svc::Service>(options);
+
+    svc::HttpServer::Options http;
+    http.port = 0;
+    http.max_connections = 128;
+    http.handler = [this](const svc::HttpRequest& request) {
+      return service_->handle(request);
+    };
+    server_ = std::make_unique<svc::HttpServer>(std::move(http));
+    if (!server_->start()) {
+      std::fprintf(stderr, "bench_service: %s\n", server_->error().c_str());
+      std::abort();
+    }
+    // Prime: every measured classify below is a warm confirmed cache hit.
+    (void)svc::http_request("127.0.0.1", server_->port(), "POST",
+                            "/v1/classify", kSpec);
+  }
+
+  ~BenchDaemon() {
+    server_->drain();
+    service_->drain();
+  }
+
+  std::uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<svc::Service> service_;
+  std::unique_ptr<svc::HttpServer> server_;
+};
+
+BenchDaemon& daemon() {
+  static BenchDaemon instance;
+  return instance;
+}
+
+double percentile(std::vector<double> sorted_us, double fraction) {
+  if (sorted_us.empty()) return 0.0;
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const auto index = static_cast<std::size_t>(
+      fraction * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[index];
+}
+
+/// Transport floor: /healthz does no parsing or compute, so this row is
+/// the connect + request + response cost the classify rows sit on.
+void BM_HealthzLatency(benchmark::State& state) {
+  const std::uint16_t port = daemon().port();
+  for (auto _ : state) {
+    const auto response =
+        svc::http_request("127.0.0.1", port, "GET", "/healthz");
+    bench::keep(response.status);
+  }
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HealthzLatency)->Unit(benchmark::kMicrosecond);
+
+/// Warm-cache classify latency, one request at a time. The tail columns
+/// come from per-request wall clocks, not the benchmark mean.
+void BM_ClassifyWarmLatency(benchmark::State& state) {
+  const std::uint16_t port = daemon().port();
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto response =
+        svc::http_request("127.0.0.1", port, "POST", "/v1/classify", kSpec);
+    const auto end = std::chrono::steady_clock::now();
+    bench::keep(response.status);
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = percentile(latencies_us, 0.50);
+  state.counters["p99_us"] = percentile(latencies_us, 0.99);
+}
+BENCHMARK(BM_ClassifyWarmLatency)->Unit(benchmark::kMicrosecond);
+
+/// Warm-cache classify under concurrency: google-benchmark fans the loop
+/// out over N client threads against the one shared daemon. `req_per_s`
+/// aggregates across threads; `p50_us`/`p99_us` are per-thread
+/// percentiles averaged across threads by the reporter.
+void BM_ClassifyWarmThroughput(benchmark::State& state) {
+  const std::uint16_t port = daemon().port();
+  std::vector<double> local_us;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto response =
+        svc::http_request("127.0.0.1", port, "POST", "/v1/classify", kSpec);
+    const auto end = std::chrono::steady_clock::now();
+    bench::keep(response.status);
+    local_us.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = benchmark::Counter(
+      percentile(local_us, 0.50), benchmark::Counter::kAvgThreads);
+  state.counters["p99_us"] = benchmark::Counter(
+      percentile(local_us, 0.99), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ClassifyWarmThroughput)->Threads(4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lcl
+
+LCL_BENCH_MAIN();

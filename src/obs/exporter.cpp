@@ -1,67 +1,31 @@
 #include "obs/exporter.hpp"
 
-#include <cerrno>
-#include <cstring>
-#include <stdexcept>
+#include <utility>
 
 #include "obs/obs.hpp"
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <unistd.h>
+#include "svc/http.hpp"
 
 namespace lcl::obs {
 
-namespace {
-
-void write_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-#if LCL_OBS
-
-/// Reads until the end of the request headers (CRLFCRLF), a size cap, or
-/// EOF; enough of HTTP to extract the request line.
-std::string read_request(int fd) {
-  std::string request;
-  char buffer[1024];
-  while (request.size() < 16 * 1024) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    request.append(buffer, static_cast<std::size_t>(n));
-    if (request.find("\r\n\r\n") != std::string::npos) break;
-    if (request.find("\n\n") != std::string::npos) break;
-  }
-  return request;
-}
-
-std::string make_response(const std::string& status,
-                          const std::string& content_type,
-                          const std::string& body) {
-  std::string out = "HTTP/1.1 " + status + "\r\n";
-  out += "Content-Type: " + content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
-#endif  // LCL_OBS
-
-}  // namespace
-
 bool telemetry_compiled_in() noexcept { return LCL_OBS != 0; }
 
+Exporter::Exporter() = default;
+
+Exporter::Exporter(Options options) : options_(std::move(options)) {}
+
 Exporter::~Exporter() { stop(); }
+
+bool Exporter::running() const noexcept {
+  return server_ != nullptr && server_->running();
+}
+
+std::uint16_t Exporter::port() const noexcept {
+  return server_ != nullptr ? server_->port() : 0;
+}
+
+std::uint64_t Exporter::scrapes() const noexcept {
+  return server_ != nullptr ? server_->requests_served() : 0;
+}
 
 #if LCL_OBS
 
@@ -69,121 +33,51 @@ bool Exporter::start() {
   if (running()) return true;
   error_.clear();
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  const int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  svc::HttpServer::Options http;
+  http.bind_address = options_.bind_address;
+  http.port = options_.port;
+  // One request per connection: the documented curl/scrape-loop contract
+  // (and what keeps a stuck scraper from pinning a connection thread).
+  http.keep_alive = false;
+  http.handler = [this](const svc::HttpRequest& request) {
+    svc::HttpResponse response;
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = "only GET is supported\n";
+    } else if (request.path == "/metrics") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = prom::render(registry().snapshot(),
+                                   options_.const_labels);
+    } else if (request.path == "/healthz") {
+      response.body = "ok\n";
+    } else if (request.path == "/progress") {
+      if (options_.progress_provider) {
+        response.content_type = "application/json";
+        response.body = options_.progress_provider();
+      } else {
+        response.status = 404;
+        response.body = "no progress provider\n";
+      }
+    } else {
+      response.status = 404;
+      response.body = "routes: /metrics /healthz /progress\n";
+    }
+    return response;
+  };
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    error_ = "bad bind address '" + options_.bind_address + "'";
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  server_ = std::make_unique<svc::HttpServer>(std::move(http));
+  if (!server_->start()) {
+    error_ = server_->error();
+    server_.reset();
     return false;
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    error_ = std::string("bind: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    error_ = std::string("listen: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    error_ = std::string("getsockname: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  bound_port_ = ntohs(bound.sin_port);
-
-  stop_requested_.store(false, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { serve_loop(); });
   return true;
 }
 
 void Exporter::stop() {
-  if (!running() && !thread_.joinable()) return;
-  stop_requested_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  running_.store(false, std::memory_order_release);
-}
-
-void Exporter::serve_loop() {
-  while (!stop_requested_.load(std::memory_order_acquire)) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    // 100 ms poll so stop() latency is bounded without a wakeup pipe.
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    timeval timeout{};
-    timeout.tv_sec = 2;
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-
-    const std::string request = read_request(client);
-    std::string method;
-    std::string path;
-    const auto space = request.find(' ');
-    if (space != std::string::npos) {
-      method = request.substr(0, space);
-      const auto end = request.find_first_of(" \r\n", space + 1);
-      if (end != std::string::npos) {
-        path = request.substr(space + 1, end - space - 1);
-      }
-    }
-
-    std::string response;
-    if (method != "GET") {
-      response = make_response("405 Method Not Allowed", "text/plain",
-                               "only GET is supported\n");
-    } else if (path == "/metrics") {
-      const std::string body = prom::render(registry().snapshot(),
-                                            options_.const_labels);
-      response = make_response(
-          "200 OK", "text/plain; version=0.0.4; charset=utf-8", body);
-    } else if (path == "/healthz") {
-      response = make_response("200 OK", "text/plain", "ok\n");
-    } else if (path == "/progress") {
-      if (options_.progress_provider) {
-        response = make_response("200 OK", "application/json",
-                                 options_.progress_provider());
-      } else {
-        response = make_response("404 Not Found", "text/plain",
-                                 "no progress provider\n");
-      }
-    } else {
-      response = make_response("404 Not Found", "text/plain",
-                               "routes: /metrics /healthz /progress\n");
-    }
-    // Bump before writing: once a client has read its response, scrapes()
-    // already reflects it.
-    scrapes_.fetch_add(1, std::memory_order_relaxed);
-    write_all(client, response);
-    ::close(client);
-  }
+  if (server_ == nullptr) return;
+  server_->stop();
+  server_.reset();
 }
 
 #else  // !LCL_OBS
@@ -195,54 +89,14 @@ bool Exporter::start() {
 
 void Exporter::stop() {}
 
-void Exporter::serve_loop() {}
-
 #endif  // LCL_OBS
 
 std::string http_get(const std::string& host, std::uint16_t port,
                      const std::string& path, std::string* status_line) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("http_get: socket failed");
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw std::runtime_error("http_get: bad host '" + host + "'");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(fd);
-    throw std::runtime_error("http_get: connect failed: " + reason);
-  }
-
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
-  write_all(fd, request);
-
-  std::string response;
-  char buffer[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    response.append(buffer, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-
-  auto header_end = response.find("\r\n\r\n");
-  std::size_t body_start = header_end == std::string::npos
-                               ? std::string::npos
-                               : header_end + 4;
-  if (status_line != nullptr) {
-    const auto eol = response.find("\r\n");
-    *status_line =
-        eol == std::string::npos ? response : response.substr(0, eol);
-  }
-  if (body_start == std::string::npos) {
-    throw std::runtime_error("http_get: malformed response");
-  }
-  return response.substr(body_start);
+  const svc::HttpClientResponse response =
+      svc::http_request(host, port, "GET", path);
+  if (status_line != nullptr) *status_line = response.status_line;
+  return response.body;
 }
 
 }  // namespace lcl::obs

@@ -1,13 +1,16 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "obs/prom.hpp"
+
+namespace lcl::svc {
+class HttpServer;
+}  // namespace lcl::svc
 
 namespace lcl::obs {
 
@@ -17,7 +20,7 @@ namespace lcl::obs {
 /// mixed-mode programs stay ODR-clean) but `start()` fails fast.
 bool telemetry_compiled_in() noexcept;
 
-/// Dependency-free pull endpoint: a background thread serving
+/// Pull endpoint riding on the shared `svc::HttpServer` transport:
 ///
 ///   GET /metrics   Prometheus text exposition 0.0.4 of the global
 ///                  MetricsRegistry (instrument updates are relaxed
@@ -27,9 +30,10 @@ bool telemetry_compiled_in() noexcept;
 ///   GET /progress  the JSON from `progress_provider` (404 when unset).
 ///
 /// One request per connection (`Connection: close`); good for curl and
-/// scrape loops, not a general web server. Scrapes never take the
-/// registry's name-map mutex while an instrument is being *updated* -
-/// only concurrent registrations contend, and those are one-time.
+/// scrape loops - the full keep-alive web server lives in `svc::Service`.
+/// Scrapes never take the registry's name-map mutex while an instrument is
+/// being *updated* - only concurrent registrations contend, and those are
+/// one-time.
 class Exporter {
  public:
   struct Options {
@@ -44,8 +48,8 @@ class Exporter {
     std::function<std::string()> progress_provider;
   };
 
-  Exporter() = default;
-  explicit Exporter(Options options) : options_(std::move(options)) {}
+  Exporter();
+  explicit Exporter(Options options);
   ~Exporter();
 
   Exporter(const Exporter&) = delete;
@@ -60,34 +64,26 @@ class Exporter {
   /// by the destructor.
   void stop();
 
-  bool running() const noexcept {
-    return running_.load(std::memory_order_acquire);
-  }
+  bool running() const noexcept;
   /// The bound port (resolves port 0 after a successful `start()`).
-  std::uint16_t port() const noexcept { return bound_port_; }
+  std::uint16_t port() const noexcept;
   const std::string& error() const noexcept { return error_; }
   /// Requests served so far (any route).
-  std::uint64_t scrapes() const noexcept {
-    return scrapes_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t scrapes() const noexcept;
 
  private:
-  void serve_loop();
-
   Options options_;
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_requested_{false};
-  std::atomic<std::uint64_t> scrapes_{0};
-  int listen_fd_ = -1;
-  std::uint16_t bound_port_ = 0;
+  std::unique_ptr<svc::HttpServer> server_;
   std::string error_;
 };
 
 /// Minimal blocking HTTP/1.1 GET for tests and CLI self-checks: returns
 /// the response body, optionally the status line ("HTTP/1.1 200 OK").
-/// Throws std::runtime_error on connect/transport failure. Available in
-/// every build mode.
+/// A thin wrapper over `svc::http_request` (which carries the POST +
+/// status/header-capture surface service tests use), so a truncated or
+/// oversized response throws a descriptive error instead of being silently
+/// cut short. Throws std::runtime_error on connect/transport failure.
+/// Available in every build mode.
 std::string http_get(const std::string& host, std::uint16_t port,
                      const std::string& path,
                      std::string* status_line = nullptr);

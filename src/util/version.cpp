@@ -1,0 +1,33 @@
+#include "util/version.hpp"
+
+#ifndef LCL_GIT_SHA
+#define LCL_GIT_SHA "unknown"
+#endif
+#ifndef LCL_BUILD_TYPE
+#define LCL_BUILD_TYPE "unknown"
+#endif
+#ifndef LCL_PROJECT_VERSION
+#define LCL_PROJECT_VERSION "0.0.0"
+#endif
+
+namespace lcl {
+
+const char* git_sha() noexcept { return LCL_GIT_SHA; }
+
+const char* build_type() noexcept { return LCL_BUILD_TYPE; }
+
+const char* project_version() noexcept { return LCL_PROJECT_VERSION; }
+
+std::string version_string(std::string_view tool) {
+  std::string out(tool);
+  out += ' ';
+  out += LCL_PROJECT_VERSION;
+  out += '+';
+  out += LCL_GIT_SHA;
+  out += " (";
+  out += LCL_BUILD_TYPE;
+  out += ')';
+  return out;
+}
+
+}  // namespace lcl

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace lcl {
+
+/// Configure-time provenance, identical across every binary of one build
+/// tree (the top-level CMakeLists computes the SHA once and bakes it into
+/// this translation unit): "abc123def456", "abc123def456-dirty", or
+/// "unknown" outside a git checkout.
+const char* git_sha() noexcept;
+
+/// CMAKE_BUILD_TYPE of the tree ("RelWithDebInfo", "Release", ...).
+const char* build_type() noexcept;
+
+/// Project version from the top-level `project(... VERSION)` stanza.
+const char* project_version() noexcept;
+
+/// The one-line form every CLI prints for `--version`:
+///   "<tool> <project-version>+<git-sha> (<build-type>)"
+std::string version_string(std::string_view tool);
+
+}  // namespace lcl

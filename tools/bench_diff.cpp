@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/version.hpp"
 
 namespace {
 
@@ -126,6 +127,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--version") {
+      std::cout << lcl::version_string("bench_diff") << "\n";
+      return 0;
+    }
     if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(11);
     } else if (arg.rfind("--current=", 0) == 0) {

@@ -32,6 +32,7 @@
 #include "obs/resource_sampler.hpp"
 #include "obs/run_context.hpp"
 #include "util/rng.hpp"
+#include "util/version.hpp"
 
 namespace {
 
@@ -197,6 +198,9 @@ int main(int argc, char** argv) {
     std::uint64_t value = 0;
     if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
+    } else if (arg == "--version") {
+      std::cout << lcl::version_string("lcl_batch") << "\n";
+      return 0;
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg == "--quiet") {

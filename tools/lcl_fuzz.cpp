@@ -24,6 +24,7 @@
 #include "obs/obs.hpp"
 #include "obs/resource_sampler.hpp"
 #include "obs/run_context.hpp"
+#include "util/version.hpp"
 
 namespace {
 
@@ -159,6 +160,9 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
+    } else if (arg == "--version") {
+      std::cout << lcl::version_string("lcl_fuzz") << "\n";
+      return 0;
     } else if (arg == "--list-oracles") {
       list_oracles = true;
     } else if (arg == "--no-shrink") {

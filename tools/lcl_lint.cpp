@@ -36,6 +36,7 @@
 #include "lint/analyzer.hpp"
 #include "lint/canonical.hpp"
 #include "lint/sarif.hpp"
+#include "util/version.hpp"
 #include "lint/spec_io.hpp"
 #include "obs/json.hpp"
 
@@ -144,6 +145,9 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
+    } else if (arg == "--version") {
+      std::cout << lcl::version_string("lcl_lint") << "\n";
+      return 0;
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--fix") {

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "obs/trace_reader.hpp"
+#include "util/version.hpp"
 
 namespace {
 
@@ -38,7 +39,10 @@ int main(int argc, char** argv) {
   bool progress_only = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--validate") == 0) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", lcl::version_string("trace_summary").c_str());
+      return 0;
+    } else if (std::strcmp(argv[i], "--validate") == 0) {
       validate_only = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       progress_only = true;
