@@ -95,6 +95,16 @@ Cache::Cache(Options options) : options_(std::move(options)) {
     throw std::runtime_error("batch::Cache: cannot open '" +
                              options_.disk_path + "' for appending");
   }
+  // A fresh tier opens with its provenance line; a resumed tier keeps
+  // whatever provenance (or lack of it) it already has.
+  if (!options_.meta_git_sha.empty() && !disk_had_content_) {
+    obs::json::Value meta = obs::json::Value::make_object();
+    meta.object()["meta"] =
+        obs::json::Value(std::string("lclscape.cachetier.v1"));
+    meta.object()["git_sha"] = obs::json::Value(options_.meta_git_sha);
+    *disk_ << obs::json::dump(meta) << '\n';
+    disk_->flush();
+  }
 }
 
 Cache::~Cache() = default;
@@ -107,6 +117,7 @@ void Cache::load_disk_locked() {
     // A file killed mid-append ends without a newline; the next append
     // must not glue a fresh record onto that torn tail.
     disk_needs_newline_ = in.eof() && !line.empty();
+    if (!line.empty()) disk_had_content_ = true;
     if (line.empty()) continue;
     std::string error;
     const auto record = obs::json::parse(line, &error);
@@ -115,6 +126,19 @@ void Cache::load_disk_locked() {
     // the cache exists to accelerate.
     if (record == nullptr || !record->is_object()) {
       ++stats_.disk_skipped;
+      continue;
+    }
+    // The provenance meta line (first line of tiers written since it was
+    // introduced). Not an entry and not "skipped" - old tiers simply lack
+    // it.
+    if (const auto* meta = record->find("meta");
+        meta != nullptr && meta->is_string()) {
+      if (meta->as_string() == "lclscape.cachetier.v1") {
+        if (const auto* sha = record->find("git_sha");
+            sha != nullptr && sha->is_string()) {
+          loaded_git_sha_ = sha->as_string();
+        }
+      }
       continue;
     }
     const auto* kind = record->find("kind");
@@ -347,6 +371,11 @@ CacheStats Cache::stats() const {
 std::size_t Cache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return lru_.size();
+}
+
+std::optional<std::string> Cache::loaded_git_sha() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_git_sha_;
 }
 
 }  // namespace lcl::batch

@@ -95,6 +95,14 @@ class Cache {
     /// hit is confirmed exactly (permute + `same_constraints`) before being
     /// served, mirroring the raw tier's collision safety.
     bool canonical_tier = false;
+    /// When non-empty, a fresh disk tier starts with a provenance meta line
+    /// `{"meta":"lclscape.cachetier.v1","git_sha":...}` recording the
+    /// producing engine version. Resuming a tier written by a different
+    /// engine silently mixes verdict generations; the CLI's `--resume`
+    /// compares `loaded_git_sha()` against the running binary and warns (or
+    /// errors under `--resume=strict`). Old readers skip the meta line as an
+    /// unrecognized record; tiers without one load with no provenance.
+    std::string meta_git_sha;
   };
 
   /// A `find_canonical` hit: the stored value plus the evidence needed to
@@ -153,6 +161,11 @@ class Cache {
 
   CacheStats stats() const;
   std::size_t size() const;
+
+  /// The git SHA recorded in the resumed disk tier's provenance meta line;
+  /// `std::nullopt` when there is no disk tier, the tier was fresh, or it
+  /// predates the meta line.
+  std::optional<std::string> loaded_git_sha() const;
 
  private:
   struct Entry {
@@ -214,6 +227,10 @@ class Cache {
   /// append starts with a newline so it lands on its own line instead of
   /// concatenating onto the torn one.
   bool disk_needs_newline_ = false;
+  /// True when `load_disk_locked` saw any line at all (even torn) - a
+  /// non-empty resumed file never gets a second meta line appended.
+  bool disk_had_content_ = false;
+  std::optional<std::string> loaded_git_sha_;
   CacheStats stats_;
 };
 

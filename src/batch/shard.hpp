@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "batch/survey.hpp"
+#include "core/lcl.hpp"
+#include "obs/json.hpp"
+
+namespace lcl::batch {
+
+/// Which shard of a sharded survey run a process is responsible for.
+/// `count == 1, index == 0` is the unsharded (single-pool) degenerate case.
+struct ShardRef {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Deterministic shard key of one problem: the label-permutation-invariant
+/// `lint::canonical_signature` when the orbit search completes within
+/// budget, the raw `constraint_signature` otherwise (the same fallback the
+/// survey's `canonical_key` column uses). Permutation-equivalent problems
+/// therefore land on the same shard - which keeps the canonical cache tier
+/// effective *within* a shard - and the key depends only on the problem's
+/// constraints, never on thread counts, enumeration order, or label names.
+std::uint64_t shard_key(const NodeEdgeCheckableLcl& problem);
+
+/// `key -> shard` assignment: a fixed bijective finalizer (so consecutive
+/// signatures spread) reduced mod `shard_count`. Total and deterministic;
+/// `shard_count == 0` throws `std::invalid_argument`.
+std::size_t shard_index(std::uint64_t key, std::size_t shard_count);
+
+/// The versioned `lclscape.shards.v1` manifest describing one shard of a
+/// survey run: which slice of the spec space it covers, where its cache
+/// tier lives, and which engine version produced it. Written next to the
+/// shard report by `lcl_batch --shard=I/N` and embedded in the report's
+/// top-level "shard" block; the merge step cross-checks manifests before
+/// joining rows.
+struct ShardManifest {
+  /// Full family description (the whole spec space, not just this shard).
+  std::string family;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Size of the full spec space across all shards.
+  std::size_t members_total = 0;
+  /// This shard's member names, in family enumeration order - the "spec
+  /// range" of the manifest. Explicit names (not an index interval) because
+  /// the signature-keyed assignment is not contiguous in enumeration order.
+  std::vector<std::string> members;
+  /// Path of this shard's JSONL cache tier ("" = no disk tier).
+  std::string cache_tier;
+  /// `lcl::git_sha()` of the producing binary ("unknown" outside git).
+  std::string git_sha;
+
+  obs::json::Value to_json_value() const;
+  std::string to_json() const;
+  /// Parses a manifest back; throws `std::runtime_error` on a missing or
+  /// wrong "schema" marker or malformed fields.
+  static ShardManifest from_json_value(const obs::json::Value& value);
+};
+
+/// The deterministic shard plan: the restricted family a shard process
+/// sweeps plus its manifest. Planning is a pure function of
+/// (family, shard ref, cache tier path, git sha): every process that
+/// enumerates the same family computes the same partition, so N
+/// independent `lcl_batch --shard=i/N` invocations cover the spec space
+/// exactly once with no coordination.
+struct ShardPlan {
+  /// Restricted family: only this shard's members, in family enumeration
+  /// order; `description` is the full family's.
+  Family members;
+  ShardManifest manifest;
+};
+ShardPlan plan_shard(const Family& family, ShardRef shard,
+                     const std::string& cache_tier = "",
+                     const std::string& git_sha = "");
+
+/// A merge inconsistency that means the shard set does NOT reassemble the
+/// surveyed spec space: a class-verdict conflict between shards, a missing
+/// or duplicated shard index, mismatched family/options echoes, or a row
+/// count that does not add up. Distinct from parse errors (plain
+/// `std::runtime_error`) so the CLI can exit 1 vs 2.
+class MergeConflictError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The merge/dedup step: joins N shard report documents (each a
+/// `lclscape.survey.v3` doc carrying a "shard" manifest block) into the one
+/// report a single-pool run over the full family would have produced,
+/// byte-for-byte. Rows are keyed on `key` (constraint signature + name);
+/// byte-identical duplicate rows between shards are deduplicated, rows that
+/// share a key but disagree on any field make the merge refuse with a
+/// `MergeConflictError` naming the key and the conflicting verdicts.
+struct MergeResult {
+  SurveyReport report;
+  /// The input manifests, sorted by shard index.
+  std::vector<ShardManifest> manifests;
+  /// Cross-shard duplicate rows that were deduplicated (identical bytes).
+  std::size_t duplicates = 0;
+};
+MergeResult merge_shard_reports(const std::vector<obs::json::Value>& docs);
+
+}  // namespace lcl::batch

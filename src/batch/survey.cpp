@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <utility>
 
 #include "batch/pool.hpp"
@@ -499,6 +500,9 @@ SurveyReport run_survey(const Family& family, const SurveyOptions& options) {
   report.engine_degrees = options.engine.degrees;
   report.check_nodes = options.check_nodes;
   report.check_budget = options.check_budget;
+  report.classify_cycles = options.classify_cycles;
+  report.classify_paths = options.classify_paths;
+  report.classifier_speedup_steps = options.classifier_speedup_steps;
 
   obs::RunContext* run = options.run;
   if (run != nullptr) {
@@ -601,6 +605,10 @@ json::Value SurveyReport::to_json_value() const {
       json::Value(static_cast<std::int64_t>(check_nodes));
   survey.object()["check_budget"] =
       json::Value(static_cast<std::int64_t>(check_budget));
+  survey.object()["classify_cycles"] = json::Value(classify_cycles);
+  survey.object()["classify_paths"] = json::Value(classify_paths);
+  survey.object()["classifier_speedup_steps"] =
+      json::Value(static_cast<std::int64_t>(classifier_speedup_steps));
   survey.object()["errors"] = json::Value(static_cast<std::int64_t>(errors));
   survey.object()["canonical_classes"] =
       json::Value(static_cast<std::int64_t>(canonical_classes));
@@ -619,37 +627,95 @@ json::Value SurveyReport::to_json_value() const {
 
   json::Value rows = json::Value::make_array();
   for (const auto& o : outcomes) {
-    json::Value row = json::Value::make_object();
-    auto& fields = row.object();
-    fields["name"] = json::Value(o.name);
-    fields["key"] = json::Value(o.key);
-    fields["canonical_key"] = json::Value(o.canonical_key);
-    fields["labels"] = json::Value(static_cast<std::int64_t>(o.labels));
-    fields["node_configs"] =
-        json::Value(static_cast<std::int64_t>(o.node_configs));
-    fields["edge_configs"] =
-        json::Value(static_cast<std::int64_t>(o.edge_configs));
-    fields["cycle"] = json::Value(o.cycle_class);
-    fields["path"] = json::Value(o.path_class);
-    fields["class"] = json::Value(o.landscape_class);
-    fields["zero_round_step"] =
-        json::Value(static_cast<std::int64_t>(o.zero_round_step));
-    fields["steps_applied"] =
-        json::Value(static_cast<std::int64_t>(o.steps_applied));
-    fields["fixed_point"] = json::Value(o.fixed_point);
-    fields["budget_exhausted"] = json::Value(o.budget_exhausted);
-    fields["detected_unsolvable"] = json::Value(o.detected_unsolvable);
-    fields["preflight_dead_labels"] =
-        json::Value(static_cast<std::int64_t>(o.preflight_dead_labels));
-    fields["check"] = json::Value(o.check);
-    fields["note"] = json::Value(o.note);
-    fields["error"] = json::Value(o.error);
-    fields["error_budget"] =
-        json::Value(static_cast<std::int64_t>(o.error_budget));
-    rows.array().push_back(std::move(row));
+    rows.array().push_back(outcome_to_json_value(o));
   }
   top["problems"] = std::move(rows);
   return root;
+}
+
+json::Value outcome_to_json_value(const ProblemOutcome& o) {
+  json::Value row = json::Value::make_object();
+  auto& fields = row.object();
+  fields["name"] = json::Value(o.name);
+  fields["key"] = json::Value(o.key);
+  fields["canonical_key"] = json::Value(o.canonical_key);
+  fields["labels"] = json::Value(static_cast<std::int64_t>(o.labels));
+  fields["node_configs"] =
+      json::Value(static_cast<std::int64_t>(o.node_configs));
+  fields["edge_configs"] =
+      json::Value(static_cast<std::int64_t>(o.edge_configs));
+  fields["cycle"] = json::Value(o.cycle_class);
+  fields["path"] = json::Value(o.path_class);
+  fields["class"] = json::Value(o.landscape_class);
+  fields["zero_round_step"] =
+      json::Value(static_cast<std::int64_t>(o.zero_round_step));
+  fields["steps_applied"] =
+      json::Value(static_cast<std::int64_t>(o.steps_applied));
+  fields["fixed_point"] = json::Value(o.fixed_point);
+  fields["budget_exhausted"] = json::Value(o.budget_exhausted);
+  fields["detected_unsolvable"] = json::Value(o.detected_unsolvable);
+  fields["preflight_dead_labels"] =
+      json::Value(static_cast<std::int64_t>(o.preflight_dead_labels));
+  fields["check"] = json::Value(o.check);
+  fields["note"] = json::Value(o.note);
+  fields["error"] = json::Value(o.error);
+  fields["error_budget"] =
+      json::Value(static_cast<std::int64_t>(o.error_budget));
+  return row;
+}
+
+ProblemOutcome outcome_from_json_value(const json::Value& row) {
+  if (!row.is_object()) {
+    throw std::runtime_error("survey row is not a JSON object");
+  }
+  const auto require_string = [&row](const char* key) -> const std::string& {
+    const auto* v = row.find(key);
+    if (v == nullptr || !v->is_string()) {
+      throw std::runtime_error(std::string("survey row is missing string "
+                                           "field \"") +
+                               key + "\"");
+    }
+    return v->as_string();
+  };
+  const auto read_int = [&row](const char* key, auto& out) {
+    const auto* v = row.find(key);
+    if (v == nullptr || !v->is_number()) {
+      throw std::runtime_error(std::string("survey row is missing numeric "
+                                           "field \"") +
+                               key + "\"");
+    }
+    out = static_cast<std::remove_reference_t<decltype(out)>>(v->as_int());
+  };
+  const auto read_bool = [&row](const char* key, bool& out) {
+    const auto* v = row.find(key);
+    if (v == nullptr || !v->is_bool()) {
+      throw std::runtime_error(std::string("survey row is missing boolean "
+                                           "field \"") +
+                               key + "\"");
+    }
+    out = v->as_bool();
+  };
+  ProblemOutcome o;
+  o.name = require_string("name");
+  o.key = require_string("key");
+  o.canonical_key = require_string("canonical_key");
+  read_int("labels", o.labels);
+  read_int("node_configs", o.node_configs);
+  read_int("edge_configs", o.edge_configs);
+  o.cycle_class = require_string("cycle");
+  o.path_class = require_string("path");
+  o.landscape_class = require_string("class");
+  read_int("zero_round_step", o.zero_round_step);
+  read_int("steps_applied", o.steps_applied);
+  read_bool("fixed_point", o.fixed_point);
+  read_bool("budget_exhausted", o.budget_exhausted);
+  read_bool("detected_unsolvable", o.detected_unsolvable);
+  read_int("preflight_dead_labels", o.preflight_dead_labels);
+  o.check = require_string("check");
+  o.note = require_string("note");
+  o.error = require_string("error");
+  read_int("error_budget", o.error_budget);
+  return o;
 }
 
 std::string SurveyReport::to_json() const {

@@ -136,6 +136,13 @@ struct SurveyReport {
   std::vector<int> engine_degrees;
   std::size_t check_nodes = 0;
   std::uint64_t check_budget = 0;
+  /// Classifier echo (verdict-relevant too: `lcl_batch --classify=off`
+  /// records "n/a" columns and the landscape class falls through to the
+  /// engine verdicts). The shard merge refuses to join reports whose
+  /// echoes disagree.
+  bool classify_cycles = true;
+  bool classify_paths = true;
+  int classifier_speedup_steps = 0;
   std::vector<ProblemOutcome> outcomes;
   std::map<std::string, std::size_t> class_counts;
   std::map<std::string, std::string> class_exemplars;
@@ -157,5 +164,14 @@ struct SurveyReport {
 /// failures (budget blow-ups, pathological specs) are recorded in that
 /// member's row; they never abort the survey or the pool.
 SurveyReport run_survey(const Family& family, const SurveyOptions& options);
+
+/// One report row as JSON - exactly the rendering `SurveyReport::to_json`
+/// uses - and its lossless inverse. The round-trip is what lets the shard
+/// merge (`batch::merge_shard_reports`) reassemble a byte-identical
+/// single-pool report from independently produced shard reports.
+/// `outcome_from_json_value` throws `std::runtime_error` on a row missing
+/// required fields.
+obs::json::Value outcome_to_json_value(const ProblemOutcome& outcome);
+ProblemOutcome outcome_from_json_value(const obs::json::Value& row);
 
 }  // namespace lcl::batch

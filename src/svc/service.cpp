@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <exception>
-#include <future>
 #include <stdexcept>
 #include <utility>
 
+#include "batch/shard.hpp"
 #include "batch/survey.hpp"
 #include "core/brute_force.hpp"
 #include "lint/analyzer.hpp"
@@ -242,7 +242,12 @@ struct Service::SurveyJob {
   bool done = false;
   std::string error;       // task-level failure (empty = clean)
   std::string report_json;  // the survey report, serialized once
-  std::future<void> future;
+  /// Set when the request carried a "shard" block: the job's
+  /// `lclscape.shards.v1` manifest, echoed by every GET (a client driving
+  /// N sharded survey jobs merges their reports with the same manifests
+  /// the CLI path uses).
+  bool sharded = false;
+  obs::json::Value shard_manifest;
 };
 
 Service::Service(Options options)
@@ -568,6 +573,35 @@ HttpResponse Service::survey_post(const HttpRequest& request) {
         run_id);
   }
 
+  // Optional sharding: restrict the job to one deterministic shard of the
+  // family and remember its manifest for the status echoes.
+  bool sharded = false;
+  batch::ShardManifest manifest;
+  if (const json::Value* sh = doc->find("shard"); sh != nullptr) {
+    if (!sh->is_object()) {
+      return error_response(400, "bad_request", "\"shard\" must be an object",
+                            run_id);
+    }
+    const json::Value* index = sh->find("index");
+    const json::Value* count = sh->find("count");
+    if (index == nullptr || !index->is_number() || count == nullptr ||
+        !count->is_number() || count->as_int() < 1 || index->as_int() < 0 ||
+        index->as_int() >= count->as_int()) {
+      return error_response(400, "bad_request",
+                            "\"shard\" wants index/count with 0 <= index < "
+                            "count",
+                            run_id);
+    }
+    batch::ShardRef shard;
+    shard.index = static_cast<std::size_t>(index->as_int());
+    shard.count = static_cast<std::size_t>(count->as_int());
+    batch::ShardPlan plan = batch::plan_shard(
+        family, shard, options_.cache_path, git_sha());
+    family = std::move(plan.members);
+    manifest = std::move(plan.manifest);
+    sharded = true;
+  }
+
   RequestOptions request_options;
   try {
     request_options = parse_request_options(doc->find("options"), options_);
@@ -584,6 +618,10 @@ HttpResponse Service::survey_post(const HttpRequest& request) {
   }
 
   auto job = std::make_shared<SurveyJob>(run_id);
+  if (sharded) {
+    job->sharded = true;
+    job->shard_manifest = manifest.to_json_value();
+  }
   {
     std::lock_guard<std::mutex> lock(surveys_mutex_);
     surveys_.emplace(run_id, job);
@@ -599,8 +637,14 @@ HttpResponse Service::survey_post(const HttpRequest& request) {
   survey.cache = &cache_;
 
   // The task owns the family, the options, the admission slot, and a
-  // reference on the job; the HTTP response returns immediately.
-  job->future = pool_.submit(
+  // reference on the job; the HTTP response returns immediately. (The
+  // member count is read before the move empties `family`.) The returned
+  // future is deliberately discarded: completion is signalled via
+  // `job->done`, and a stored future would keep the packaged task's shared
+  // state - and with it the lambda's reference on `job` - alive forever
+  // (future -> shared state -> callable -> job -> future cycle).
+  const std::size_t member_count = family.members.size();
+  pool_.submit(
       [job, family = std::move(family), survey,
        slot = std::move(slot)]() mutable {
         batch::SurveyOptions options = survey;
@@ -624,7 +668,8 @@ HttpResponse Service::survey_post(const HttpRequest& request) {
   root.object()["survey_id"] = json::Value(run_id);
   root.object()["run_id"] = json::Value(run_id);
   root.object()["status"] = json::Value(std::string("running"));
-  root.object()["problems"] = int_value(family.members.size());
+  root.object()["problems"] = int_value(member_count);
+  if (sharded) root.object()["shard"] = manifest.to_json_value();
   HttpResponse response = json_response(std::move(root), 202);
   return response;
 }
@@ -643,6 +688,7 @@ HttpResponse Service::survey_get(const std::string& id) {
   json::Value root = json::Value::make_object();
   root.object()["schema"] = json::Value(std::string(kSchema));
   root.object()["survey_id"] = json::Value(id);
+  if (job->sharded) root.object()["shard"] = job->shard_manifest;
 
   std::lock_guard<std::mutex> lock(job->mutex);
   if (!job->done) {

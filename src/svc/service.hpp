@@ -35,9 +35,13 @@ namespace lcl::svc {
 ///                        algorithm's radius;
 ///   POST /v1/survey      a family -> 202 + survey id (async; resumable
 ///                        across daemon restarts via the cache's JSONL
-///                        tier);
+///                        tier). An optional "shard":{"index","count"}
+///                        block restricts the job to one deterministic
+///                        shard of the family (same partition as
+///                        `lcl_batch --shard=i/N`);
 ///   GET  /v1/survey/<id> running -> progress JSON; done -> the
-///                        `lclscape.survey.v3` report;
+///                        `lclscape.survey.v3` report; sharded jobs echo
+///                        their `lclscape.shards.v1` manifest either way;
 ///   GET  /healthz        liveness; GET /metrics  Prometheus exposition;
 ///   GET  /version        build provenance (also `lcld --version`).
 ///

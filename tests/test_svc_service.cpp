@@ -277,6 +277,65 @@ TEST(SvcService, SurveyRunsAsyncAndAdmissionControlRejectsBeyondCap) {
   FAIL() << "survey did not finish";
 }
 
+TEST(SvcService, ShardedSurveyEchoesItsManifest) {
+  Service service(small_options());
+  const HttpResponse accepted = service.handle(make_request(
+      "POST", "/v1/survey",
+      R"({"family":{"kind":"exhaustive","max_degree":2,"labels":2},
+          "shard":{"index":1,"count":4},
+          "options":{"max_steps":2}})"));
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const auto posted = parse_json(accepted.body);
+  const std::string id = string_at(*posted, "survey_id");
+
+  // The 202 and every GET carry the lclscape.shards.v1 manifest: this
+  // shard's slice of the 49-member family, identified by index/count.
+  const json::Value* manifest = posted->find("shard");
+  ASSERT_NE(manifest, nullptr) << accepted.body;
+  EXPECT_EQ(string_at(*manifest, "schema"), "lclscape.shards.v1");
+  EXPECT_EQ(int_at(*manifest->find("shard"), "index"), 1);
+  EXPECT_EQ(int_at(*manifest->find("shard"), "count"), 4);
+  EXPECT_EQ(int_at(*manifest, "members_total"), 49);
+  const std::size_t shard_members =
+      manifest->find("members")->as_array().size();
+  EXPECT_GT(shard_members, 0u);
+  EXPECT_LT(shard_members, 49u);
+  EXPECT_EQ(int_at(*posted, "problems"),
+            static_cast<std::int64_t>(shard_members));
+
+  for (int i = 0; i < 600; ++i) {
+    const HttpResponse status =
+        service.handle(make_request("GET", "/v1/survey/" + id));
+    ASSERT_EQ(status.status, 200) << status.body;
+    const auto body = parse_json(status.body);
+    const json::Value* echoed = body->find("shard");
+    ASSERT_NE(echoed, nullptr) << status.body;
+    EXPECT_EQ(int_at(*echoed->find("shard"), "index"), 1);
+    if (string_at(*body, "status") == "done") {
+      const json::Value* report = body->find("report");
+      ASSERT_NE(report, nullptr);
+      EXPECT_EQ(int_at(*report->find("survey"), "problems"),
+                static_cast<std::int64_t>(shard_members));
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  FAIL() << "sharded survey did not finish";
+}
+
+TEST(SvcService, SurveyRejectsMalformedShardBlocks) {
+  Service service(small_options());
+  for (const char* body :
+       {R"({"family":{"kind":"exhaustive"},"shard":42})",
+        R"({"family":{"kind":"exhaustive"},"shard":{"index":4,"count":4}})",
+        R"({"family":{"kind":"exhaustive"},"shard":{"index":0,"count":0}})",
+        R"({"family":{"kind":"exhaustive"},"shard":{"count":2}})"}) {
+    const HttpResponse response =
+        service.handle(make_request("POST", "/v1/survey", body));
+    EXPECT_EQ(response.status, 400) << body << " -> " << response.body;
+  }
+}
+
 TEST(SvcService, UnknownSurveyIdIs404) {
   Service service(small_options());
   EXPECT_EQ(service.handle(make_request("GET", "/v1/survey/nope")).status,

@@ -6,9 +6,15 @@
 //   lcl_batch --family=generator --seeds=200 --jobs=0 --cache-dir=.cache
 //   lcl_batch --spec-dir=tests/corpus --report-json=report.json
 //   lcl_batch --family=exhaustive --cache-dir=.cache --resume   # warm rerun
+//   lcl_batch --shard=0/4 --cache-dir=.cache --report-json=shard0.json
 //
 // The report JSON is deterministic: byte-identical for any --jobs value and
-// for cold vs. warm caches.
+// for cold vs. warm caches. `--shard=I/N` restricts the run to the members
+// whose deterministic shard key lands on shard I; N independent processes
+// cover the family exactly once, each writing its own cache tier
+// (`cache-shard-I-of-N.jsonl`) and a report carrying its
+// `lclscape.shards.v1` manifest, which `lcl_survey_merge` joins back into
+// the byte-identical single-pool report.
 //
 // Exit codes: 0 = survey completed and every member was processed cleanly,
 // 1 = at least one member recorded a task error, 2 = usage or I/O error.
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "batch/cache.hpp"
+#include "batch/shard.hpp"
 #include "batch/survey.hpp"
 #include "fuzz/generator.hpp"
 #include "obs/exporter.hpp"
@@ -104,8 +111,20 @@ int usage(std::ostream& out, int code) {
          "                         verdicts (each hit confirmed exactly;\n"
          "                         implies an in-memory cache even without\n"
          "                         --cache-dir)\n"
-         "  --resume               reuse an existing on-disk cache (default\n"
-         "                         truncates it)\n"
+         "  --resume[=strict]      reuse an existing on-disk cache (default\n"
+         "                         truncates it); a tier recorded by a\n"
+         "                         different engine git SHA warns, or errors\n"
+         "                         under --resume=strict\n"
+         "  --shard=I/N            survey only shard I of N (deterministic\n"
+         "                         signature-keyed partition; the report\n"
+         "                         embeds the shard manifest and the cache\n"
+         "                         tier becomes cache-shard-I-of-N.jsonl)\n"
+         "  --manifest=FILE        also write the lclscape.shards.v1 shard\n"
+         "                         manifest JSON here (requires --shard)\n"
+         "  --classify=on|off      run the cycle/path classifiers (default\n"
+         "                         on; off records \"n/a\" columns and the\n"
+         "                         landscape class falls through to the\n"
+         "                         engine verdicts)\n"
          "  --report-json=FILE     write the landscape report JSON here\n"
          "  --delta=N              exhaustive family: max degree (default "
          "2)\n"
@@ -155,6 +174,21 @@ bool parse_u64(const std::string& text, std::uint64_t& out) {
   }
 }
 
+bool parse_shard(const std::string& text, lcl::batch::ShardRef& out) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  if (!parse_u64(text.substr(0, slash), index) ||
+      !parse_u64(text.substr(slash + 1), count)) {
+    return false;
+  }
+  if (count == 0 || index >= count) return false;
+  out.index = static_cast<std::size_t>(index);
+  out.count = static_cast<std::size_t>(count);
+  return true;
+}
+
 bool parse_degrees(const std::string& text, std::vector<int>& out) {
   out.clear();
   if (text.empty() || text == "forest") return true;
@@ -176,8 +210,12 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::string report_path;
   bool resume = false;
+  bool resume_strict = false;
   bool quiet = false;
   bool canonical_key = false;
+  bool sharded = false;
+  lcl::batch::ShardRef shard;
+  std::string manifest_path;
   lcl::batch::ExhaustiveFamilyOptions exhaustive;
   std::uint64_t seeds = 50;
   std::uint64_t seed_start = 1;
@@ -203,6 +241,29 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--resume=strict") {
+      resume = true;
+      resume_strict = true;
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      if (!parse_shard(value_of("--shard="), shard)) {
+        std::cerr << "lcl_batch: --shard wants I/N with I < N\n";
+        return 2;
+      }
+      sharded = true;
+    } else if (arg.rfind("--manifest=", 0) == 0) {
+      manifest_path = value_of("--manifest=");
+    } else if (arg.rfind("--classify=", 0) == 0) {
+      const std::string mode = value_of("--classify=");
+      if (mode == "on") {
+        survey.classify_cycles = true;
+        survey.classify_paths = true;
+      } else if (mode == "off") {
+        survey.classify_cycles = false;
+        survey.classify_paths = false;
+      } else {
+        std::cerr << "lcl_batch: --classify wants on|off\n";
+        return 2;
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--family=", 0) == 0) {
@@ -296,6 +357,10 @@ int main(int argc, char** argv) {
       return usage(std::cerr, 2);
     }
   }
+  if (!manifest_path.empty() && !sharded) {
+    std::cerr << "lcl_batch: --manifest requires --shard\n";
+    return 2;
+  }
 
   try {
     const bool telemetry = telemetry_wanted();
@@ -373,18 +438,62 @@ int main(int argc, char** argv) {
       family = lcl::batch::exhaustive_family(exhaustive);
     }
 
+    // Each shard owns its cache tier, so N shard processes never contend on
+    // one file and a single shard can be killed and resumed independently.
+    std::string cache_tier;
+    if (!cache_dir.empty()) {
+      const std::string file =
+          sharded ? "cache-shard-" + std::to_string(shard.index) + "-of-" +
+                        std::to_string(shard.count) + ".jsonl"
+                  : "cache.jsonl";
+      cache_tier = (std::filesystem::path(cache_dir) / file).string();
+    }
+
+    lcl::batch::ShardPlan plan;
+    if (sharded) {
+      plan = lcl::batch::plan_shard(family, shard, cache_tier,
+                                    lcl::git_sha());
+      family = std::move(plan.members);
+    }
+
     std::unique_ptr<Cache> cache;
-    if (!cache_dir.empty() || canonical_key) {
+    if (!cache_tier.empty() || canonical_key) {
       Cache::Options cache_options;
-      if (!cache_dir.empty()) {
+      if (!cache_tier.empty()) {
         std::filesystem::create_directories(cache_dir);
-        cache_options.disk_path =
-            (std::filesystem::path(cache_dir) / "cache.jsonl").string();
+        cache_options.disk_path = cache_tier;
         cache_options.load_existing = resume;
+        cache_options.meta_git_sha = lcl::git_sha();
       }
       cache_options.canonical_tier = canonical_key;
       cache = std::make_unique<Cache>(std::move(cache_options));
       survey.cache = cache.get();
+      if (resume) {
+        // A tier written by a different engine silently mixes verdict
+        // generations into one report - surface it.
+        const auto loaded_sha = cache->loaded_git_sha();
+        if (loaded_sha.has_value() && *loaded_sha != lcl::git_sha()) {
+          std::cerr << "lcl_batch: " << (resume_strict ? "error" : "warning")
+                    << ": resumed cache tier '" << cache_tier
+                    << "' was written by engine " << *loaded_sha
+                    << " but this binary is " << lcl::git_sha()
+                    << (resume_strict
+                            ? ""
+                            : " (use --resume=strict to refuse, or delete "
+                              "the tier)")
+                    << "\n";
+          if (resume_strict) return 2;
+        }
+      }
+    }
+
+    if (!manifest_path.empty()) {
+      std::ofstream out(manifest_path);
+      if (!out.is_open()) {
+        std::cerr << "lcl_batch: cannot write '" << manifest_path << "'\n";
+        return 2;
+      }
+      out << plan.manifest.to_json();
     }
 
     const auto report = lcl::batch::run_survey(family, survey);
@@ -400,6 +509,9 @@ int main(int argc, char** argv) {
         return 2;
       }
       json::Value document = report.to_json_value();
+      if (sharded) {
+        document.object()["shard"] = plan.manifest.to_json_value();
+      }
       if (telemetry && report_telemetry) {
         document.object()["telemetry"] = telemetry_block(
             run, start_snapshot, lcl::obs::registry().snapshot());
@@ -408,6 +520,11 @@ int main(int argc, char** argv) {
     }
     if (!quiet) {
       std::cout << "family:    " << report.family << "\n";
+      if (sharded) {
+        std::cout << "shard:     " << shard.index << "/" << shard.count
+                  << "  (" << report.problems << " of "
+                  << plan.manifest.members_total << " members)\n";
+      }
       std::cout << "problems:  " << report.problems << "\n";
       for (const auto& [name, count] : report.class_counts) {
         std::cout << "  " << name << ": " << count << "  (e.g. "

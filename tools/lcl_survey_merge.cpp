@@ -1,0 +1,168 @@
+// Joins the per-shard reports of a sharded survey run
+// (`lcl_batch --shard=i/N ... --report-json=shard-i.json`) back into the
+// one `lclscape.survey.v3` report a single-pool run over the full family
+// would have produced - byte-for-byte, so the merged report can be diffed
+// against single-pool goldens directly.
+//
+//   lcl_survey_merge --out=merged.json shard-0.json shard-1.json ...
+//
+// The merge validates the `lclscape.shards.v1` manifests embedded in the
+// shard reports (complete index set 0..N-1, agreeing family and
+// verdict-relevant option echoes, row sets matching the manifests),
+// deduplicates byte-identical rows, and REFUSES when two shards disagree
+// on any field of a shared row - a class-verdict conflict means the shard
+// tiers were produced by different engine generations and the merged
+// report would be a mix.
+//
+// Exit codes: 0 = merged cleanly, 1 = merge conflict (the shard set does
+// not reassemble one survey), 2 = usage or I/O/parse error.
+
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batch/shard.hpp"
+#include "batch/survey.hpp"
+#include "obs/json.hpp"
+#include "util/version.hpp"
+
+namespace {
+
+namespace json = lcl::obs::json;
+
+int usage(std::ostream& out, int code) {
+  out << "usage: lcl_survey_merge [options] SHARD.json...\n"
+         "  --out=FILE           write the merged lclscape.survey.v3 report\n"
+         "                       (byte-identical to a single-pool run)\n"
+         "  --manifest-out=FILE  write the combined lclscape.shards.v1\n"
+         "                       manifest document (all shard manifests)\n"
+         "  --quiet              suppress the merge summary\n"
+         "exit: 0 merged, 1 merge conflict, 2 usage/parse\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string manifest_out_path;
+  bool quiet = false;
+  std::vector<std::string> shard_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--version") {
+      std::cout << lcl::version_string("lcl_survey_merge") << "\n";
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--manifest-out=", 0) == 0) {
+      manifest_out_path = arg.substr(15);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "lcl_survey_merge: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (shard_paths.empty()) {
+    std::cerr << "lcl_survey_merge: no shard reports given\n";
+    return usage(std::cerr, 2);
+  }
+
+  std::vector<json::Value> docs;
+  docs.reserve(shard_paths.size());
+  for (const auto& path : shard_paths) {
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      std::cerr << "lcl_survey_merge: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto doc = json::parse(buffer.str(), &error);
+    if (doc == nullptr) {
+      std::cerr << "lcl_survey_merge: '" << path << "': " << error << "\n";
+      return 2;
+    }
+    docs.push_back(*doc);
+  }
+
+  lcl::batch::MergeResult result;
+  try {
+    result = lcl::batch::merge_shard_reports(docs);
+  } catch (const lcl::batch::MergeConflictError& e) {
+    std::cerr << "lcl_survey_merge: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "lcl_survey_merge: " << e.what() << "\n";
+    return 2;
+  }
+
+  // Mixed engine generations across shards merge fine when every shared
+  // row agrees, but they are worth a warning - the next engine change may
+  // not be so lucky.
+  {
+    std::set<std::string> shas;
+    for (const auto& manifest : result.manifests) {
+      if (!manifest.git_sha.empty()) shas.insert(manifest.git_sha);
+    }
+    if (shas.size() > 1) {
+      std::cerr << "lcl_survey_merge: warning: shard tiers were produced by "
+                << shas.size() << " different engine versions\n";
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out.is_open()) {
+      std::cerr << "lcl_survey_merge: cannot write '" << out_path << "'\n";
+      return 2;
+    }
+    // Same rendering as `lcl_batch --report-json` (dump + newline), so the
+    // merged file is byte-identical to the single-pool report.
+    out << json::dump(result.report.to_json_value()) << "\n";
+  }
+  if (!manifest_out_path.empty()) {
+    std::ofstream out(manifest_out_path);
+    if (!out.is_open()) {
+      std::cerr << "lcl_survey_merge: cannot write '" << manifest_out_path
+                << "'\n";
+      return 2;
+    }
+    json::Value document = json::Value::make_object();
+    document.object()["schema"] =
+        json::Value(std::string("lclscape.shards.v1"));
+    json::Value shards = json::Value::make_array();
+    for (const auto& manifest : result.manifests) {
+      shards.array().push_back(manifest.to_json_value());
+    }
+    document.object()["shards"] = std::move(shards);
+    out << json::dump(document) << "\n";
+  }
+
+  if (!quiet) {
+    const auto& report = result.report;
+    std::cout << "family:    " << report.family << "\n";
+    std::cout << "shards:    " << result.manifests.size() << "\n";
+    std::cout << "problems:  " << report.problems << "\n";
+    if (result.duplicates != 0) {
+      std::cout << "deduped:   " << result.duplicates
+                << " identical cross-shard rows\n";
+    }
+    for (const auto& [name, count] : report.class_counts) {
+      std::cout << "  " << name << ": " << count << "\n";
+    }
+    std::cout << "canonical: " << report.canonical_classes
+              << " label-permutation classes\n";
+  }
+  return 0;
+}

@@ -1,0 +1,268 @@
+// Atlas regression gate over `lclscape.survey.v3` reports - the survey
+// counterpart of `bench_diff`.
+//
+//   survey_diff --baseline=GOLDEN.json --current=RUN.json [--allow-growth]
+//       Structural diff: rows are matched on their canonical sort key
+//       ("key"). Any class-verdict flip, canonical-key drift, removed
+//       member, or changed verdict-relevant option echo fails. Added
+//       members fail too unless --allow-growth, so enlarging the atlas
+//       passes review while a verdict flip never does.
+//
+//   survey_diff --strict --baseline=A.json --current=B.json
+//       Byte comparison of the two files (the determinism gate: reports
+//       from different --jobs values or shard merges must be identical).
+//
+// Exit codes: 0 = reports match (under the chosen gate), 1 = a difference
+// failed the gate, 2 = usage or I/O/parse error.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/version.hpp"
+
+namespace {
+
+namespace json = lcl::obs::json;
+
+int usage(std::ostream& out, int code) {
+  out << "usage: survey_diff [options]\n"
+         "  --baseline=FILE   lclscape.survey.v3 report to compare against\n"
+         "  --current=FILE    report under test\n"
+         "  --allow-growth    added members (and the canonical-class growth\n"
+         "                    they bring) pass; verdict flips still fail\n"
+         "  --strict          byte comparison instead of the structural "
+         "diff\n"
+         "exit: 0 match, 1 difference, 2 usage/parse\n";
+  return code;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::cerr << "survey_diff: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// One report, reduced to what the structural gate compares.
+struct Report {
+  /// Verdict-relevant "survey" echoes rendered back to strings, keyed by
+  /// field name ("family", "engine_max_steps", ...).
+  std::map<std::string, std::string> options;
+  std::int64_t canonical_classes = 0;
+  /// Row key -> (landscape class, canonical key, member name).
+  struct Row {
+    std::string landscape_class;
+    std::string canonical_key;
+    std::string name;
+  };
+  std::map<std::string, Row> rows;
+};
+
+std::optional<Report> load_report(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text.has_value()) return std::nullopt;
+  std::string error;
+  const auto doc = json::parse(*text, &error);
+  if (doc == nullptr || !doc->is_object()) {
+    std::cerr << "survey_diff: '" << path << "': " << error << "\n";
+    return std::nullopt;
+  }
+  const auto* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "lclscape.survey.v3") {
+    std::cerr << "survey_diff: '" << path
+              << "' is not an lclscape.survey.v3 document\n";
+    return std::nullopt;
+  }
+  const auto* survey = doc->find("survey");
+  if (survey == nullptr || !survey->is_object()) {
+    std::cerr << "survey_diff: '" << path << "' has no survey block\n";
+    return std::nullopt;
+  }
+  Report report;
+  // Everything in the "survey" block except the derived aggregates is a
+  // verdict-relevant echo; unknown (schema-additive) fields on one side
+  // only are tolerated, so a new echo column does not brick the gate
+  // against an older golden.
+  for (const auto& [name, value] : survey->as_object()) {
+    if (name == "errors" || name == "canonical_classes" ||
+        name == "problems") {
+      continue;
+    }
+    report.options[name] = json::dump(value);
+  }
+  if (const auto* canonical = survey->find("canonical_classes");
+      canonical != nullptr && canonical->is_number()) {
+    report.canonical_classes = canonical->as_int();
+  }
+  const auto* rows = doc->find("problems");
+  if (rows == nullptr || !rows->is_array()) {
+    std::cerr << "survey_diff: '" << path << "' has no problems array\n";
+    return std::nullopt;
+  }
+  for (const auto& row : rows->as_array()) {
+    if (!row.is_object()) continue;
+    const auto* key = row.find("key");
+    const auto* klass = row.find("class");
+    if (key == nullptr || !key->is_string() || klass == nullptr ||
+        !klass->is_string()) {
+      std::cerr << "survey_diff: '" << path
+                << "' has a row without key/class\n";
+      return std::nullopt;
+    }
+    Report::Row entry;
+    entry.landscape_class = klass->as_string();
+    if (const auto* canonical = row.find("canonical_key");
+        canonical != nullptr && canonical->is_string()) {
+      entry.canonical_key = canonical->as_string();
+    }
+    if (const auto* name = row.find("name");
+        name != nullptr && name->is_string()) {
+      entry.name = name->as_string();
+    }
+    report.rows.emplace(key->as_string(), std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  bool allow_growth = false;
+  bool strict = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--version") {
+      std::cout << lcl::version_string("survey_diff") << "\n";
+      return 0;
+    } else if (arg == "--allow-growth") {
+      allow_growth = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--current=", 0) == 0) {
+      current_path = arg.substr(10);
+    } else {
+      std::cerr << "survey_diff: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "survey_diff: --baseline and --current are required\n";
+    return usage(std::cerr, 2);
+  }
+
+  if (strict) {
+    const auto baseline = read_file(baseline_path);
+    const auto current = read_file(current_path);
+    if (!baseline.has_value() || !current.has_value()) return 2;
+    if (*baseline == *current) {
+      std::cout << "survey_diff: byte-identical (" << baseline->size()
+                << " bytes)\n";
+      return 0;
+    }
+    std::size_t offset = 0;
+    while (offset < baseline->size() && offset < current->size() &&
+           (*baseline)[offset] == (*current)[offset]) {
+      ++offset;
+    }
+    std::cout << "survey_diff: FAIL: reports differ (first difference at "
+              << "byte " << offset << "; " << baseline->size() << " vs "
+              << current->size() << " bytes)\n";
+    return 1;
+  }
+
+  const auto baseline = load_report(baseline_path);
+  const auto current = load_report(current_path);
+  if (!baseline.has_value() || !current.has_value()) return 2;
+
+  int failures = 0;
+  std::size_t added = 0;
+
+  // Echo options present on both sides must agree: a report produced with
+  // a different engine budget or classifier setting is not comparable.
+  for (const auto& [name, value] : baseline->options) {
+    const auto it = current->options.find(name);
+    if (it == current->options.end()) continue;
+    if (it->second == value) continue;
+    if (name == "family" && allow_growth) {
+      std::cout << "survey_diff: family changed: " << value << " -> "
+                << it->second << " (allowed by --allow-growth)\n";
+      continue;
+    }
+    std::cout << "survey_diff: FAIL: option " << name << " changed: " << value
+              << " -> " << it->second << "\n";
+    ++failures;
+  }
+
+  for (const auto& [key, row] : baseline->rows) {
+    const auto it = current->rows.find(key);
+    if (it == current->rows.end()) {
+      std::cout << "survey_diff: FAIL: member removed: " << key << " ("
+                << row.landscape_class << ")\n";
+      ++failures;
+      continue;
+    }
+    if (it->second.landscape_class != row.landscape_class) {
+      std::cout << "survey_diff: FAIL: verdict flip on " << key << ": "
+                << row.landscape_class << " -> "
+                << it->second.landscape_class << "\n";
+      ++failures;
+    }
+    if (it->second.canonical_key != row.canonical_key) {
+      std::cout << "survey_diff: FAIL: canonical key drift on " << key << ": "
+                << row.canonical_key << " -> " << it->second.canonical_key
+                << "\n";
+      ++failures;
+    }
+  }
+  for (const auto& [key, row] : current->rows) {
+    if (baseline->rows.count(key) != 0) continue;
+    ++added;
+    if (allow_growth) continue;
+    std::cout << "survey_diff: FAIL: member added: " << key << " ("
+              << row.landscape_class << ")\n";
+    ++failures;
+  }
+
+  if (current->canonical_classes != baseline->canonical_classes) {
+    // Growth brings new canonical classes; shrink or same-set drift means
+    // the canonicalization itself changed.
+    const bool explained = allow_growth && added != 0 &&
+                           current->canonical_classes >
+                               baseline->canonical_classes;
+    std::cout << "survey_diff: " << (explained ? "" : "FAIL: ")
+              << "canonical_classes drift: " << baseline->canonical_classes
+              << " -> " << current->canonical_classes
+              << (explained ? " (allowed by --allow-growth)" : "") << "\n";
+    if (!explained) ++failures;
+  }
+
+  if (failures == 0) {
+    std::cout << "survey_diff: OK: " << baseline->rows.size()
+              << " members matched";
+    if (added != 0) std::cout << ", " << added << " added";
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << "survey_diff: " << failures << " difference(s) failed the "
+            << "gate\n";
+  return 1;
+}
